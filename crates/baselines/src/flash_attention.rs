@@ -1,0 +1,125 @@
+//! FlashAttention-style baseline: a handcrafted fused attention kernel.
+//!
+//! The design constraints the paper criticizes (§II-B, §VI-B2):
+//!
+//! * only self-attention modules (softmax chains) are supported;
+//! * the head dimensions must match (`K == H`);
+//! * only the `M` and `N` dimensions are tiled — `K` and `H` are kept
+//!   whole per block ("FlashAttention only considers splitting the M and
+//!   N dimensions into tiles, neglecting K and H");
+//! * tile sizes are fixed by the hand-written kernel (128×64, shrinking
+//!   only when shared memory forces it), not tuned per shape.
+//!
+//! The kernel itself is expressed as the same `mhnk`-class schedule
+//! MCFuser can also reach — the difference is *who chooses the tiles*.
+
+use mcfuser_ir::ChainSpec;
+use mcfuser_sim::{measure_noisy, DeviceSpec};
+use mcfuser_tile::{lower, Candidate, LoweringOptions, TilingExpr};
+
+use crate::backend::{Backend, Capabilities, ChainRun, Unsupported};
+
+/// The FlashAttention baseline (v1 defaults).
+#[derive(Debug, Default, Clone)]
+pub struct FlashAttention;
+
+/// Fixed (tile_m, tile_n) pairs in preference order.
+const FIXED_TILES: [(u64, u64); 3] = [(128, 64), (64, 64), (32, 32)];
+
+impl Backend for FlashAttention {
+    fn name(&self) -> &'static str {
+        "FlashAttention"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            supports_mbci: "Partial",
+            automatic: "No",
+            search_space: "Handcrafted fusion",
+            objective: "-",
+            tuning_time: "-",
+        }
+    }
+
+    fn run_chain(&self, chain: &ChainSpec, dev: &DeviceSpec) -> Result<ChainRun, Unsupported> {
+        if !chain.has_softmax() || chain.num_ops() != 2 {
+            return Err(Unsupported::new(
+                "FlashAttention only fuses attention modules",
+            ));
+        }
+        let (k, n, h) = (chain.dims[0], chain.dims[1], chain.dims[2]);
+        if k != h {
+            return Err(Unsupported::new(format!(
+                "rigid constraint K = H violated ({k} ≠ {h})"
+            )));
+        }
+        if k > 128 {
+            return Err(Unsupported::new("head dimension above 128 unsupported"));
+        }
+        let expr = TilingExpr::parse("mhnk", chain)
+            .ok_or_else(|| Unsupported::new("internal: expression parse"))?;
+        for (tm, tn) in FIXED_TILES {
+            let cand = Candidate::new(expr.clone(), vec![tm.min(chain.m), k, tn.min(n), h]);
+            let Ok(lk) = lower(chain, &cand, &LoweringOptions::for_device(dev)) else {
+                continue;
+            };
+            if lk.smem_bytes > dev.smem_per_block {
+                continue;
+            }
+            let prof = measure_noisy(&lk.program, dev, 0xF1A5);
+            return Ok(ChainRun {
+                time: prof.time,
+                tuning_seconds: 0.0, // shipped pre-built
+                kernels: 1,
+                fused: true,
+                note: format!("fixed tiles {}", cand.describe(chain)),
+            });
+        }
+        Err(Unsupported::new(
+            "no fixed tile configuration fits shared memory",
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fuses_standard_attention() {
+        let chain = ChainSpec::attention("s2", 12, 512, 512, 64, 64);
+        let run = FlashAttention
+            .run_chain(&chain, &DeviceSpec::a100())
+            .unwrap();
+        assert!(run.fused);
+        assert_eq!(run.kernels, 1);
+        assert_eq!(run.tuning_seconds, 0.0);
+    }
+
+    #[test]
+    fn rejects_gemm_chains() {
+        let chain = ChainSpec::gemm_chain("g", 1, 512, 256, 64, 64);
+        assert!(FlashAttention
+            .run_chain(&chain, &DeviceSpec::a100())
+            .is_err());
+    }
+
+    #[test]
+    fn rejects_mismatched_head_dims() {
+        let mut chain = ChainSpec::attention("s", 8, 512, 512, 64, 64);
+        chain.dims = vec![64, 512, 96]; // K ≠ H
+        let err = FlashAttention
+            .run_chain(&chain, &DeviceSpec::a100())
+            .unwrap_err();
+        assert!(err.reason.contains("K = H"));
+    }
+
+    #[test]
+    fn works_on_vit_huge_80() {
+        let chain = ChainSpec::attention("s6", 16, 256, 256, 80, 80);
+        let run = FlashAttention
+            .run_chain(&chain, &DeviceSpec::a100())
+            .unwrap();
+        assert!(run.fused);
+    }
+}

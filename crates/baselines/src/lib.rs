@@ -1,0 +1,42 @@
+//! # mcfuser-baselines — the comparator systems
+//!
+//! Every system MCFuser is evaluated against (Fig. 8, Fig. 9, Tables I &
+//! IV), reproduced at the mechanism level on the shared GPU substrate:
+//!
+//! | Backend | Fusion | Tuning |
+//! |---|---|---|
+//! | [`PyTorch`] | none (eager, per-op library kernels) | none |
+//! | [`Relay`] | epilogue fusion, fixed templates | none |
+//! | [`Ansor`] | memory-op fusion only; compute ops tuned per shape with a GBT cost model | 1000 trials/sub-graph |
+//! | [`Bolt`] | CUTLASS b2b-GEMM templates; no attention; no sm_86 | template instantiation |
+//! | [`FlashAttention`] | handcrafted fused attention, fixed tiles, K = H | none |
+//! | [`Chimera`] | deep tilings, data-movement objective, no dead-loop elim. | analytical |
+//! | [`McFuserBackend`] | the full MCFuser pipeline | analytical + top-k |
+//!
+//! All implement [`Backend`]; `Relay` and `Ansor` also implement
+//! [`mcfuser_core::OpCostModel`] so they can serve as the non-MBCI
+//! fallback in end-to-end compilation.
+
+#![warn(missing_docs)]
+
+pub mod ansor;
+pub mod backend;
+pub mod bolt;
+pub mod chimera;
+pub mod flash_attention;
+pub mod gbt;
+pub mod libkernels;
+pub mod mcfuser_backend;
+pub mod pytorch;
+pub mod relay;
+
+pub use ansor::{tune_matmul_task, Ansor, TunedMatmul};
+pub use backend::{Backend, Capabilities, ChainRun, Unsupported};
+pub use bolt::Bolt;
+pub use chimera::Chimera;
+pub use flash_attention::FlashAttention;
+pub use gbt::{GbtModel, GbtParams};
+pub use libkernels::{matmul_program, matmul_time, pick_library_tile, LIBRARY_TILES};
+pub use mcfuser_backend::McFuserBackend;
+pub use pytorch::PyTorch;
+pub use relay::Relay;

@@ -1,0 +1,101 @@
+//! MCFuser itself behind the uniform [`Backend`] interface, so the
+//! evaluation harness treats it like every comparator.
+
+use mcfuser_core::McFuser;
+use mcfuser_ir::ChainSpec;
+use mcfuser_sim::DeviceSpec;
+
+use crate::backend::{Backend, Capabilities, ChainRun, Unsupported};
+
+/// MCFuser as a benchmarkable backend.
+#[derive(Debug, Default, Clone)]
+pub struct McFuserBackend {
+    /// The underlying tuner.
+    pub tuner: McFuser,
+}
+
+impl McFuserBackend {
+    /// Default-parameter tuner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Backend for McFuserBackend {
+    fn name(&self) -> &'static str {
+        "MCFuser"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            supports_mbci: "Yes",
+            automatic: "Yes",
+            search_space: "Exhaustive tiling-based + rid of redundancy",
+            objective: "Analytical performance model",
+            tuning_time: "Short",
+        }
+    }
+
+    fn run_chain(&self, chain: &ChainSpec, dev: &DeviceSpec) -> Result<ChainRun, Unsupported> {
+        let tuned = self
+            .tuner
+            .tune(chain, dev)
+            .map_err(|e| Unsupported::new(e.to_string()))?;
+        Ok(ChainRun {
+            time: tuned.profile.time,
+            tuning_seconds: tuned.tuning.virtual_seconds,
+            kernels: 1,
+            fused: true,
+            note: tuned.candidate.describe(chain),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chimera::Chimera;
+    use crate::pytorch::PyTorch;
+
+    #[test]
+    fn mcfuser_beats_pytorch_on_mbci_chain() {
+        let chain = ChainSpec::gemm_chain("g1", 1, 512, 256, 64, 64);
+        let dev = DeviceSpec::a100();
+        let ours = McFuserBackend::new().run_chain(&chain, &dev).unwrap();
+        let pt = PyTorch.run_chain(&chain, &dev).unwrap();
+        assert!(
+            ours.time < pt.time,
+            "mcfuser {} vs pytorch {}",
+            ours.time,
+            pt.time
+        );
+    }
+
+    #[test]
+    fn mcfuser_at_least_matches_chimera() {
+        let chain = ChainSpec::gemm_chain("g3", 1, 512, 256, 64, 256);
+        let dev = DeviceSpec::a100();
+        let ours = McFuserBackend::new().run_chain(&chain, &dev).unwrap();
+        let chi = Chimera.run_chain(&chain, &dev).unwrap();
+        assert!(
+            ours.time <= chi.time * 1.05,
+            "mcfuser {} vs chimera {}",
+            ours.time,
+            chi.time
+        );
+    }
+
+    #[test]
+    fn attention_beats_pytorch_clearly() {
+        let chain = ChainSpec::attention("s1", 8, 512, 512, 64, 64);
+        let dev = DeviceSpec::a100();
+        let ours = McFuserBackend::new().run_chain(&chain, &dev).unwrap();
+        let pt = PyTorch.run_chain(&chain, &dev).unwrap();
+        assert!(
+            ours.time < 0.7 * pt.time,
+            "mcfuser {} vs pytorch {}",
+            ours.time,
+            pt.time
+        );
+    }
+}

@@ -1,0 +1,133 @@
+//! PyTorch-style baseline: eager, unfused library execution.
+//!
+//! Every operator is its own kernel launch backed by a vendor-library
+//! GEMM template (cuBLAS analogue); memory-intensive epilogues run as
+//! separate element-wise/reduction kernels (eager mode does not fuse).
+//! Intermediates round-trip through global memory, hitting L2 when they
+//! fit. This is the normalization baseline of Fig. 8.
+
+use mcfuser_ir::{ChainSpec, Epilogue};
+use mcfuser_sim::DeviceSpec;
+
+use crate::backend::{Backend, Capabilities, ChainRun, Unsupported};
+use crate::libkernels::{matmul_time, pick_library_tile, scale_kernel, softmax_kernels};
+
+/// Eager-mode framework dispatch cost per operator (Python dispatch,
+/// autograd bookkeeping, stream sync) — paid on top of the raw kernel
+/// launch. Compiled backends (Relay/Ansor/BOLT/MCFuser) do not pay this.
+pub const EAGER_DISPATCH_OVERHEAD: f64 = 7.0e-6;
+
+/// The PyTorch (cuBLAS/cuDNN) baseline.
+#[derive(Debug, Default, Clone)]
+pub struct PyTorch;
+
+impl Backend for PyTorch {
+    fn name(&self) -> &'static str {
+        "PyTorch"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            supports_mbci: "No",
+            automatic: "-",
+            search_space: "Vendor kernel templates",
+            objective: "Library heuristics",
+            tuning_time: "-",
+        }
+    }
+
+    fn run_chain(&self, chain: &ChainSpec, dev: &DeviceSpec) -> Result<ChainRun, Unsupported> {
+        let mut time = 0.0f64;
+        let mut kernels = 0u32;
+        let mut notes = Vec::new();
+        let esz = chain.dtype.size_bytes();
+        for op in 0..chain.num_ops() {
+            let (m, k, n) = (chain.m, chain.dims[op], chain.dims[op + 1]);
+            let tiles = pick_library_tile(chain.batch, m, n, k, dev);
+            // The left operand of op > 0 was just produced.
+            let hot = op > 0;
+            time += matmul_time(
+                &format!("{}::bmm{}", chain.name, op),
+                chain.batch,
+                m,
+                n,
+                k,
+                tiles,
+                chain.dtype,
+                dev,
+                hot,
+                Epilogue::None,
+            );
+            kernels += 1;
+            notes.push(format!("bmm{op}:{}x{}x{}", tiles.0, tiles.1, tiles.2));
+            // Eager-mode epilogues: one kernel each.
+            match chain.epilogues[op] {
+                Epilogue::None => {}
+                Epilogue::Relu | Epilogue::Scale(_) => {
+                    let elems = chain.batch * m * n;
+                    time += scale_kernel(elems, esz, true).time(dev);
+                    kernels += 1;
+                }
+                Epilogue::Softmax { .. } => {
+                    // scale kernel + 2-pass softmax over the score matrix.
+                    let rows = chain.batch * m;
+                    time += scale_kernel(rows * n, esz, true).time(dev);
+                    kernels += 1;
+                    for kern in softmax_kernels(rows, n, esz, true) {
+                        time += kern.time(dev);
+                        kernels += 1;
+                    }
+                }
+            }
+        }
+        time += kernels as f64 * EAGER_DISPATCH_OVERHEAD;
+        Ok(ChainRun {
+            time,
+            tuning_seconds: 0.0,
+            kernels,
+            fused: false,
+            note: notes.join(","),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_chain_launches_two_kernels() {
+        let chain = ChainSpec::gemm_chain("g", 1, 512, 256, 64, 64);
+        let run = PyTorch.run_chain(&chain, &DeviceSpec::a100()).unwrap();
+        assert_eq!(run.kernels, 2);
+        assert!(!run.fused);
+        assert!(run.time > 2.0 * DeviceSpec::a100().launch_overhead);
+    }
+
+    #[test]
+    fn attention_launches_five_kernels() {
+        let chain = ChainSpec::attention("s", 8, 512, 512, 64, 64);
+        let run = PyTorch.run_chain(&chain, &DeviceSpec::a100()).unwrap();
+        // bmm1 + scale + softmax(2) + bmm2.
+        assert_eq!(run.kernels, 5);
+    }
+
+    #[test]
+    fn no_tuning_cost() {
+        let chain = ChainSpec::gemm_chain("g", 1, 512, 256, 64, 64);
+        let run = PyTorch.run_chain(&chain, &DeviceSpec::a100()).unwrap();
+        assert_eq!(run.tuning_seconds, 0.0);
+    }
+
+    #[test]
+    fn bigger_chains_take_longer() {
+        let dev = DeviceSpec::a100();
+        let small = PyTorch
+            .run_chain(&ChainSpec::gemm_chain("a", 1, 512, 256, 64, 64), &dev)
+            .unwrap();
+        let big = PyTorch
+            .run_chain(&ChainSpec::gemm_chain("b", 8, 1024, 1024, 128, 128), &dev)
+            .unwrap();
+        assert!(big.time > small.time);
+    }
+}

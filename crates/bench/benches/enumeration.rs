@@ -1,0 +1,40 @@
+//! Criterion bench: tiling-expression enumeration and search-space
+//! generation/counting (§III-A machinery).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcfuser_core::SearchSpace;
+use mcfuser_ir::ChainSpec;
+use mcfuser_tile::{enumerate_all, enumerate_deep};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let chain = ChainSpec::gemm_chain("bench", 1, 1024, 1024, 512, 512);
+    let chain3 = ChainSpec {
+        name: "c3".into(),
+        batch: 1,
+        m: 512,
+        dims: vec![64, 128, 128, 64],
+        epilogues: vec![Default::default(); 3],
+        dtype: mcfuser_sim::DType::F16,
+    };
+    let mut g = c.benchmark_group("enumeration");
+    g.bench_function("deep_2gemm_24", |b| {
+        b.iter(|| enumerate_deep(black_box(&chain)))
+    });
+    g.bench_function("all_2gemm_26", |b| {
+        b.iter(|| enumerate_all(black_box(&chain)))
+    });
+    g.bench_function("all_3gemm_126", |b| {
+        b.iter(|| enumerate_all(black_box(&chain3)))
+    });
+    g.bench_function("space_generate_and_count", |b| {
+        b.iter(|| {
+            let s = SearchSpace::generate(black_box(&chain));
+            black_box(s.count())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench: the gradient-boosted-trees cost model behind the
+//! Ansor baseline (fit + predict throughput).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcfuser_baselines::{GbtModel, GbtParams};
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let x: Vec<Vec<f64>> = (0..512)
+        .map(|_| (0..9).map(|_| rng.gen_range(-1.0..1.0)).collect())
+        .collect();
+    let y: Vec<f64> = x.iter().map(|r| r[0] * 2.0 + r[1] * r[2]).collect();
+    let model = GbtModel::fit(&x, &y, &GbtParams::default());
+    let mut g = c.benchmark_group("gbt");
+    g.sample_size(10);
+    g.bench_function("fit_512x9", |b| {
+        b.iter(|| GbtModel::fit(black_box(&x), black_box(&y), &GbtParams::default()))
+    });
+    g.bench_function("predict_512", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for row in &x {
+                acc += model.predict(black_box(row));
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion bench: statement placement (§III-B DAG analysis) and
+//! lowering to tile programs (the Triton-analogue backend).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcfuser_ir::ChainSpec;
+use mcfuser_sim::DeviceSpec;
+use mcfuser_tile::{lower, place, Candidate, LoweringOptions, TilingExpr};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let chain = ChainSpec::gemm_chain("bench", 1, 1024, 1024, 512, 512);
+    let attn = ChainSpec::attention("attn", 12, 512, 512, 64, 64);
+    let cand = Candidate::new(
+        TilingExpr::parse("mhnk", &chain).unwrap(),
+        vec![128, 64, 64, 128],
+    );
+    let acand = Candidate::new(
+        TilingExpr::parse("mhnk", &attn).unwrap(),
+        vec![64, 64, 64, 64],
+    );
+    let opts = LoweringOptions::for_device(&DeviceSpec::a100());
+    let mut g = c.benchmark_group("lowering");
+    g.bench_function("place_gemm_chain", |b| {
+        b.iter(|| place(black_box(&chain), black_box(&cand)).unwrap())
+    });
+    g.bench_function("lower_gemm_chain", |b| {
+        b.iter(|| lower(black_box(&chain), black_box(&cand), &opts).unwrap())
+    });
+    g.bench_function("lower_attention", |b| {
+        b.iter(|| lower(black_box(&attn), black_box(&acand), &opts).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

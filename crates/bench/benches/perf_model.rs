@@ -1,0 +1,35 @@
+//! Criterion bench: the analytical performance model (Eqs. 2–5) — free
+//! estimates are the paper's key to fast tuning, so they must be cheap.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcfuser_core::{estimate, estimate_or_inf};
+use mcfuser_ir::ChainSpec;
+use mcfuser_sim::DeviceSpec;
+use mcfuser_tile::{Candidate, TilingExpr};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let dev = DeviceSpec::a100();
+    let chain = ChainSpec::gemm_chain("bench", 1, 1024, 1024, 512, 512);
+    let cand = Candidate::new(
+        TilingExpr::parse("mhnk", &chain).unwrap(),
+        vec![128, 64, 64, 128],
+    );
+    let mut g = c.benchmark_group("perf_model");
+    g.bench_function("estimate_single", |b| {
+        b.iter(|| estimate(black_box(&chain), black_box(&cand), &dev).unwrap())
+    });
+    g.bench_function("estimate_population_128", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..128 {
+                acc += estimate_or_inf(black_box(&chain), black_box(&cand), &dev);
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

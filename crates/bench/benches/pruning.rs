@@ -1,0 +1,28 @@
+//! Criterion bench: the Rule 1–4 pruning cascade (§III-C) on the paper's
+//! running example (1.09e8 candidates in, ~1e3 out).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcfuser_core::{prune, SearchSpace};
+use mcfuser_ir::ChainSpec;
+use mcfuser_sim::DeviceSpec;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let dev = DeviceSpec::a100();
+    let big = ChainSpec::gemm_chain("big", 1, 1024, 1024, 512, 512);
+    let attn = ChainSpec::attention("attn", 12, 512, 512, 64, 64);
+    let big_space = SearchSpace::generate(&big);
+    let attn_space = SearchSpace::generate(&attn);
+    let mut g = c.benchmark_group("pruning");
+    g.sample_size(20);
+    g.bench_function("gemm_chain_1e8_candidates", |b| {
+        b.iter(|| prune(black_box(&big), &dev, &big_space))
+    });
+    g.bench_function("attention_s2", |b| {
+        b.iter(|| prune(black_box(&attn), &dev, &attn_space))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

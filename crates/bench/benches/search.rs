@@ -1,0 +1,26 @@
+//! Criterion bench: a full MCFuser tuning session (prune + Algorithm 1)
+//! on a small chain — the end-to-end per-sub-graph cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcfuser_core::McFuser;
+use mcfuser_ir::ChainSpec;
+use mcfuser_sim::DeviceSpec;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let dev = DeviceSpec::a100();
+    let chain = ChainSpec::gemm_chain("bench", 1, 512, 256, 64, 64);
+    let attn = ChainSpec::attention("attn", 8, 256, 256, 64, 64);
+    let mut g = c.benchmark_group("search");
+    g.sample_size(10);
+    g.bench_function("tune_gemm_chain_g1", |b| {
+        b.iter(|| McFuser::new().tune(black_box(&chain), &dev).unwrap())
+    });
+    g.bench_function("tune_attention", |b| {
+        b.iter(|| McFuser::new().tune(black_box(&attn), &dev).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

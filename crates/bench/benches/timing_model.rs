@@ -1,0 +1,43 @@
+//! Criterion bench: the simulator's timing "measurement" — the hot inner
+//! call of every tuner in the workspace.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcfuser_baselines::matmul_program;
+use mcfuser_ir::{ChainSpec, Epilogue};
+use mcfuser_sim::{measure, measure_noisy, DType, DeviceSpec};
+use mcfuser_tile::{lower, Candidate, LoweringOptions, TilingExpr};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let dev = DeviceSpec::a100();
+    let mm = matmul_program(
+        "mm",
+        1,
+        1024,
+        1024,
+        512,
+        (128, 128, 32),
+        DType::F16,
+        Epilogue::None,
+    );
+    let chain = ChainSpec::attention("attn", 12, 512, 512, 64, 64);
+    let cand = Candidate::new(
+        TilingExpr::parse("mhnk", &chain).unwrap(),
+        vec![64, 64, 64, 64],
+    );
+    let fused = lower(&chain, &cand, &LoweringOptions::for_device(&dev)).unwrap();
+    let mut g = c.benchmark_group("timing_model");
+    g.bench_function("measure_library_matmul", |b| {
+        b.iter(|| measure(black_box(&mm), &dev))
+    });
+    g.bench_function("measure_fused_attention", |b| {
+        b.iter(|| measure(black_box(&fused.program), &dev))
+    });
+    g.bench_function("measure_noisy", |b| {
+        b.iter(|| measure_noisy(black_box(&fused.program), &dev, 42))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! # mcfuser-core — the MCFuser framework
+//!
+//! The paper's primary contribution, reproduced end to end:
+//!
+//! * [`space`] — comprehensive search-space generation from tiling
+//!   expressions (§III-A);
+//! * [`prune`] — pruning Rules 1–4 with the Fig. 7 waterfall (§III-C);
+//! * [`perf_model`] — the analytical performance model, Eqs. 2–5 (§IV-A);
+//! * [`search`] — the heuristic evolutionary search with automatic
+//!   convergence, Algorithm 1 (§IV-B);
+//! * [`tuner`] — the per-chain entry point ([`McFuser`]);
+//! * [`compiler`] — end-to-end graph compilation with MBCI partitioning
+//!   and fallback backends (§V-B): `MCFuser+Relay`, `MCFuser+Ansor`.
+//!
+//! ```
+//! use mcfuser_core::McFuser;
+//! use mcfuser_ir::ChainSpec;
+//! use mcfuser_sim::DeviceSpec;
+//!
+//! let chain = ChainSpec::gemm_chain("demo", 1, 256, 128, 64, 64);
+//! let tuned = McFuser::new().tune(&chain, &DeviceSpec::a100()).unwrap();
+//! assert!(tuned.profile.time > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod compiler;
+pub mod perf_model;
+pub mod prune;
+pub mod search;
+pub mod space;
+pub mod tuner;
+
+pub use compiler::{compile_graph, execute_compiled, CompiledChain, CompiledModel, OpCostModel};
+pub use perf_model::{
+    estimate, estimate_or_inf, estimate_or_inf_with, estimate_with, matmul_tile_intensity,
+    ModelOptions, PerfEstimate,
+};
+pub use prune::{prune, prune_with_cap, rule2_ok, rule3_tiles, PruneStats, PrunedSpace};
+pub use search::{heuristic_search, SearchOutcome, SearchParams};
+pub use space::SearchSpace;
+pub use tuner::{McFuser, TuneError, TunedKernel};

@@ -1,0 +1,467 @@
+//! Heuristic exploration — Algorithm 1 of §IV-B.
+//!
+//! An evolutionary search in the spirit of Ansor's, with the two changes
+//! the paper makes:
+//!
+//! 1. the learned cost model is replaced by the *analytical* model of
+//!    Eqs. 2–5 (no training, estimates are free), and
+//! 2. the fixed trial budget is replaced by a *convergence criterion*:
+//!    when the best newly measured candidate stops improving on the
+//!    incumbent by more than ε, the search stops by itself.
+//!
+//! Per round: estimate the whole population analytically, measure only the
+//! top-n on the (simulated) device, then breed the next population by
+//! mutation with selection probability ∝ 1/estimated-time.
+
+use rand::distributions::WeightedIndex;
+use rand::prelude::*;
+use rayon::prelude::*;
+use rustc_hash::FxHashMap;
+use serde::{Deserialize, Serialize};
+
+use mcfuser_ir::ChainSpec;
+use mcfuser_sim::{measure_noisy, CostProfile, DeviceSpec, KernelProfile, TuningClock};
+use mcfuser_tile::{lower, Candidate, LoweredKernel, LoweringOptions};
+
+use crate::prune::PrunedSpace;
+
+/// Parameters of Algorithm 1.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SearchParams {
+    /// Population size `N`.
+    pub population: usize,
+    /// Candidates measured per round `n` (the paper sets 8).
+    pub topk: usize,
+    /// Relative convergence threshold ε.
+    pub epsilon: f64,
+    /// Safety bound on rounds (the convergence criterion normally fires
+    /// much earlier).
+    pub max_rounds: usize,
+    /// Minimum rounds before the convergence test may fire (gives the
+    /// mutation phase a chance to explore neighbors of the model's
+    /// top-ranked candidates, which matters when the coarse model
+    /// misranks the true optimum just outside the top-n window).
+    pub min_rounds: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Analytical-model variant guiding the search.
+    pub model: crate::perf_model::ModelOptions,
+    /// Apply dead-loop elimination when lowering measured candidates
+    /// (disabled by the Chimera baseline).
+    pub dead_loop_elimination: bool,
+    /// Replace the analytical model with a deterministic pseudo-random
+    /// ranking (ablation: what does the model itself contribute?).
+    pub random_ranking: bool,
+}
+
+impl Default for SearchParams {
+    fn default() -> Self {
+        SearchParams {
+            population: 128,
+            topk: 8,
+            epsilon: 0.01,
+            max_rounds: 12,
+            min_rounds: 3,
+            seed: 0x5EED,
+            model: crate::perf_model::ModelOptions::default(),
+            dead_loop_elimination: true,
+            random_ranking: false,
+        }
+    }
+}
+
+impl SearchParams {
+    /// The MCFuser-Chimera configuration (§VI-A): deep-tiling space is
+    /// selected by the caller; this sets the data-movement objective and
+    /// disables dead-loop elimination.
+    pub fn chimera() -> Self {
+        SearchParams {
+            model: crate::perf_model::ModelOptions::chimera(),
+            dead_loop_elimination: false,
+            ..Default::default()
+        }
+    }
+}
+
+/// Result of a completed search.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// The winning schedule.
+    pub best: Candidate,
+    /// Its measured kernel time (seconds).
+    pub best_time: f64,
+    /// The lowered kernel.
+    pub kernel: LoweredKernel,
+    /// The full device profile of the winner.
+    pub profile: KernelProfile,
+    /// Rounds executed before convergence.
+    pub rounds: usize,
+    /// Distinct candidates measured on the device.
+    pub measured: usize,
+    /// Best measured time after each round (monotone non-increasing).
+    pub history: Vec<f64>,
+}
+
+/// Measure one candidate on the device, charging the tuning clock.
+/// Returns `None` for candidates that fail lowering or exceed the
+/// device's shared memory (unlaunchable).
+fn measure_candidate(
+    chain: &ChainSpec,
+    cand: &Candidate,
+    dev: &DeviceSpec,
+    cost: &CostProfile,
+    clock: &TuningClock,
+    seed: u64,
+    lower_opts: &LoweringOptions,
+) -> Option<(LoweredKernel, KernelProfile)> {
+    let lk = lower(chain, cand, lower_opts).ok()?;
+    clock.charge_compile(cost);
+    if lk.smem_bytes > dev.smem_per_block {
+        // Refused by the driver at launch: costs a compile, no runtime.
+        return None;
+    }
+    let prof = measure_noisy(&lk.program, dev, seed);
+    clock.charge_measurement(cost, prof.time);
+    Some((lk, prof))
+}
+
+/// Run Algorithm 1 over a pruned space. Returns `None` only when no
+/// candidate in the space is lowerable/launchable.
+pub fn heuristic_search(
+    chain: &ChainSpec,
+    dev: &DeviceSpec,
+    space: &PrunedSpace,
+    params: &SearchParams,
+    clock: &TuningClock,
+) -> Option<SearchOutcome> {
+    if space.candidates.is_empty() {
+        return None;
+    }
+    let cost = CostProfile::triton();
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let lower_opts = if params.dead_loop_elimination {
+        LoweringOptions::for_device(dev)
+    } else {
+        LoweringOptions::for_device(dev).without_dead_loop_elimination()
+    };
+
+    // Line 1: initial population. Analytical estimates are free, so when
+    // the pruned space is small enough we rank *all* of it and seed half
+    // the population with the model's best picks (the other half stays
+    // random for diversity); otherwise fall back to uniform sampling.
+    let mut population: Vec<Candidate> = if space.candidates.len() <= 20_000 {
+        let scored: Vec<(usize, f64)> = space
+            .candidates
+            .par_iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let e = crate::perf_model::estimate_or_inf_with(chain, c, dev, &params.model);
+                if params.random_ranking && e.is_finite() {
+                    use std::hash::{Hash, Hasher};
+                    let mut h = rustc_hash::FxHasher::default();
+                    c.hash(&mut h);
+                    (i, mcfuser_sim::noise::unit_sample(params.seed, h.finish()))
+                } else {
+                    (i, e)
+                }
+            })
+            .collect();
+        for _ in &scored {
+            clock.note_estimate();
+        }
+        let mut order: Vec<usize> = (0..scored.len()).collect();
+        order.sort_by(|&a, &b| scored[a].1.total_cmp(&scored[b].1));
+        let seeded = params.population / 2;
+        let mut pop: Vec<Candidate> = order
+            .iter()
+            .take(seeded)
+            .map(|&i| space.candidates[i].clone())
+            .collect();
+        while pop.len() < params.population {
+            pop.push(space.candidates[rng.gen_range(0..space.candidates.len())].clone());
+        }
+        pop
+    } else {
+        (0..params.population)
+            .map(|_| space.candidates[rng.gen_range(0..space.candidates.len())].clone())
+            .collect()
+    };
+
+    let mut best: Option<(Candidate, f64, LoweredKernel, KernelProfile)> = None;
+    let mut measured_cache: FxHashMap<Candidate, f64> = FxHashMap::default();
+    let mut history = Vec::new();
+    let mut rounds = 0usize;
+
+    for round in 0..params.max_rounds {
+        rounds = round + 1;
+        // Line 5: analytical estimates (free, parallel).
+        let estimates: Vec<f64> = population
+            .par_iter()
+            .map(|c| {
+                let e = crate::perf_model::estimate_or_inf_with(chain, c, dev, &params.model);
+                if params.random_ranking && e.is_finite() {
+                    // Deterministic pseudo-random score per candidate.
+                    use std::hash::{Hash, Hasher};
+                    let mut h = rustc_hash::FxHasher::default();
+                    c.hash(&mut h);
+                    mcfuser_sim::noise::unit_sample(params.seed, h.finish())
+                } else {
+                    e
+                }
+            })
+            .collect();
+        for _ in &estimates {
+            clock.note_estimate();
+        }
+
+        // Lines 6-7: sort by estimate, take top-n for real measurement.
+        // The coarse model produces exact ties between candidates it
+        // cannot distinguish; shuffling before the stable sort makes each
+        // round sample a different subset of a tied group instead of
+        // re-measuring the same one.
+        let mut order: Vec<usize> = (0..population.len()).collect();
+        order.shuffle(&mut rng);
+        order.sort_by(|&a, &b| estimates[a].total_cmp(&estimates[b]));
+        // Line 8: walk the ranking and measure the top-n *fresh* candidates
+        // (Ansor-style visited filter). Candidates killed at lowering — the
+        // paper's Fig. 10 quadrant II, "eliminated during PTX code
+        // lowering" — cost a compile but do not consume a measurement
+        // slot; the walk continues to the next-ranked candidate.
+        // Previously measured population members still compete for
+        // round-best via the cache.
+        let mut round_best: Option<(usize, f64)> = None;
+        // Fresh-measurement best — the paper's `top1_t` (its measured
+        // top-k are always new candidates), used for the convergence test.
+        let mut fresh_best: Option<f64> = None;
+        for (i, cand) in population.iter().enumerate() {
+            if let Some(&t) = measured_cache.get(cand) {
+                if t.is_finite() && round_best.map(|(_, bt)| t < bt).unwrap_or(true) {
+                    round_best = Some((i, t));
+                }
+            }
+        }
+        let mut fresh = 0usize;
+        for &i in &order {
+            if fresh >= params.topk {
+                break;
+            }
+            if !estimates[i].is_finite() || measured_cache.contains_key(&population[i]) {
+                continue;
+            }
+            let cand = population[i].clone();
+            let t = measure_candidate(chain, &cand, dev, &cost, clock, params.seed, &lower_opts)
+                .map(|(_, p)| p.time)
+                .unwrap_or(f64::INFINITY);
+            measured_cache.insert(cand, t);
+            if t.is_finite() {
+                fresh += 1;
+                if fresh_best.map(|b| t < b).unwrap_or(true) {
+                    fresh_best = Some(t);
+                }
+                if round_best.map(|(_, bt)| t < bt).unwrap_or(true) {
+                    round_best = Some((i, t));
+                }
+            }
+        }
+
+        let Some((top1_idx, top1_t)) = round_best else {
+            // Nothing measurable this round: resample and retry.
+            population = (0..params.population)
+                .map(|_| space.candidates[rng.gen_range(0..space.candidates.len())].clone())
+                .collect();
+            continue;
+        };
+        let top1_cand = population[top1_idx].clone();
+        // Recover the winner's kernel + profile (re-lowering is free; the
+        // measurement was already charged above).
+        let top1_lk = lower(chain, &top1_cand, &lower_opts).expect("measured candidate lowers");
+        let top1_prof = measure_noisy(&top1_lk.program, dev, params.seed);
+
+        // Lines 10-12: convergence test against the incumbent, on freshly
+        // measured candidates only (re-reading the cache is not evidence
+        // of convergence). A round with nothing fresh to measure has
+        // exhausted its neighborhood and also counts as converged.
+        let converged = round + 1 >= params.min_rounds
+            && match (&best, fresh_best) {
+                (Some((_, best_t, _, _)), Some(fb)) => fb >= best_t * (1.0 - params.epsilon),
+                (Some(_), None) => true,
+                _ => false,
+            };
+
+        // Lines 13-16: update incumbent.
+        let improved = best
+            .as_ref()
+            .map(|(_, bt, _, _)| top1_t < *bt)
+            .unwrap_or(true);
+        if improved {
+            best = Some((top1_cand, top1_t, top1_lk, top1_prof));
+        }
+        history.push(best.as_ref().unwrap().1);
+        if converged {
+            break;
+        }
+
+        // Line 17: next population by estimate-weighted mutation.
+        let weights: Vec<f64> = estimates
+            .iter()
+            .map(|&e| if e.is_finite() { 1.0 / e } else { 0.0 })
+            .collect();
+        if weights.iter().sum::<f64>() <= 0.0 {
+            population = (0..params.population)
+                .map(|_| space.candidates[rng.gen_range(0..space.candidates.len())].clone())
+                .collect();
+            continue;
+        }
+        let dist = WeightedIndex::new(&weights).ok()?;
+        population = (0..params.population)
+            .map(|_| {
+                let parent = &population[dist.sample(&mut rng)];
+                mutate(parent, space, &mut rng)
+            })
+            .collect();
+    }
+
+    let (best_cand, best_time, kernel, profile) = best?;
+    Some(SearchOutcome {
+        best: best_cand,
+        best_time,
+        kernel,
+        profile,
+        rounds,
+        measured: measured_cache.len(),
+        history,
+    })
+}
+
+/// Mutate one loop's tile size to a neighboring option (the paper's
+/// mutation operator: "one loop is chosen to mutate the tile size").
+fn mutate(parent: &Candidate, space: &PrunedSpace, rng: &mut StdRng) -> Candidate {
+    let mut child = parent.clone();
+    let axis = rng.gen_range(0..child.tiles.len());
+    let domain = &space.tile_domains[axis];
+    if domain.len() <= 1 {
+        return child;
+    }
+    let cur = domain
+        .iter()
+        .position(|&t| t == child.tiles[axis])
+        .unwrap_or(0);
+    let next = if rng.gen_bool(0.5) && cur + 1 < domain.len() {
+        cur + 1
+    } else {
+        cur.saturating_sub(1)
+    };
+    child.tiles[axis] = domain[next];
+    child
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prune::prune;
+    use crate::space::SearchSpace;
+
+    fn search_chain(chain: &ChainSpec, dev: &DeviceSpec) -> SearchOutcome {
+        let space = SearchSpace::generate(chain);
+        let pruned = prune(chain, dev, &space);
+        let clock = TuningClock::new();
+        heuristic_search(chain, dev, &pruned, &SearchParams::default(), &clock)
+            .expect("search finds a kernel")
+    }
+
+    #[test]
+    fn finds_a_valid_kernel_for_gemm_chain() {
+        let chain = ChainSpec::gemm_chain("g1", 1, 512, 256, 64, 64);
+        let dev = DeviceSpec::a100();
+        let out = search_chain(&chain, &dev);
+        assert!(out.best_time.is_finite() && out.best_time > 0.0);
+        assert!(out.kernel.smem_bytes <= dev.smem_per_block);
+        assert!(out.measured > 0);
+    }
+
+    #[test]
+    fn history_is_monotone_non_increasing() {
+        let chain = ChainSpec::gemm_chain("g4", 1, 512, 512, 256, 256);
+        let out = search_chain(&chain, &DeviceSpec::a100());
+        for w in out.history.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn converges_before_max_rounds_usually() {
+        let chain = ChainSpec::gemm_chain("g", 1, 512, 256, 64, 64);
+        let out = search_chain(&chain, &DeviceSpec::a100());
+        assert!(out.rounds <= SearchParams::default().max_rounds);
+    }
+
+    #[test]
+    fn search_is_deterministic() {
+        let chain = ChainSpec::gemm_chain("g", 1, 512, 256, 64, 64);
+        let dev = DeviceSpec::a100();
+        let a = search_chain(&chain, &dev);
+        let b = search_chain(&chain, &dev);
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.best_time, b.best_time);
+    }
+
+    #[test]
+    fn beats_the_worst_candidate_clearly() {
+        let chain = ChainSpec::gemm_chain("g", 1, 1024, 1024, 128, 128);
+        let dev = DeviceSpec::a100();
+        let space = SearchSpace::generate(&chain);
+        let pruned = prune(&chain, &dev, &space);
+        let clock = TuningClock::new();
+        let out =
+            heuristic_search(&chain, &dev, &pruned, &SearchParams::default(), &clock).unwrap();
+        // Measure a deliberately bad candidate (tiny tiles).
+        let bad = pruned
+            .candidates
+            .iter()
+            .find(|c| c.tiles.iter().all(|&t| t == 16))
+            .expect("tiny-tile candidate survives pruning");
+        let bad_t = measure_candidate(
+            &chain,
+            bad,
+            &dev,
+            &CostProfile::triton(),
+            &clock,
+            0,
+            &LoweringOptions::for_device(&dev),
+        )
+        .map(|(_, p)| p.time)
+        .unwrap();
+        assert!(
+            out.best_time < 0.8 * bad_t,
+            "best {} vs bad {}",
+            out.best_time,
+            bad_t
+        );
+    }
+
+    #[test]
+    fn attention_chain_searchable() {
+        let chain = ChainSpec::attention("s1", 8, 512, 512, 64, 64);
+        let dev = DeviceSpec::a100();
+        let out = search_chain(&chain, &dev);
+        assert!(out.best_time.is_finite());
+        // The softmax chain must have picked a schedule where k is inside n
+        // or k is a single tile — guaranteed by lowering legality.
+        assert!(out.kernel.program.validate().is_ok());
+    }
+
+    #[test]
+    fn tuning_clock_is_charged() {
+        let chain = ChainSpec::gemm_chain("g", 1, 512, 256, 64, 64);
+        let dev = DeviceSpec::a100();
+        let space = SearchSpace::generate(&chain);
+        let pruned = prune(&chain, &dev, &space);
+        let clock = TuningClock::new();
+        let _ = heuristic_search(&chain, &dev, &pruned, &SearchParams::default(), &clock);
+        let rep = clock.report();
+        assert!(rep.measurements > 0);
+        assert!(rep.estimates as usize >= SearchParams::default().population);
+        assert_eq!(rep.train_rounds, 0, "the analytical model never trains");
+        assert!(rep.virtual_seconds > 0.0);
+    }
+}

@@ -1,0 +1,159 @@
+//! The MCFuser tuner — the user-facing entry point for one MBCI chain.
+//!
+//! `McFuser::tune` runs the full §III–§IV pipeline: generate the search
+//! space, prune it with Rules 1–4, explore with Algorithm 1, and return
+//! the winning fused kernel together with the pruning waterfall and the
+//! virtual tuning-time report (the quantities behind Figs. 7–11 and
+//! Table IV).
+
+use serde::{Deserialize, Serialize};
+
+use mcfuser_ir::ChainSpec;
+use mcfuser_sim::{DeviceSpec, KernelProfile, TuningClock, TuningReport};
+use mcfuser_tile::{Candidate, LoweredKernel};
+
+use crate::prune::{prune, PruneStats};
+use crate::search::{heuristic_search, SearchOutcome, SearchParams};
+use crate::space::SearchSpace;
+
+/// Tuning failure.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TuneError {
+    /// Every candidate was pruned or unlaunchable on the device.
+    NoViableCandidate,
+}
+
+impl std::fmt::Display for TuneError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TuneError::NoViableCandidate => f.write_str("no viable fused kernel"),
+        }
+    }
+}
+
+impl std::error::Error for TuneError {}
+
+/// A tuned fused kernel with full provenance.
+#[derive(Debug, Clone)]
+pub struct TunedKernel {
+    /// The chain that was tuned.
+    pub chain: ChainSpec,
+    /// The winning schedule.
+    pub candidate: Candidate,
+    /// The lowered kernel.
+    pub kernel: LoweredKernel,
+    /// Measured device profile (time, traffic, occupancy …).
+    pub profile: KernelProfile,
+    /// Virtual tuning-time report.
+    pub tuning: TuningReport,
+    /// Pruning waterfall.
+    pub prune_stats: PruneStats,
+    /// Search convergence data.
+    pub rounds: usize,
+    /// Candidates actually measured.
+    pub measured: usize,
+}
+
+/// The MCFuser tuner.
+#[derive(Debug, Clone, Default)]
+pub struct McFuser {
+    /// Algorithm 1 parameters.
+    pub params: SearchParams,
+}
+
+impl McFuser {
+    /// Tuner with default parameters (the paper's `n = 8`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Tune one chain for a device.
+    pub fn tune(&self, chain: &ChainSpec, dev: &DeviceSpec) -> Result<TunedKernel, TuneError> {
+        let clock = TuningClock::new();
+        self.tune_with_clock(chain, dev, &clock)
+    }
+
+    /// Tune, accumulating costs into an external clock (used by the
+    /// end-to-end compiler which tunes many sub-graphs).
+    pub fn tune_with_clock(
+        &self,
+        chain: &ChainSpec,
+        dev: &DeviceSpec,
+        clock: &TuningClock,
+    ) -> Result<TunedKernel, TuneError> {
+        let space = SearchSpace::generate(chain);
+        let pruned = prune(chain, dev, &space);
+        let outcome: SearchOutcome = heuristic_search(chain, dev, &pruned, &self.params, clock)
+            .ok_or(TuneError::NoViableCandidate)?;
+        Ok(TunedKernel {
+            chain: chain.clone(),
+            candidate: outcome.best,
+            kernel: outcome.kernel,
+            profile: outcome.profile,
+            tuning: clock.report(),
+            prune_stats: pruned.stats,
+            rounds: outcome.rounds,
+            measured: outcome.measured,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcfuser_sim::{execute, TensorStorage};
+
+    #[test]
+    fn tuned_gemm_chain_is_numerically_correct() {
+        let chain = ChainSpec::gemm_chain("g", 1, 128, 96, 64, 80);
+        let dev = DeviceSpec::a100();
+        let tk = McFuser::new().tune(&chain, &dev).unwrap();
+        let inputs = chain.random_inputs(1);
+        let mut st = TensorStorage::for_program(&tk.kernel.program);
+        for (i, t) in inputs.iter().enumerate() {
+            st.tensors[i] = t.clone();
+        }
+        execute(&tk.kernel.program, &mut st).unwrap();
+        let expect = chain.reference(&inputs);
+        let err = st.tensors.last().unwrap().rel_l2_error(&expect);
+        assert!(err < 2e-2, "rel error {err}");
+    }
+
+    #[test]
+    fn tuned_attention_is_numerically_correct() {
+        let chain = ChainSpec::attention("s", 2, 128, 128, 32, 32);
+        let dev = DeviceSpec::a100();
+        let tk = McFuser::new().tune(&chain, &dev).unwrap();
+        let inputs = chain.random_inputs(2);
+        let mut st = TensorStorage::for_program(&tk.kernel.program);
+        for (i, t) in inputs.iter().enumerate() {
+            st.tensors[i] = t.clone();
+        }
+        execute(&tk.kernel.program, &mut st).unwrap();
+        let expect = chain.reference(&inputs);
+        let err = st.tensors.last().unwrap().rel_l2_error(&expect);
+        assert!(err < 2e-2, "rel error {err}");
+    }
+
+    #[test]
+    fn tuning_report_shows_analytical_model_benefits() {
+        let chain = ChainSpec::gemm_chain("g", 1, 512, 256, 128, 128);
+        let tk = McFuser::new().tune(&chain, &DeviceSpec::a100()).unwrap();
+        // Far fewer measurements than estimates — the paper's core claim.
+        assert!(tk.tuning.estimates > 10 * tk.tuning.measurements);
+        assert_eq!(tk.tuning.train_rounds, 0);
+        // Tuning finishes in tens of virtual seconds, not thousands.
+        assert!(
+            tk.tuning.virtual_seconds < 300.0,
+            "{}",
+            tk.tuning.virtual_seconds
+        );
+    }
+
+    #[test]
+    fn prune_stats_propagated() {
+        let chain = ChainSpec::gemm_chain("g", 1, 512, 256, 64, 64);
+        let tk = McFuser::new().tune(&chain, &DeviceSpec::a100()).unwrap();
+        assert!(tk.prune_stats.original > tk.prune_stats.after_rule4);
+    }
+}

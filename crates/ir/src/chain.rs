@@ -1,0 +1,472 @@
+//! The MBCI operator chain — the unit of fusion MCFuser tunes.
+//!
+//! A chain is a straight line of matrix multiplications where each
+//! operator's output feeds the next operator's left-hand side, with
+//! optional memory-intensive epilogues (softmax, ReLU, scaling) applied in
+//! between. The paper's running examples are:
+//!
+//! * the GEMM chain `C = A×B, E = C×D` (§III, Fig. 3), and
+//! * self-attention `E = softmax(Q Kᵀ / √d) V` (§VI-B2),
+//!
+//! both instances of the same shape-generic structure:
+//!
+//! ```text
+//! T₀ = A · W₀           A: [batch, m, d₀]   W₀: [batch, d₀, d₁]
+//! T₁ = ε₀(T₀) · W₁      W₁: [batch, d₁, d₂]
+//! ...
+//! out = ε_{L-1}(T_{L-1})        out: [batch, m, d_L]
+//! ```
+//!
+//! The cross-tile loop axes of a chain are `m` plus one axis per `dᵢ`
+//! (named `k, n, h, p, q, …` to match the paper) and the batch.
+
+use serde::{Deserialize, Serialize};
+
+use mcfuser_sim::{DType, DeviceSpec, HostTensor};
+
+/// A memory-intensive epilogue fused after a compute block.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum Epilogue {
+    /// Identity.
+    #[default]
+    None,
+    /// Element-wise `max(x, 0)`.
+    Relu,
+    /// Element-wise multiplication by a constant.
+    Scale(f32),
+    /// Row-wise softmax over the output's last dimension with a
+    /// pre-softmax scale (e.g. `1/√d_k` in attention).
+    Softmax {
+        /// Pre-softmax multiplier.
+        scale: f32,
+    },
+}
+
+impl Epilogue {
+    /// Whether this epilogue requires full rows before producing output
+    /// (forces streaming/online handling when the row dim is tiled).
+    pub fn is_rowwise(&self) -> bool {
+        matches!(self, Epilogue::Softmax { .. })
+    }
+}
+
+/// A chain of `L = dims.len() - 1` batched matmuls.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChainSpec {
+    /// Human-readable name (e.g. `"G4"`, `"S2"`).
+    pub name: String,
+    /// Batch size (product of batch and head count for attention).
+    pub batch: u64,
+    /// Shared row dimension `m`.
+    pub m: u64,
+    /// `d₀ … d_L`: the reduction dim of op 0, the intermediate dims, and
+    /// the output column dim. For the paper's 2-GEMM chain this is
+    /// `[K, N, H]`.
+    pub dims: Vec<u64>,
+    /// Epilogue applied after op `i` (length `L`). The last entry is
+    /// applied before the final store.
+    pub epilogues: Vec<Epilogue>,
+    /// Storage precision of all tensors.
+    pub dtype: DType,
+}
+
+/// Canonical axis names used in tiling expressions: `m`, then `k, n, h,
+/// p, q, r, s…` for `d₀, d₁, …`.
+pub const AXIS_NAMES: [&str; 8] = ["k", "n", "h", "p", "q", "r", "s", "t"];
+
+impl ChainSpec {
+    /// A 2-GEMM chain `C = A×B; E = C×D` with the paper's `(M, N, K, H)`
+    /// naming (Table II).
+    pub fn gemm_chain(name: impl Into<String>, batch: u64, m: u64, n: u64, k: u64, h: u64) -> Self {
+        ChainSpec {
+            name: name.into(),
+            batch,
+            m,
+            dims: vec![k, n, h],
+            epilogues: vec![Epilogue::None, Epilogue::None],
+            dtype: DType::F16,
+        }
+    }
+
+    /// A self-attention module `E = softmax(Q Kᵀ/√K) V` with `heads`
+    /// folded into the batch (Table III).
+    pub fn attention(name: impl Into<String>, heads: u64, m: u64, n: u64, k: u64, h: u64) -> Self {
+        ChainSpec {
+            name: name.into(),
+            batch: heads,
+            m,
+            dims: vec![k, n, h],
+            epilogues: vec![
+                Epilogue::Softmax {
+                    scale: 1.0 / (k as f64).sqrt() as f32,
+                },
+                Epilogue::None,
+            ],
+            dtype: DType::F16,
+        }
+    }
+
+    /// A single matmul `C[m,n] = A[m,k]·B[k,n]` (used by Fig. 2 and by
+    /// per-operator baselines).
+    pub fn single_matmul(name: impl Into<String>, batch: u64, m: u64, n: u64, k: u64) -> Self {
+        ChainSpec {
+            name: name.into(),
+            batch,
+            m,
+            dims: vec![k, n],
+            epilogues: vec![Epilogue::None],
+            dtype: DType::F16,
+        }
+    }
+
+    /// Number of compute blocks (matmuls).
+    pub fn num_ops(&self) -> usize {
+        self.dims.len() - 1
+    }
+
+    /// Number of cross-tile loop axes excluding the batch: `m` + one per
+    /// `dᵢ`.
+    pub fn num_axes(&self) -> usize {
+        1 + self.dims.len()
+    }
+
+    /// Extent of axis `i` (axis 0 = `m`, axis `1+i` = `dims[i]`).
+    pub fn axis_extent(&self, axis: usize) -> u64 {
+        if axis == 0 {
+            self.m
+        } else {
+            self.dims[axis - 1]
+        }
+    }
+
+    /// Display name of axis `i`.
+    pub fn axis_name(&self, axis: usize) -> &'static str {
+        if axis == 0 {
+            "m"
+        } else {
+            AXIS_NAMES[axis - 1]
+        }
+    }
+
+    /// The input tensor shapes: `A` then each weight `Wᵢ`.
+    pub fn input_shapes(&self) -> Vec<Vec<u64>> {
+        let mut v = Vec::with_capacity(self.num_ops() + 1);
+        v.push(vec![self.batch, self.m, self.dims[0]]);
+        for i in 0..self.num_ops() {
+            v.push(vec![self.batch, self.dims[i], self.dims[i + 1]]);
+        }
+        v
+    }
+
+    /// Output shape `[batch, m, d_L]`.
+    pub fn output_shape(&self) -> Vec<u64> {
+        vec![self.batch, self.m, *self.dims.last().unwrap()]
+    }
+
+    /// Shape of intermediate `Tᵢ` = `[batch, m, d_{i+1}]`.
+    pub fn intermediate_shape(&self, i: usize) -> Vec<u64> {
+        vec![self.batch, self.m, self.dims[i + 1]]
+    }
+
+    /// Total floating-point operations of the matmuls.
+    pub fn flops(&self) -> f64 {
+        let mut f = 0.0;
+        for i in 0..self.num_ops() {
+            f += 2.0 * (self.batch * self.m * self.dims[i] * self.dims[i + 1]) as f64;
+        }
+        f
+    }
+
+    /// Compulsory global traffic of a perfectly fused kernel: inputs once
+    /// in, output once out.
+    pub fn min_traffic_bytes(&self) -> f64 {
+        let e = self.dtype.size_bytes() as f64;
+        let mut b: f64 = self
+            .input_shapes()
+            .iter()
+            .map(|s| s.iter().product::<u64>() as f64)
+            .sum();
+        b += self.output_shape().iter().product::<u64>() as f64;
+        b * e
+    }
+
+    /// Additional traffic an unfused pipeline pays: every intermediate
+    /// written then re-read (plus extra passes for row-wise epilogues).
+    pub fn unfused_extra_traffic_bytes(&self) -> f64 {
+        let e = self.dtype.size_bytes() as f64;
+        let mut b = 0.0;
+        for i in 0..self.num_ops().saturating_sub(1) {
+            let elems = self.intermediate_shape(i).iter().product::<u64>() as f64;
+            // write + read back
+            b += 2.0 * elems * e;
+            if self.epilogues[i].is_rowwise() {
+                // softmax: extra read/write passes over the scores
+                b += 3.0 * elems * e;
+            }
+        }
+        b
+    }
+
+    /// Arithmetic intensity of the *fused* kernel (FLOP per byte): inputs
+    /// once in, output once out. Fusion exists precisely to lift this
+    /// above the per-operator intensity.
+    pub fn operational_intensity(&self) -> f64 {
+        self.flops() / self.min_traffic_bytes()
+    }
+
+    /// Arithmetic intensity of operator `i` executed standalone —
+    /// the paper's φ = 2MNK/((MK + KN + MN)·esz) for one GEMM (§II-A).
+    pub fn op_intensity(&self, i: usize) -> f64 {
+        let m = self.m as f64;
+        let k = self.dims[i] as f64;
+        let n = self.dims[i + 1] as f64;
+        let esz = self.dtype.size_bytes() as f64;
+        2.0 * m * n * k / ((m * k + k * n + m * n) * esz)
+    }
+
+    /// The paper's MBCI test (§II-A): each compute-intensive operator of
+    /// the chain, run standalone, sits *below* the device ridge point
+    /// `P/W` — i.e. every operator is memory bound, so fusing the chain
+    /// (which raises arithmetic intensity) pays off.
+    pub fn is_memory_bound(&self, dev: &DeviceSpec) -> bool {
+        let ridge = dev.ridge_flops_per_byte(self.dtype);
+        (0..self.num_ops()).all(|i| self.op_intensity(i) < ridge)
+    }
+
+    /// True if any epilogue is a row-wise softmax (attention-like chains).
+    pub fn has_softmax(&self) -> bool {
+        self.epilogues.iter().any(Epilogue::is_rowwise)
+    }
+
+    /// Generate deterministic random inputs (values in `[-1, 1]`).
+    pub fn random_inputs(&self, seed: u64) -> Vec<HostTensor> {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        self.input_shapes()
+            .iter()
+            .map(|s| {
+                let len = s.iter().product::<u64>() as usize;
+                HostTensor::from_vec(s, (0..len).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+            })
+            .collect()
+    }
+
+    /// CPU reference execution — the correctness oracle for fused kernels.
+    ///
+    /// Computes every matmul naively in f32 with the declared epilogues.
+    pub fn reference(&self, inputs: &[HostTensor]) -> HostTensor {
+        assert_eq!(inputs.len(), self.num_ops() + 1);
+        let b = self.batch as usize;
+        let m = self.m as usize;
+        let mut cur: Vec<f32> = inputs[0].data.clone(); // [b, m, d0]
+        let mut cur_cols = self.dims[0] as usize;
+        for op in 0..self.num_ops() {
+            let kd = self.dims[op] as usize;
+            let nd = self.dims[op + 1] as usize;
+            debug_assert_eq!(cur_cols, kd);
+            let w = &inputs[op + 1].data; // [b, kd, nd]
+            let mut out = vec![0.0f32; b * m * nd];
+            for bb in 0..b {
+                let cur_base = bb * m * kd;
+                let w_base = bb * kd * nd;
+                let out_base = bb * m * nd;
+                for i in 0..m {
+                    for kk in 0..kd {
+                        let av = cur[cur_base + i * kd + kk];
+                        if av == 0.0 {
+                            continue;
+                        }
+                        let wrow = &w[w_base + kk * nd..w_base + (kk + 1) * nd];
+                        let orow = &mut out[out_base + i * nd..out_base + (i + 1) * nd];
+                        for j in 0..nd {
+                            orow[j] += av * wrow[j];
+                        }
+                    }
+                }
+            }
+            apply_epilogue(self.epilogues[op], &mut out, b * m, nd);
+            cur = out;
+            cur_cols = nd;
+        }
+        HostTensor::from_vec(&self.output_shape(), cur)
+    }
+}
+
+/// Apply an epilogue in place over a `rows × cols` row-major matrix.
+pub fn apply_epilogue(e: Epilogue, data: &mut [f32], rows: usize, cols: usize) {
+    match e {
+        Epilogue::None => {}
+        Epilogue::Relu => {
+            for v in data.iter_mut() {
+                *v = v.max(0.0);
+            }
+        }
+        Epilogue::Scale(f) => {
+            for v in data.iter_mut() {
+                *v *= f;
+            }
+        }
+        Epilogue::Softmax { scale } => {
+            for r in 0..rows {
+                let row = &mut data[r * cols..(r + 1) * cols];
+                let mx = row.iter().fold(f32::NEG_INFINITY, |a, &v| a.max(scale * v));
+                let mut sum = 0.0f32;
+                for v in row.iter_mut() {
+                    *v = (scale * *v - mx).exp();
+                    sum += *v;
+                }
+                if sum > 0.0 {
+                    for v in row.iter_mut() {
+                        *v /= sum;
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for ChainSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: batch={} m={} dims={:?}",
+            self.name, self.batch, self.m, self.dims
+        )?;
+        if self.has_softmax() {
+            write!(f, " (softmax)")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_chain_shapes() {
+        let c = ChainSpec::gemm_chain("g", 1, 512, 256, 64, 128);
+        assert_eq!(c.num_ops(), 2);
+        assert_eq!(c.num_axes(), 4);
+        assert_eq!(
+            c.input_shapes(),
+            vec![vec![1, 512, 64], vec![1, 64, 256], vec![1, 256, 128],]
+        );
+        assert_eq!(c.output_shape(), vec![1, 512, 128]);
+        assert_eq!(c.axis_name(0), "m");
+        assert_eq!(c.axis_name(1), "k");
+        assert_eq!(c.axis_name(2), "n");
+        assert_eq!(c.axis_name(3), "h");
+    }
+
+    #[test]
+    fn flops_matches_hand_count() {
+        let c = ChainSpec::gemm_chain("g", 2, 8, 4, 3, 5);
+        // 2 * (2*8*3*4 + 2*8*4*5) = 2*(192 + 320)... careful:
+        // op0: 2*B*M*K*N = 2*2*8*3*4 = 384; op1: 2*2*8*4*5 = 640.
+        assert_eq!(c.flops(), 384.0 + 640.0);
+    }
+
+    #[test]
+    fn mbci_classification_depends_on_k() {
+        let dev = DeviceSpec::a100();
+        // Fat reduction dims: compute bound.
+        let fat = ChainSpec::gemm_chain("fat", 1, 4096, 4096, 4096, 4096);
+        assert!(!fat.is_memory_bound(&dev));
+        // Skinny reduction dims (the paper's MBCI regime): memory bound.
+        let skinny = ChainSpec::gemm_chain("skinny", 1, 512, 256, 64, 64);
+        assert!(skinny.is_memory_bound(&dev));
+    }
+
+    #[test]
+    fn reference_matches_manual_2gemm() {
+        let c = ChainSpec::gemm_chain("g", 1, 4, 3, 2, 5);
+        let inputs = c.random_inputs(7);
+        let out = c.reference(&inputs);
+        // Manual: C = A×B (4x3), E = C×D (4x5).
+        let (a, bm, d) = (&inputs[0], &inputs[1], &inputs[2]);
+        let mut cmat = [0.0f32; 4 * 3];
+        for i in 0..4 {
+            for j in 0..3 {
+                for kk in 0..2 {
+                    cmat[i * 3 + j] += a.data[i * 2 + kk] * bm.data[kk * 3 + j];
+                }
+            }
+        }
+        let mut e = vec![0.0f32; 4 * 5];
+        for i in 0..4 {
+            for j in 0..5 {
+                for kk in 0..3 {
+                    e[i * 5 + j] += cmat[i * 3 + kk] * d.data[kk * 5 + j];
+                }
+            }
+        }
+        for (g, want) in out.data.iter().zip(&e) {
+            assert!((g - want).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one_after_reference() {
+        let c = ChainSpec::attention("s", 2, 8, 8, 4, 4);
+        let inputs = c.random_inputs(3);
+        // Check the epilogue by applying it to a raw matrix.
+        let mut scores = vec![1.0f32, 2.0, 3.0, 4.0];
+        apply_epilogue(Epilogue::Softmax { scale: 1.0 }, &mut scores, 1, 4);
+        let s: f32 = scores.iter().sum();
+        assert!((s - 1.0).abs() < 1e-6);
+        // And that attention output is finite and bounded by value range.
+        let out = c.reference(&inputs);
+        assert!(out.data.iter().all(|v| v.is_finite()));
+        assert!(out.data.iter().all(|v| v.abs() <= 1.0 + 1e-4));
+    }
+
+    #[test]
+    fn unfused_traffic_exceeds_fused() {
+        let c = ChainSpec::attention("s", 8, 512, 512, 64, 64);
+        assert!(c.unfused_extra_traffic_bytes() > 0.0);
+        let unfused = c.min_traffic_bytes() + c.unfused_extra_traffic_bytes();
+        assert!(unfused > 1.5 * c.min_traffic_bytes());
+    }
+
+    #[test]
+    fn single_matmul_axes() {
+        let c = ChainSpec::single_matmul("mm", 1, 128, 64, 32);
+        assert_eq!(c.num_ops(), 1);
+        assert_eq!(c.num_axes(), 3); // m, k, n
+        assert!(!c.has_softmax());
+    }
+
+    #[test]
+    fn relu_epilogue_in_reference() {
+        let mut c = ChainSpec::gemm_chain("g", 1, 4, 4, 4, 4);
+        c.epilogues[0] = Epilogue::Relu;
+        let inputs = c.random_inputs(11);
+        let out = c.reference(&inputs);
+        // With ReLU on the intermediate, output == relu(A×B)×D.
+        let plain = {
+            let mut c2 = c.clone();
+            c2.epilogues[0] = Epilogue::None;
+            c2.reference(&inputs)
+        };
+        // They should differ unless A×B was entirely nonnegative (it isn't
+        // with random signed data at this size, overwhelmingly likely).
+        assert!(out.max_abs_diff(&plain) > 1e-6);
+    }
+
+    #[test]
+    fn scale_epilogue_scales() {
+        let mut v = vec![1.0f32, -2.0, 3.0];
+        apply_epilogue(Epilogue::Scale(0.5), &mut v, 1, 3);
+        assert_eq!(v, vec![0.5, -1.0, 1.5]);
+    }
+
+    #[test]
+    fn operational_intensity_grows_with_k() {
+        // For a single matmul, φ = 2mnk/(mk + kn + mn) grows with k —
+        // the transition behind the paper's Fig. 2.
+        let lo = ChainSpec::single_matmul("a", 1, 1024, 1024, 16);
+        let hi = ChainSpec::single_matmul("b", 1, 1024, 1024, 1024);
+        assert!(hi.operational_intensity() > lo.operational_intensity());
+    }
+}

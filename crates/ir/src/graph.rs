@@ -1,0 +1,345 @@
+//! Operator-graph IR — the Relay-analogue front end.
+//!
+//! End-to-end models (BERT, ViT, MLP-Mixer) are expressed as DAGs of
+//! high-level operators. The MCFuser compiler pipeline partitions these
+//! graphs into MBCI sub-graphs (handed to the fusion tuner) and "the rest"
+//! (handed to a Relay- or Ansor-style per-operator backend), mirroring
+//! §V-B of the paper.
+
+use serde::{Deserialize, Serialize};
+
+use mcfuser_sim::DType;
+
+/// Node identifier within a [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub usize);
+
+/// High-level operator kinds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Op {
+    /// Activation input (fed by the caller).
+    Input,
+    /// Learned parameter (materialized from a seed).
+    Weight,
+    /// `y = x · W (+ bias)`; inputs: `[x, W]` or `[x, W, b]`.
+    Linear,
+    /// Batched matmul; inputs `[a, b]`, optionally with `b` transposed
+    /// (used for `Q Kᵀ`).
+    BatchMatMul {
+        /// Interpret the second operand as transposed.
+        transpose_b: bool,
+    },
+    /// Row-wise softmax over the last dim, with pre-scale.
+    Softmax {
+        /// Pre-softmax multiplier.
+        scale: f32,
+    },
+    /// Element-wise addition of two same-shaped tensors.
+    Add,
+    /// Element-wise ReLU.
+    Relu,
+    /// Element-wise GELU (tanh approximation).
+    Gelu,
+    /// Layer normalization over the last dim (affine params folded).
+    LayerNorm,
+    /// Multiply by a constant.
+    Scale(f32),
+    /// Pure metadata reshape (e.g. merging/splitting attention heads).
+    Reshape,
+}
+
+impl Op {
+    /// Memory-intensive operators in the paper's taxonomy (candidates for
+    /// classic epilogue fusion, never fusion boundaries themselves).
+    pub fn is_memory_intensive(&self) -> bool {
+        matches!(
+            self,
+            Op::Softmax { .. }
+                | Op::Add
+                | Op::Relu
+                | Op::Gelu
+                | Op::LayerNorm
+                | Op::Scale(_)
+                | Op::Reshape
+        )
+    }
+
+    /// Compute-intensive operators (GEMM family).
+    pub fn is_compute_intensive(&self) -> bool {
+        matches!(self, Op::Linear | Op::BatchMatMul { .. })
+    }
+}
+
+/// A graph node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    /// Display name.
+    pub name: String,
+    /// Operator kind.
+    pub op: Op,
+    /// Producer nodes.
+    pub inputs: Vec<NodeId>,
+    /// Output shape (row-major).
+    pub shape: Vec<u64>,
+}
+
+/// A dataflow graph in topological order (builders only append).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Graph {
+    /// Model name.
+    pub name: String,
+    /// Nodes in topological order.
+    pub nodes: Vec<Node>,
+    /// Graph outputs.
+    pub outputs: Vec<NodeId>,
+    /// Storage precision of activations/weights.
+    pub dtype: DType,
+}
+
+/// Graph construction error.
+#[allow(missing_docs)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    UnknownNode(NodeId),
+    ShapeMismatch { node: String, detail: String },
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::UnknownNode(n) => write!(f, "unknown node {:?}", n),
+            GraphError::ShapeMismatch { node, detail } => {
+                write!(f, "shape mismatch at {node}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl Graph {
+    /// Look up a node.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0]
+    }
+
+    /// Consumers of each node (computed on demand).
+    pub fn consumers(&self) -> Vec<Vec<NodeId>> {
+        let mut out = vec![Vec::new(); self.nodes.len()];
+        for (i, n) in self.nodes.iter().enumerate() {
+            for &inp in &n.inputs {
+                out[inp.0].push(NodeId(i));
+            }
+        }
+        out
+    }
+
+    /// Total matmul FLOPs of the graph (for workload characterization,
+    /// e.g. the paper's "attention is 14 % of FLOPs" analysis).
+    pub fn total_flops(&self) -> f64 {
+        let mut total = 0.0;
+        for n in &self.nodes {
+            match &n.op {
+                Op::Linear => {
+                    let x = self.node(n.inputs[0]);
+                    let k = *x.shape.last().unwrap();
+                    let m: u64 = x.shape.iter().rev().skip(1).product();
+                    let nn = *n.shape.last().unwrap();
+                    total += 2.0 * (m * k * nn) as f64;
+                }
+                Op::BatchMatMul { .. } => {
+                    let a = self.node(n.inputs[0]);
+                    let k = *a.shape.last().unwrap();
+                    let out_elems: u64 = n.shape.iter().product();
+                    total += 2.0 * out_elems as f64 * k as f64;
+                }
+                _ => {}
+            }
+        }
+        total
+    }
+}
+
+/// Incremental graph builder with shape inference.
+#[derive(Debug)]
+pub struct GraphBuilder {
+    graph: Graph,
+}
+
+impl GraphBuilder {
+    /// Start an empty graph.
+    pub fn new(name: impl Into<String>, dtype: DType) -> Self {
+        GraphBuilder {
+            graph: Graph {
+                name: name.into(),
+                nodes: Vec::new(),
+                outputs: Vec::new(),
+                dtype,
+            },
+        }
+    }
+
+    fn push(&mut self, name: String, op: Op, inputs: Vec<NodeId>, shape: Vec<u64>) -> NodeId {
+        self.graph.nodes.push(Node {
+            name,
+            op,
+            inputs,
+            shape,
+        });
+        NodeId(self.graph.nodes.len() - 1)
+    }
+
+    /// Add an activation input.
+    pub fn input(&mut self, name: impl Into<String>, shape: Vec<u64>) -> NodeId {
+        self.push(name.into(), Op::Input, vec![], shape)
+    }
+
+    /// Add a learned weight tensor.
+    pub fn weight(&mut self, name: impl Into<String>, shape: Vec<u64>) -> NodeId {
+        self.push(name.into(), Op::Weight, vec![], shape)
+    }
+
+    /// Dense layer: `x · W (+ b)`; creates the weight (and bias) nodes.
+    pub fn linear(&mut self, name: &str, x: NodeId, out_features: u64, bias: bool) -> NodeId {
+        let in_features = *self.graph.node(x).shape.last().unwrap();
+        let w = self.weight(format!("{name}.w"), vec![in_features, out_features]);
+        let mut inputs = vec![x, w];
+        if bias {
+            let b = self.weight(format!("{name}.b"), vec![out_features]);
+            inputs.push(b);
+        }
+        let mut shape = self.graph.node(x).shape.clone();
+        *shape.last_mut().unwrap() = out_features;
+        self.push(name.to_string(), Op::Linear, inputs, shape)
+    }
+
+    /// Batched matmul `a × b` (or `a × bᵀ`).
+    pub fn batch_matmul(&mut self, name: &str, a: NodeId, b: NodeId, transpose_b: bool) -> NodeId {
+        let sa = self.graph.node(a).shape.clone();
+        let sb = self.graph.node(b).shape.clone();
+        let n = if transpose_b {
+            sb[sb.len() - 2]
+        } else {
+            sb[sb.len() - 1]
+        };
+        let mut shape = sa.clone();
+        *shape.last_mut().unwrap() = n;
+        self.push(
+            name.to_string(),
+            Op::BatchMatMul { transpose_b },
+            vec![a, b],
+            shape,
+        )
+    }
+
+    /// Softmax over the last dim.
+    pub fn softmax(&mut self, name: &str, x: NodeId, scale: f32) -> NodeId {
+        let shape = self.graph.node(x).shape.clone();
+        self.push(name.to_string(), Op::Softmax { scale }, vec![x], shape)
+    }
+
+    /// Element-wise add.
+    pub fn add(&mut self, name: &str, a: NodeId, b: NodeId) -> NodeId {
+        let shape = self.graph.node(a).shape.clone();
+        self.push(name.to_string(), Op::Add, vec![a, b], shape)
+    }
+
+    /// ReLU.
+    pub fn relu(&mut self, name: &str, x: NodeId) -> NodeId {
+        let shape = self.graph.node(x).shape.clone();
+        self.push(name.to_string(), Op::Relu, vec![x], shape)
+    }
+
+    /// GELU.
+    pub fn gelu(&mut self, name: &str, x: NodeId) -> NodeId {
+        let shape = self.graph.node(x).shape.clone();
+        self.push(name.to_string(), Op::Gelu, vec![x], shape)
+    }
+
+    /// LayerNorm over the last dim.
+    pub fn layer_norm(&mut self, name: &str, x: NodeId) -> NodeId {
+        let shape = self.graph.node(x).shape.clone();
+        self.push(name.to_string(), Op::LayerNorm, vec![x], shape)
+    }
+
+    /// Metadata reshape.
+    pub fn reshape(&mut self, name: &str, x: NodeId, shape: Vec<u64>) -> NodeId {
+        let in_elems: u64 = self.graph.node(x).shape.iter().product();
+        let out_elems: u64 = shape.iter().product();
+        assert_eq!(in_elems, out_elems, "reshape must preserve element count");
+        self.push(name.to_string(), Op::Reshape, vec![x], shape)
+    }
+
+    /// Finish, declaring graph outputs.
+    pub fn finish(mut self, outputs: Vec<NodeId>) -> Graph {
+        self.graph.outputs = outputs;
+        self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_infers_shapes() {
+        let mut b = GraphBuilder::new("t", DType::F16);
+        let x = b.input("x", vec![1, 128, 64]);
+        let y = b.linear("fc", x, 256, true);
+        let g = b.finish(vec![y]);
+        assert_eq!(g.node(y).shape, vec![1, 128, 256]);
+        // Linear created weight + bias nodes.
+        assert_eq!(g.nodes.iter().filter(|n| n.op == Op::Weight).count(), 2);
+    }
+
+    #[test]
+    fn batch_matmul_transpose_shapes() {
+        let mut b = GraphBuilder::new("t", DType::F16);
+        let q = b.input("q", vec![8, 128, 64]);
+        let k = b.input("k", vec![8, 128, 64]);
+        let s = b.batch_matmul("qk", q, k, true);
+        let g = b.finish(vec![s]);
+        assert_eq!(g.node(s).shape, vec![8, 128, 128]);
+    }
+
+    #[test]
+    fn consumers_computed() {
+        let mut b = GraphBuilder::new("t", DType::F16);
+        let x = b.input("x", vec![4, 4]);
+        let r = b.relu("r", x);
+        let s = b.gelu("s", x);
+        let g = b.finish(vec![r, s]);
+        let cons = g.consumers();
+        assert_eq!(cons[x.0], vec![r, s]);
+    }
+
+    #[test]
+    fn flops_counts_linear_and_bmm() {
+        let mut b = GraphBuilder::new("t", DType::F16);
+        let x = b.input("x", vec![1, 16, 8]);
+        let y = b.linear("fc", x, 4, false); // 2*16*8*4 = 1024
+        let q = b.input("q", vec![2, 8, 4]);
+        let k = b.input("k", vec![2, 8, 4]);
+        let s = b.batch_matmul("qk", q, k, true); // 2*2*8*8*4 = 1024
+        let g = b.finish(vec![y, s]);
+        assert_eq!(g.total_flops(), 2048.0);
+    }
+
+    #[test]
+    fn op_taxonomy() {
+        assert!(Op::Linear.is_compute_intensive());
+        assert!(Op::BatchMatMul { transpose_b: false }.is_compute_intensive());
+        assert!(Op::Softmax { scale: 1.0 }.is_memory_intensive());
+        assert!(Op::LayerNorm.is_memory_intensive());
+        assert!(!Op::Input.is_compute_intensive());
+        assert!(!Op::Input.is_memory_intensive());
+    }
+
+    #[test]
+    #[should_panic(expected = "reshape must preserve element count")]
+    fn reshape_checks_elements() {
+        let mut b = GraphBuilder::new("t", DType::F16);
+        let x = b.input("x", vec![4, 4]);
+        b.reshape("r", x, vec![5, 5]);
+    }
+}

@@ -1,0 +1,26 @@
+//! # mcfuser-ir — tensor operator graph IR
+//!
+//! The front end of the MCFuser reproduction (the TVM-Relay analogue):
+//!
+//! * [`chain`] — the **MBCI operator chain** abstraction (`ChainSpec`):
+//!   straight-line matmul chains with fused memory-intensive epilogues,
+//!   the unit MCFuser tunes. Includes the paper's memory-bound
+//!   classification test and a CPU reference oracle.
+//! * [`graph`] — a high-level operator graph for end-to-end models
+//!   (BERT/ViT/MLP-Mixer encoders) with shape inference.
+//! * [`partition`] — the MBCI partitioner that carves attention modules
+//!   and memory-bound GEMM chains out of a graph (§V-B).
+//! * [`reference`] — naive CPU evaluation of whole graphs, the numerical
+//!   oracle for the end-to-end compiler.
+
+#![warn(missing_docs)]
+
+pub mod chain;
+pub mod graph;
+pub mod partition;
+pub mod reference;
+
+pub use chain::{apply_epilogue, ChainSpec, Epilogue, AXIS_NAMES};
+pub use graph::{Graph, GraphBuilder, GraphError, Node, NodeId, Op};
+pub use partition::{partition, FusedChain, Partition};
+pub use reference::{evaluate, evaluate_node, gelu, init_weight};

@@ -1,0 +1,300 @@
+//! Graph partitioner: carve MBCI sub-graphs out of an operator graph.
+//!
+//! Mirrors §V-B of the paper: "we employ a partitioner to segment the
+//! model into MBCI sub-graphs and other components". Two patterns are
+//! recognized:
+//!
+//! 1. **Attention**: `BatchMatMul(Q, Kᵀ) → Softmax → BatchMatMul(·, V)`;
+//! 2. **GEMM chains**: `Linear → [elementwise] → Linear` (unbiased), kept
+//!    only when the fused chain is actually *memory bound* on the target
+//!    device — compute-bound chains gain nothing from fusion and are left
+//!    to the per-operator backend (this is the paper's MBCI test doing
+//!    real work: BERT's FFN block is rejected, its attention accepted).
+
+use serde::{Deserialize, Serialize};
+
+use mcfuser_sim::DeviceSpec;
+
+use crate::chain::{ChainSpec, Epilogue};
+use crate::graph::{Graph, NodeId, Op};
+
+/// One fused MBCI sub-graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FusedChain {
+    /// The extracted chain specification handed to the tuner.
+    pub chain: ChainSpec,
+    /// Graph nodes replaced by the fused kernel (compute + epilogues).
+    pub nodes: Vec<NodeId>,
+    /// Data inputs of the fused kernel in chain order: `A, W₀, W₁ …`.
+    pub data_inputs: Vec<NodeId>,
+    /// The node whose value the fused kernel produces.
+    pub output: NodeId,
+    /// Per data input: whether the graph stores it transposed relative to
+    /// the chain layout (e.g. attention's K is `[N, K]` but the chain's
+    /// `W₀` is `[K, N]`).
+    pub transposed_inputs: Vec<bool>,
+}
+
+/// Result of partitioning.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Partition {
+    /// Extracted MBCI sub-graphs.
+    pub chains: Vec<FusedChain>,
+    /// Compute/memory nodes not covered by any chain, in topological
+    /// order (Input/Weight leaves excluded).
+    pub rest: Vec<NodeId>,
+}
+
+/// Partition a graph for a target device.
+pub fn partition(graph: &Graph, dev: &DeviceSpec) -> Partition {
+    let consumers = graph.consumers();
+    let mut in_chain = vec![false; graph.nodes.len()];
+    let mut chains = Vec::new();
+
+    // --- Pattern 1: attention -------------------------------------------
+    for (i, node) in graph.nodes.iter().enumerate() {
+        let Op::Softmax { scale } = node.op else {
+            continue;
+        };
+        let sm = NodeId(i);
+        // Producer: batched QKᵀ with a single consumer (the softmax).
+        let qk = node.inputs[0];
+        let Op::BatchMatMul { transpose_b: true } = graph.node(qk).op else {
+            continue;
+        };
+        if consumers[qk.0].len() != 1 {
+            continue;
+        }
+        // Consumer: P·V.
+        if consumers[sm.0].len() != 1 {
+            continue;
+        }
+        let pv = consumers[sm.0][0];
+        let Op::BatchMatMul { transpose_b: false } = graph.node(pv).op else {
+            continue;
+        };
+        if graph.node(pv).inputs[0] != sm {
+            continue;
+        }
+        let q = graph.node(qk).inputs[0];
+        let k = graph.node(qk).inputs[1];
+        let v = graph.node(pv).inputs[1];
+        let qs = &graph.node(q).shape;
+        let ks = &graph.node(k).shape;
+        let vs = &graph.node(v).shape;
+        let rank = qs.len();
+        let batch: u64 = qs[..rank - 2].iter().product();
+        let chain = ChainSpec {
+            name: format!("{}::{}", graph.name, node.name),
+            batch,
+            m: qs[rank - 2],
+            dims: vec![qs[rank - 1], ks[ks.len() - 2], vs[vs.len() - 1]],
+            epilogues: vec![Epilogue::Softmax { scale }, Epilogue::None],
+            dtype: graph.dtype,
+        };
+        for id in [qk, sm, pv] {
+            in_chain[id.0] = true;
+        }
+        chains.push(FusedChain {
+            chain,
+            nodes: vec![qk, sm, pv],
+            data_inputs: vec![q, k, v],
+            output: pv,
+            transposed_inputs: vec![false, true, false],
+        });
+    }
+
+    // --- Pattern 2: unbiased Linear → [elementwise] → Linear -------------
+    for (i, node) in graph.nodes.iter().enumerate() {
+        if in_chain[i] {
+            continue;
+        }
+        let Op::Linear = node.op else { continue };
+        if node.inputs.len() != 2 {
+            continue; // biased: leave to epilogue-fusion backends
+        }
+        let l2 = NodeId(i);
+        // Walk back through at most one element-wise op.
+        let (mid_epilogue, l1) = match graph.node(node.inputs[0]).op {
+            Op::Relu => {
+                let relu = node.inputs[0];
+                if consumers[relu.0].len() != 1 {
+                    continue;
+                }
+                (Some((relu, Epilogue::Relu)), graph.node(relu).inputs[0])
+            }
+            Op::Scale(f) => {
+                let sc = node.inputs[0];
+                if consumers[sc.0].len() != 1 {
+                    continue;
+                }
+                (Some((sc, Epilogue::Scale(f))), graph.node(sc).inputs[0])
+            }
+            _ => (None, node.inputs[0]),
+        };
+        let Op::Linear = graph.node(l1).op else {
+            continue;
+        };
+        if graph.node(l1).inputs.len() != 2 || in_chain[l1.0] {
+            continue;
+        }
+        if consumers[l1.0].len() != 1 {
+            continue;
+        }
+        let x = graph.node(l1).inputs[0];
+        let w1 = graph.node(l1).inputs[1];
+        let w2 = node.inputs[1];
+        let xs = &graph.node(x).shape;
+        let k = *xs.last().unwrap();
+        let m: u64 = xs[..xs.len() - 1].iter().product();
+        let n = graph.node(w1).shape[1];
+        let h = graph.node(w2).shape[1];
+        let chain = ChainSpec {
+            name: format!("{}::{}", graph.name, node.name),
+            batch: 1,
+            m,
+            dims: vec![k, n, h],
+            epilogues: vec![
+                mid_epilogue.map(|(_, e)| e).unwrap_or(Epilogue::None),
+                Epilogue::None,
+            ],
+            dtype: graph.dtype,
+        };
+        // The MBCI test: only fuse if the chain is memory bound here.
+        if !chain.is_memory_bound(dev) {
+            continue;
+        }
+        let mut nodes = vec![l1];
+        if let Some((mid, _)) = mid_epilogue {
+            nodes.push(mid);
+        }
+        nodes.push(l2);
+        for id in &nodes {
+            in_chain[id.0] = true;
+        }
+        chains.push(FusedChain {
+            chain,
+            nodes,
+            data_inputs: vec![x, w1, w2],
+            output: l2,
+            transposed_inputs: vec![false; 3],
+        });
+    }
+
+    let rest = graph
+        .nodes
+        .iter()
+        .enumerate()
+        .filter(|(i, n)| !in_chain[*i] && !matches!(n.op, Op::Input | Op::Weight))
+        .map(|(i, _)| NodeId(i))
+        .collect();
+
+    Partition { chains, rest }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+    use mcfuser_sim::DType;
+
+    /// A bare attention sub-graph: Q,K,V inputs → QKᵀ → softmax → ·V.
+    fn attention_graph(heads: u64, m: u64, k: u64) -> Graph {
+        let mut gb = GraphBuilder::new("attn", DType::F16);
+        let q = gb.input("q", vec![heads, m, k]);
+        let kk = gb.input("k", vec![heads, m, k]);
+        let v = gb.input("v", vec![heads, m, k]);
+        let s = gb.batch_matmul("qk", q, kk, true);
+        let p = gb.softmax("sm", s, 1.0 / (k as f32).sqrt());
+        let o = gb.batch_matmul("pv", p, v, false);
+        gb.finish(vec![o])
+    }
+
+    #[test]
+    fn attention_is_extracted() {
+        let g = attention_graph(8, 512, 64);
+        let part = partition(&g, &DeviceSpec::a100());
+        assert_eq!(part.chains.len(), 1);
+        let c = &part.chains[0].chain;
+        assert_eq!(c.batch, 8);
+        assert_eq!(c.m, 512);
+        assert_eq!(c.dims, vec![64, 512, 64]);
+        assert!(c.has_softmax());
+        assert!(part.rest.is_empty());
+    }
+
+    #[test]
+    fn mbci_gemm_chain_is_extracted() {
+        let mut gb = GraphBuilder::new("chain", DType::F16);
+        let x = gb.input("x", vec![512, 64]);
+        let y = gb.linear("fc1", x, 256, false);
+        let z = gb.linear("fc2", y, 64, false);
+        let g = gb.finish(vec![z]);
+        let part = partition(&g, &DeviceSpec::a100());
+        assert_eq!(part.chains.len(), 1);
+        let c = &part.chains[0].chain;
+        assert_eq!((c.m, c.dims.clone()), (512, vec![64, 256, 64]));
+        assert!(part.rest.is_empty());
+    }
+
+    #[test]
+    fn compute_bound_chain_is_rejected() {
+        // BERT-style FFN: 768→3072→768 at seq 512 has fat reductions and
+        // is compute bound → the partitioner must leave it alone.
+        let mut gb = GraphBuilder::new("ffn", DType::F16);
+        let x = gb.input("x", vec![512, 768]);
+        let y = gb.linear("fc1", x, 3072, false);
+        let r = gb.relu("act", y);
+        let z = gb.linear("fc2", r, 768, false);
+        let g = gb.finish(vec![z]);
+        let part = partition(&g, &DeviceSpec::a100());
+        assert!(part.chains.is_empty());
+        assert_eq!(part.rest.len(), 3); // fc1, act, fc2
+    }
+
+    #[test]
+    fn relu_between_linears_becomes_epilogue() {
+        let mut gb = GraphBuilder::new("chain", DType::F16);
+        let x = gb.input("x", vec![512, 64]);
+        let y = gb.linear("fc1", x, 256, false);
+        let r = gb.relu("act", y);
+        let z = gb.linear("fc2", r, 64, false);
+        let g = gb.finish(vec![z]);
+        let part = partition(&g, &DeviceSpec::a100());
+        assert_eq!(part.chains.len(), 1);
+        assert_eq!(part.chains[0].chain.epilogues[0], Epilogue::Relu);
+        assert_eq!(part.chains[0].nodes.len(), 3);
+    }
+
+    #[test]
+    fn biased_linears_not_chain_fused() {
+        let mut gb = GraphBuilder::new("chain", DType::F16);
+        let x = gb.input("x", vec![512, 64]);
+        let y = gb.linear("fc1", x, 256, true);
+        let z = gb.linear("fc2", y, 64, true);
+        let g = gb.finish(vec![z]);
+        let part = partition(&g, &DeviceSpec::a100());
+        assert!(part.chains.is_empty());
+    }
+
+    #[test]
+    fn multi_consumer_intermediate_blocks_fusion() {
+        let mut gb = GraphBuilder::new("chain", DType::F16);
+        let x = gb.input("x", vec![512, 64]);
+        let y = gb.linear("fc1", x, 256, false);
+        let z = gb.linear("fc2", y, 64, false);
+        let w = gb.relu("side", y); // second consumer of y
+        let g = gb.finish(vec![z, w]);
+        let part = partition(&g, &DeviceSpec::a100());
+        assert!(part.chains.is_empty());
+    }
+
+    #[test]
+    fn rest_excludes_leaves() {
+        let g = attention_graph(2, 64, 32);
+        let part = partition(&g, &DeviceSpec::a100());
+        for id in &part.rest {
+            assert!(!matches!(g.node(*id).op, Op::Input | Op::Weight));
+        }
+    }
+}

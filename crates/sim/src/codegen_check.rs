@@ -1,0 +1,70 @@
+//! Runtime self-check against a miscompiling toolchain.
+//!
+//! The environment this reproduction was first built in shipped a rustc
+//! whose optimizer folds integer comparisons to the wrong branch in
+//! optimized builds (e.g. `if x <= 16 { x } else { 16 }` returning `x`
+//! for `x = 1024`). Every pruning rule and tile-size computation in this
+//! workspace relies on such comparisons, so the workspace pins
+//! `opt-level = 0` and every bench binary calls [`verify_codegen`] at
+//! startup to fail fast instead of silently producing garbage.
+
+/// The exact pattern observed to miscompile: an `#[inline(never)]` clamp
+/// invoked through an iterator adapter.
+#[inline(never)]
+fn clamp_tile(ext: u64) -> u64 {
+    if ext <= 16 {
+        ext.max(1)
+    } else {
+        16
+    }
+}
+
+/// Check a handful of comparison/branch patterns; returns `Err` with a
+/// description when the compiler produced wrong code.
+pub fn verify_codegen() -> Result<(), String> {
+    let via_map: Vec<u64> = [1024u64, 512, 8].iter().map(|&e| clamp_tile(e)).collect();
+    if via_map != [16, 16, 8] {
+        return Err(format!(
+            "iterator-map clamp miscompiled: got {via_map:?}, expected [16, 16, 8] — \
+             this toolchain breaks optimized integer branches; build with opt-level = 0"
+        ));
+    }
+    let mut via_loop = Vec::new();
+    for &e in &[1024u64, 17, 16, 1] {
+        via_loop.push(if e <= 16 { e } else { 0 });
+    }
+    if via_loop != [0, 0, 16, 1] {
+        return Err(format!("loop compare miscompiled: got {via_loop:?}"));
+    }
+    let div = 1000u64.div_ceil(16);
+    if div != 63 {
+        return Err(format!("div_ceil miscompiled: got {div}"));
+    }
+    Ok(())
+}
+
+/// Panic with a loud message if the toolchain is broken (bench binaries
+/// call this before producing any numbers).
+pub fn assert_codegen_ok() {
+    if let Err(e) = verify_codegen() {
+        panic!("TOOLCHAIN MISCOMPILATION DETECTED: {e}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn current_build_is_sound() {
+        verify_codegen().unwrap();
+    }
+
+    #[test]
+    fn clamp_is_correct_here() {
+        assert_eq!(clamp_tile(1024), 16);
+        assert_eq!(clamp_tile(8), 8);
+        assert_eq!(clamp_tile(16), 16);
+        assert_eq!(clamp_tile(17), 16);
+    }
+}

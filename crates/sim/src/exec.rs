@@ -1,0 +1,938 @@
+//! Functional execution of [`TileProgram`]s.
+//!
+//! The interpreter runs a virtual kernel *for value*: every thread block is
+//! executed tile-by-tile against host `f32` buffers, with loads/stores
+//! quantizing through the declared storage precision. This is how the test
+//! suite proves that a fused schedule found by MCFuser computes the same
+//! function as the unfused reference — the property the real system gets
+//! from Triton's code generator being correct.
+//!
+//! Blocks are executed sequentially in grid order. Grid dimensions bind
+//! only spatial loops (each block writes a disjoint output region), so
+//! sequential execution is observationally equivalent to any parallel
+//! interleaving.
+
+use crate::dtype::DType;
+use crate::kernel::{BlockStmt, BufferRole, ProgramError, SmemId, TileAccess, TileProgram, VarRef};
+
+/// A host-side tensor backing a global buffer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostTensor {
+    /// Row-major shape.
+    pub shape: Vec<u64>,
+    /// Dense f32 payload.
+    pub data: Vec<f32>,
+}
+
+impl HostTensor {
+    /// Allocate a zero-filled tensor.
+    pub fn zeros(shape: &[u64]) -> Self {
+        let len = shape.iter().product::<u64>() as usize;
+        HostTensor {
+            shape: shape.to_vec(),
+            data: vec![0.0; len],
+        }
+    }
+
+    /// Build a tensor from explicit data (lengths must agree).
+    pub fn from_vec(shape: &[u64], data: Vec<f32>) -> Self {
+        assert_eq!(
+            shape.iter().product::<u64>() as usize,
+            data.len(),
+            "shape/data length mismatch"
+        );
+        HostTensor {
+            shape: shape.to_vec(),
+            data,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Row-major strides.
+    fn strides(&self) -> Vec<u64> {
+        let mut s = vec![1u64; self.shape.len()];
+        for i in (0..self.shape.len().saturating_sub(1)).rev() {
+            s[i] = s[i + 1] * self.shape[i + 1];
+        }
+        s
+    }
+
+    /// Maximum absolute difference against another tensor.
+    pub fn max_abs_diff(&self, other: &HostTensor) -> f32 {
+        assert_eq!(self.shape, other.shape);
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+
+    /// Transpose the trailing two dimensions (batch-wise matrix
+    /// transpose). Used when a chain consumes a tensor stored in the
+    /// opposite layout (e.g. attention's `Kᵀ`).
+    pub fn transpose_last2(&self) -> HostTensor {
+        let rank = self.shape.len();
+        assert!(rank >= 2, "need at least a matrix");
+        let (r, c) = (self.shape[rank - 2] as usize, self.shape[rank - 1] as usize);
+        let batch: usize = self.shape[..rank - 2].iter().product::<u64>() as usize;
+        let mut shape = self.shape.clone();
+        shape.swap(rank - 2, rank - 1);
+        let mut data = vec![0.0f32; self.data.len()];
+        for b in 0..batch {
+            let base = b * r * c;
+            for i in 0..r {
+                for j in 0..c {
+                    data[base + j * r + i] = self.data[base + i * c + j];
+                }
+            }
+        }
+        HostTensor { shape, data }
+    }
+
+    /// Relative L2 error against a reference tensor.
+    pub fn rel_l2_error(&self, reference: &HostTensor) -> f32 {
+        assert_eq!(self.shape, reference.shape);
+        let mut num = 0.0f64;
+        let mut den = 0.0f64;
+        for (a, r) in self.data.iter().zip(&reference.data) {
+            num += ((a - r) as f64).powi(2);
+            den += (*r as f64).powi(2);
+        }
+        if den == 0.0 {
+            return num.sqrt() as f32;
+        }
+        (num / den).sqrt() as f32
+    }
+}
+
+/// Storage for every global buffer of a program, indexed by `BufId`.
+#[derive(Debug, Clone)]
+pub struct TensorStorage {
+    /// One tensor per program buffer, index-aligned with `BufId`.
+    pub tensors: Vec<HostTensor>,
+}
+
+impl TensorStorage {
+    /// Allocate storage matching a program's buffer declarations
+    /// (all zero; fill inputs afterwards).
+    pub fn for_program(p: &TileProgram) -> Self {
+        TensorStorage {
+            tensors: p
+                .buffers
+                .iter()
+                .map(|b| HostTensor::zeros(&b.shape))
+                .collect(),
+        }
+    }
+
+    /// Zero every output/temp buffer (so a storage can be re-used across
+    /// kernel invocations without stale results).
+    pub fn clear_outputs(&mut self, p: &TileProgram) {
+        for (t, decl) in self.tensors.iter_mut().zip(&p.buffers) {
+            if decl.role != BufferRole::Input {
+                t.data.fill(0.0);
+            }
+        }
+    }
+}
+
+/// Execution failure.
+#[derive(Debug)]
+pub enum ExecError {
+    /// Program failed structural validation first.
+    Invalid(ProgramError),
+    /// Storage buffer count/shape does not match declarations.
+    StorageMismatch(String),
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::Invalid(e) => write!(f, "invalid program: {e}"),
+            ExecError::StorageMismatch(m) => write!(f, "storage mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<ProgramError> for ExecError {
+    fn from(e: ProgramError) -> Self {
+        ExecError::Invalid(e)
+    }
+}
+
+/// Per-block shared-memory arena.
+struct Smem {
+    bufs: Vec<Vec<f32>>,
+    rows: Vec<u64>,
+    cols: Vec<u64>,
+}
+
+impl Smem {
+    fn for_program(p: &TileProgram) -> Self {
+        let mut bufs = Vec::with_capacity(p.smem.len());
+        let mut rows = Vec::with_capacity(p.smem.len());
+        let mut cols = Vec::with_capacity(p.smem.len());
+        for d in &p.smem {
+            bufs.push(vec![0.0f32; d.elems() as usize]);
+            rows.push(d.rows);
+            cols.push(d.cols);
+        }
+        Smem { bufs, rows, cols }
+    }
+}
+
+/// Execute a program against `storage`. Inputs must be pre-filled; outputs
+/// and temps are written in place.
+pub fn execute(p: &TileProgram, storage: &mut TensorStorage) -> Result<(), ExecError> {
+    p.validate()?;
+    if storage.tensors.len() != p.buffers.len() {
+        return Err(ExecError::StorageMismatch(format!(
+            "{} tensors for {} buffers",
+            storage.tensors.len(),
+            p.buffers.len()
+        )));
+    }
+    for (t, d) in storage.tensors.iter().zip(&p.buffers) {
+        if t.shape != d.shape {
+            return Err(ExecError::StorageMismatch(format!(
+                "buffer {} declared {:?} but storage has {:?}",
+                d.name, d.shape, t.shape
+            )));
+        }
+    }
+
+    let mut smem = Smem::for_program(p);
+    let grid = if p.grid.is_empty() {
+        vec![1]
+    } else {
+        p.grid.clone()
+    };
+    let nblocks: u64 = grid.iter().product();
+    let mut block_idx = vec![0u64; grid.len()];
+    // Loop-variable environment: handles are small dense indices.
+    let max_handle = max_loop_handle(&p.body) + 1;
+    let mut env = vec![0u64; max_handle];
+
+    for flat in 0..nblocks {
+        // Decompose the flat block id into grid coordinates (row-major).
+        let mut rem = flat;
+        for i in (0..grid.len()).rev() {
+            block_idx[i] = rem % grid[i];
+            rem /= grid[i];
+        }
+        run_stmts(p, &p.body, &block_idx, &mut env, &mut smem, storage);
+    }
+    Ok(())
+}
+
+fn max_loop_handle(stmts: &[BlockStmt]) -> usize {
+    let mut m = 0;
+    for s in stmts {
+        if let BlockStmt::Loop { handle, body, .. } = s {
+            m = m.max(handle.0).max(max_loop_handle(body));
+        }
+    }
+    m
+}
+
+fn resolve(var: VarRef, block_idx: &[u64], env: &[u64]) -> u64 {
+    match var {
+        VarRef::Grid(i) => block_idx[i],
+        VarRef::Loop(h) => env[h.0],
+        VarRef::Zero => 0,
+    }
+}
+
+/// Compute the global element origin of a tile access.
+fn tile_origin(acc: &TileAccess, block_idx: &[u64], env: &[u64]) -> Vec<u64> {
+    acc.indices
+        .iter()
+        .map(|ix| resolve(ix.var, block_idx, env) * ix.tile)
+        .collect()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_stmts(
+    p: &TileProgram,
+    stmts: &[BlockStmt],
+    block_idx: &[u64],
+    env: &mut Vec<u64>,
+    smem: &mut Smem,
+    storage: &mut TensorStorage,
+) {
+    for s in stmts {
+        match s {
+            BlockStmt::Loop {
+                handle,
+                extent,
+                body,
+            } => {
+                for i in 0..*extent {
+                    env[handle.0] = i;
+                    run_stmts(p, body, block_idx, env, smem, storage);
+                }
+                env[handle.0] = 0;
+            }
+            BlockStmt::Load { src, dst } => {
+                let origin = tile_origin(src, block_idx, env);
+                let (rows, cols) = (smem.rows[dst.0], smem.cols[dst.0]);
+                let dt = p.smem[dst.0].dtype;
+                load_tile(
+                    &storage.tensors[src.buf.0],
+                    &origin,
+                    rows,
+                    cols,
+                    dt,
+                    &mut smem.bufs[dst.0],
+                );
+            }
+            BlockStmt::Store { dst, src } => {
+                let origin = tile_origin(dst, block_idx, env);
+                let (rows, cols) = (smem.rows[src.0], smem.cols[src.0]);
+                let dt = p.buffers[dst.buf.0].dtype;
+                store_tile(
+                    &smem.bufs[src.0],
+                    rows,
+                    cols,
+                    dt,
+                    &mut storage.tensors[dst.buf.0],
+                    &origin,
+                );
+            }
+            BlockStmt::Fill { dst, value } => smem.bufs[dst.0].fill(*value),
+            BlockStmt::Gemm {
+                a,
+                b,
+                acc,
+                b_transposed,
+            } => {
+                gemm_tiles(smem, *a, *b, *acc, *b_transposed);
+            }
+            BlockStmt::OnlineSoftmax {
+                scores,
+                row_max,
+                row_sum,
+                rescale,
+                scale,
+            } => {
+                online_softmax(smem, *scores, *row_max, *row_sum, rescale, *scale);
+            }
+            BlockStmt::RowDiv { target, denom } => {
+                let cols = smem.cols[target.0] as usize;
+                let rows = smem.rows[target.0] as usize;
+                // Split-borrow via pointer copy of the denominator column.
+                let denom_col: Vec<f32> = (0..rows)
+                    .map(|r| smem.bufs[denom.0][r * smem.cols[denom.0] as usize])
+                    .collect();
+                let t = &mut smem.bufs[target.0];
+                for r in 0..rows {
+                    let d = denom_col[r];
+                    if d != 0.0 {
+                        for c in 0..cols {
+                            t[r * cols + c] /= d;
+                        }
+                    }
+                }
+            }
+            BlockStmt::Relu { target } => {
+                for v in smem.bufs[target.0].iter_mut() {
+                    *v = v.max(0.0);
+                }
+            }
+            BlockStmt::Scale { target, factor } => {
+                for v in smem.bufs[target.0].iter_mut() {
+                    *v *= factor;
+                }
+            }
+            BlockStmt::Exp { target } => {
+                for v in smem.bufs[target.0].iter_mut() {
+                    *v = v.exp();
+                }
+            }
+            BlockStmt::AddBias { target, bias } => {
+                let cols = smem.cols[target.0] as usize;
+                let rows = smem.rows[target.0] as usize;
+                let bias_row: Vec<f32> = smem.bufs[bias.0][..cols].to_vec();
+                let t = &mut smem.bufs[target.0];
+                for r in 0..rows {
+                    for c in 0..cols {
+                        t[r * cols + c] += bias_row[c];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Copy a (possibly clipped) `rows × cols` region at `origin` into a dense
+/// tile, zero-padding out-of-bounds elements, quantizing to `dt`.
+fn load_tile(src: &HostTensor, origin: &[u64], rows: u64, cols: u64, dt: DType, dst: &mut [f32]) {
+    let strides = src.strides();
+    let rank = src.shape.len();
+    // Base offset from leading (slice-selecting) dims.
+    let tiled_dims = rank.min(2);
+    let lead = rank - tiled_dims;
+    let mut base = 0u64;
+    let mut in_bounds = true;
+    for d in 0..lead {
+        if origin[d] >= src.shape[d] {
+            in_bounds = false;
+        }
+        base += origin[d] * strides[d];
+    }
+    if !in_bounds {
+        dst.fill(0.0);
+        return;
+    }
+    if tiled_dims == 1 {
+        // Rank-1: a single row of `cols` elements; `rows` must be 1-like.
+        let o = origin[rank - 1];
+        for c in 0..cols {
+            let idx = o + c;
+            let v = if idx < src.shape[rank - 1] {
+                src.data[(base + idx) as usize]
+            } else {
+                0.0
+            };
+            dst[c as usize] = dt.quantize(v);
+        }
+        for r in 1..rows {
+            let (lo, hi) = ((r * cols) as usize, ((r + 1) * cols) as usize);
+            dst.copy_within(0..cols as usize, lo);
+            let _ = hi;
+        }
+        return;
+    }
+    let (ro, co) = (origin[rank - 2], origin[rank - 1]);
+    let (rdim, cdim) = (src.shape[rank - 2], src.shape[rank - 1]);
+    let rstride = strides[rank - 2];
+    for r in 0..rows {
+        let gr = ro + r;
+        let out_row = (r * cols) as usize;
+        if gr >= rdim {
+            dst[out_row..out_row + cols as usize].fill(0.0);
+            continue;
+        }
+        let row_base = base + gr * rstride;
+        for c in 0..cols {
+            let gc = co + c;
+            let v = if gc < cdim {
+                src.data[(row_base + gc) as usize]
+            } else {
+                0.0
+            };
+            dst[out_row + c as usize] = dt.quantize(v);
+        }
+    }
+}
+
+/// Write a dense tile back to global memory, clipping at tensor bounds and
+/// quantizing to the destination precision.
+fn store_tile(src: &[f32], rows: u64, cols: u64, dt: DType, dst: &mut HostTensor, origin: &[u64]) {
+    let strides = dst.strides();
+    let rank = dst.shape.len();
+    let tiled_dims = rank.min(2);
+    let lead = rank - tiled_dims;
+    let mut base = 0u64;
+    for d in 0..lead {
+        if origin[d] >= dst.shape[d] {
+            return;
+        }
+        base += origin[d] * strides[d];
+    }
+    if tiled_dims == 1 {
+        let o = origin[rank - 1];
+        for c in 0..cols {
+            let idx = o + c;
+            if idx < dst.shape[rank - 1] {
+                dst.data[(base + idx) as usize] = dt.quantize(src[c as usize]);
+            }
+        }
+        return;
+    }
+    let (ro, co) = (origin[rank - 2], origin[rank - 1]);
+    let (rdim, cdim) = (dst.shape[rank - 2], dst.shape[rank - 1]);
+    let rstride = strides[rank - 2];
+    for r in 0..rows {
+        let gr = ro + r;
+        if gr >= rdim {
+            break;
+        }
+        let row_base = base + gr * rstride;
+        for c in 0..cols {
+            let gc = co + c;
+            if gc < cdim {
+                dst.data[(row_base + gc) as usize] = dt.quantize(src[(r * cols + c) as usize]);
+            }
+        }
+    }
+}
+
+/// `acc += a × b` on dense tiles (f32 accumulate, mirroring tensor cores).
+fn gemm_tiles(smem: &mut Smem, a: SmemId, b: SmemId, acc: SmemId, b_transposed: bool) {
+    let (m, k) = (smem.rows[a.0] as usize, smem.cols[a.0] as usize);
+    let n = smem.cols[acc.0] as usize;
+    debug_assert_eq!(smem.rows[acc.0] as usize, m);
+    // Borrow juggling: copy nothing — index via raw splits.
+    // a, b, acc are guaranteed distinct by lowering; fall back to clone if
+    // aliased (never happens in practice, but keep the interpreter total).
+    if a.0 == acc.0 || b.0 == acc.0 {
+        let av = smem.bufs[a.0].clone();
+        let bv = smem.bufs[b.0].clone();
+        let accv = &mut smem.bufs[acc.0];
+        gemm_inner(&av, &bv, accv, m, n, k, b_transposed);
+        return;
+    }
+    let (av, bv, accv) = {
+        // Safe disjoint borrows via split_at_mut over the arena.
+        let bufs = &mut smem.bufs;
+        let a_ptr = bufs[a.0].as_ptr();
+        let b_ptr = bufs[b.0].as_ptr();
+        let a_len = bufs[a.0].len();
+        let b_len = bufs[b.0].len();
+        let acc_slice: *mut [f32] = bufs[acc.0].as_mut_slice();
+        // SAFETY: a, b, acc are distinct vector allocations (checked above),
+        // so the immutable views of `a`/`b` cannot alias `acc`.
+        unsafe {
+            (
+                std::slice::from_raw_parts(a_ptr, a_len),
+                std::slice::from_raw_parts(b_ptr, b_len),
+                &mut *acc_slice,
+            )
+        }
+    };
+    gemm_inner(av, bv, accv, m, n, k, b_transposed);
+}
+
+#[inline]
+fn gemm_inner(
+    a: &[f32],
+    b: &[f32],
+    acc: &mut [f32],
+    m: usize,
+    n: usize,
+    k: usize,
+    b_transposed: bool,
+) {
+    if b_transposed {
+        // b is n×k.
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0.0f32;
+                let arow = &a[i * k..(i + 1) * k];
+                let brow = &b[j * k..(j + 1) * k];
+                for kk in 0..k {
+                    s += arow[kk] * brow[kk];
+                }
+                acc[i * n + j] += s;
+            }
+        }
+    } else {
+        // b is k×n; loop order i-k-j for cache friendliness.
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            let crow = &mut acc[i * n..(i + 1) * n];
+            for (kk, &aval) in arow.iter().enumerate() {
+                if aval == 0.0 {
+                    continue;
+                }
+                let brow = &b[kk * n..(kk + 1) * n];
+                for j in 0..n {
+                    crow[j] += aval * brow[j];
+                }
+            }
+        }
+    }
+}
+
+/// Streaming (FlashAttention-style) softmax update.
+fn online_softmax(
+    smem: &mut Smem,
+    scores: SmemId,
+    row_max: SmemId,
+    row_sum: SmemId,
+    rescale: &[SmemId],
+    scale: f32,
+) {
+    let rows = smem.rows[scores.0] as usize;
+    let cols = smem.cols[scores.0] as usize;
+    let mut alphas = vec![1.0f32; rows];
+    {
+        // Per-row: new max, rescale factor, probability materialization.
+        let max_cols = smem.cols[row_max.0] as usize;
+        let sum_cols = smem.cols[row_sum.0] as usize;
+        for r in 0..rows {
+            let m_old = smem.bufs[row_max.0][r * max_cols];
+            let mut m_tile = f32::NEG_INFINITY;
+            for c in 0..cols {
+                m_tile = m_tile.max(scale * smem.bufs[scores.0][r * cols + c]);
+            }
+            let m_new = m_old.max(m_tile);
+            let alpha = if m_old == f32::NEG_INFINITY {
+                0.0
+            } else {
+                (m_old - m_new).exp()
+            };
+            let mut tile_sum = 0.0f32;
+            for c in 0..cols {
+                let p = (scale * smem.bufs[scores.0][r * cols + c] - m_new).exp();
+                smem.bufs[scores.0][r * cols + c] = p;
+                tile_sum += p;
+            }
+            let s_old = smem.bufs[row_sum.0][r * sum_cols];
+            smem.bufs[row_sum.0][r * sum_cols] = s_old * alpha + tile_sum;
+            smem.bufs[row_max.0][r * max_cols] = m_new;
+            alphas[r] = alpha;
+        }
+    }
+    for id in rescale {
+        let c = smem.cols[id.0] as usize;
+        let rrows = smem.rows[id.0] as usize;
+        let buf = &mut smem.bufs[id.0];
+        for (r, &alpha) in alphas.iter().enumerate().take(rrows) {
+            if alpha != 1.0 {
+                for v in &mut buf[r * c..(r + 1) * c] {
+                    *v *= alpha;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{BlockStmt, BufferRole, ProgramBuilder, TileAccess, TileIndex};
+    use rand::{Rng, SeedableRng};
+
+    /// Naive reference matmul for oracle checks.
+    fn ref_matmul(a: &HostTensor, b: &HostTensor) -> HostTensor {
+        let (m, k) = (a.shape[0] as usize, a.shape[1] as usize);
+        let n = b.shape[1] as usize;
+        let mut out = HostTensor::zeros(&[m as u64, n as u64]);
+        for i in 0..m {
+            for kk in 0..k {
+                let av = a.data[i * k + kk];
+                for j in 0..n {
+                    out.data[i * n + j] += av * b.data[kk * n + j];
+                }
+            }
+        }
+        out
+    }
+
+    fn rand_tensor(shape: &[u64], seed: u64) -> HostTensor {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let len = shape.iter().product::<u64>() as usize;
+        HostTensor::from_vec(shape, (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect())
+    }
+
+    /// Build a tiled matmul kernel: grid over (m, n) tiles, loop over k.
+    fn matmul_program(m: u64, n: u64, k: u64, tm: u64, tn: u64, tk: u64) -> TileProgram {
+        let mut b = ProgramBuilder::new("mm", DType::F32);
+        let a_buf = b.buffer("A", vec![m, k], DType::F32, BufferRole::Input);
+        let b_buf = b.buffer("B", vec![k, n], DType::F32, BufferRole::Input);
+        let c_buf = b.buffer("C", vec![m, n], DType::F32, BufferRole::Output);
+        let sa = b.smem("sA", tm, tk, DType::F32);
+        let sb = b.smem("sB", tk, tn, DType::F32);
+        let sc = b.smem("sC", tm, tn, DType::F32);
+        let gm = b.grid_dim(crate::kernel::ceil_div(m, tm));
+        let gn = b.grid_dim(crate::kernel::ceil_div(n, tn));
+        let kl = b.fresh_loop();
+        let body = vec![
+            BlockStmt::Fill {
+                dst: sc,
+                value: 0.0,
+            },
+            BlockStmt::Loop {
+                handle: kl,
+                extent: crate::kernel::ceil_div(k, tk),
+                body: vec![
+                    BlockStmt::Load {
+                        src: TileAccess {
+                            buf: a_buf,
+                            indices: vec![
+                                TileIndex { var: gm, tile: tm },
+                                TileIndex {
+                                    var: VarRef::Loop(kl),
+                                    tile: tk,
+                                },
+                            ],
+                        },
+                        dst: sa,
+                    },
+                    BlockStmt::Load {
+                        src: TileAccess {
+                            buf: b_buf,
+                            indices: vec![
+                                TileIndex {
+                                    var: VarRef::Loop(kl),
+                                    tile: tk,
+                                },
+                                TileIndex { var: gn, tile: tn },
+                            ],
+                        },
+                        dst: sb,
+                    },
+                    BlockStmt::Gemm {
+                        a: sa,
+                        b: sb,
+                        acc: sc,
+                        b_transposed: false,
+                    },
+                ],
+            },
+            BlockStmt::Store {
+                dst: TileAccess {
+                    buf: c_buf,
+                    indices: vec![
+                        TileIndex { var: gm, tile: tm },
+                        TileIndex { var: gn, tile: tn },
+                    ],
+                },
+                src: sc,
+            },
+        ];
+        b.finish(body)
+    }
+
+    #[test]
+    fn tiled_matmul_matches_reference() {
+        let (m, n, k) = (64, 48, 32);
+        let p = matmul_program(m, n, k, 16, 16, 16);
+        let mut st = TensorStorage::for_program(&p);
+        st.tensors[0] = rand_tensor(&[m, k], 1);
+        st.tensors[1] = rand_tensor(&[k, n], 2);
+        execute(&p, &mut st).unwrap();
+        let expect = ref_matmul(&st.tensors[0], &st.tensors[1]);
+        assert!(st.tensors[2].rel_l2_error(&expect) < 1e-5);
+    }
+
+    #[test]
+    fn partial_tiles_are_zero_padded() {
+        // Dimensions that do NOT divide evenly by the tile sizes.
+        let (m, n, k) = (50, 34, 21);
+        let p = matmul_program(m, n, k, 16, 16, 16);
+        let mut st = TensorStorage::for_program(&p);
+        st.tensors[0] = rand_tensor(&[m, k], 3);
+        st.tensors[1] = rand_tensor(&[k, n], 4);
+        execute(&p, &mut st).unwrap();
+        let expect = ref_matmul(&st.tensors[0], &st.tensors[1]);
+        assert!(st.tensors[2].rel_l2_error(&expect) < 1e-5);
+    }
+
+    #[test]
+    fn f16_storage_quantizes_loads() {
+        let (m, n, k) = (16, 16, 16);
+        let mut p = matmul_program(m, n, k, 16, 16, 16);
+        // Make the A tile f16 in shared memory.
+        p.smem[0].dtype = DType::F16;
+        let mut st = TensorStorage::for_program(&p);
+        let mut a = HostTensor::zeros(&[m, k]);
+        a.data[0] = 1.0 + 2f32.powi(-13); // not representable in f16
+        st.tensors[0] = a;
+        let mut bmat = HostTensor::zeros(&[k, n]);
+        bmat.data[0] = 1.0; // B[0,0]
+        st.tensors[1] = bmat;
+        execute(&p, &mut st).unwrap();
+        // C[0,0] = quantized(A[0,0]) * 1.0 = 1.0 exactly.
+        assert_eq!(st.tensors[2].data[0], 1.0);
+    }
+
+    #[test]
+    fn online_softmax_matches_two_pass() {
+        // One row of 8 scores processed as two tiles of 4 must equal the
+        // direct softmax.
+        let rows = 2usize;
+        let cols = 4usize;
+        let mut smem = Smem {
+            bufs: vec![
+                vec![0.0; rows * cols],        // scores
+                vec![f32::NEG_INFINITY; rows], // row max
+                vec![0.0; rows],               // row sum
+                vec![0.0; rows * 3],           // acc to rescale
+            ],
+            rows: vec![rows as u64, rows as u64, rows as u64, rows as u64],
+            cols: vec![cols as u64, 1, 1, 3],
+        };
+        let all: Vec<f32> = (0..rows * 8)
+            .map(|i| (i as f32 * 0.37).sin() * 3.0)
+            .collect();
+        let mut acc_contrib = vec![0.0f32; rows];
+        for tile in 0..2 {
+            for r in 0..rows {
+                for c in 0..cols {
+                    smem.bufs[0][r * cols + c] = all[r * 8 + tile * cols + c];
+                }
+            }
+            online_softmax(
+                &mut smem,
+                SmemId(0),
+                SmemId(1),
+                SmemId(2),
+                &[SmemId(3)],
+                1.0,
+            );
+            // Accumulate "P @ ones" per row to test downstream consistency.
+            for r in 0..rows {
+                let alpha_applied: f32 = smem.bufs[0][r * cols..(r + 1) * cols].iter().sum();
+                acc_contrib[r] += alpha_applied; // acc rescale tested via bufs[3]
+            }
+        }
+        // After both tiles: row_sum must equal sum of exp(x - max) over all 8.
+        for r in 0..rows {
+            let row = &all[r * 8..(r + 1) * 8];
+            let mx = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let expect: f32 = row.iter().map(|v| (v - mx).exp()).sum();
+            let got = smem.bufs[2][r];
+            assert!((got - expect).abs() < 1e-4, "row {r}: {got} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn storage_mismatch_rejected() {
+        let p = matmul_program(16, 16, 16, 16, 16, 16);
+        let mut st = TensorStorage::for_program(&p);
+        st.tensors.pop();
+        assert!(matches!(
+            execute(&p, &mut st),
+            Err(ExecError::StorageMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn clear_outputs_preserves_inputs() {
+        let p = matmul_program(16, 16, 16, 16, 16, 16);
+        let mut st = TensorStorage::for_program(&p);
+        st.tensors[0].data[0] = 5.0;
+        st.tensors[2].data[0] = 7.0;
+        st.clear_outputs(&p);
+        assert_eq!(st.tensors[0].data[0], 5.0);
+        assert_eq!(st.tensors[2].data[0], 0.0);
+    }
+
+    #[test]
+    fn rank3_batched_access() {
+        // Batched copy kernel: out[b] = in[b] for 2 batches of 4x4, via a
+        // grid dim selecting the batch.
+        let mut b = ProgramBuilder::new("copy", DType::F32);
+        let src = b.buffer("in", vec![2, 4, 4], DType::F32, BufferRole::Input);
+        let dst = b.buffer("out", vec![2, 4, 4], DType::F32, BufferRole::Output);
+        let tile = b.smem("t", 4, 4, DType::F32);
+        let gb = b.grid_dim(2);
+        let body = vec![
+            BlockStmt::Load {
+                src: TileAccess {
+                    buf: src,
+                    indices: vec![
+                        TileIndex { var: gb, tile: 1 },
+                        TileIndex {
+                            var: VarRef::Zero,
+                            tile: 4,
+                        },
+                        TileIndex {
+                            var: VarRef::Zero,
+                            tile: 4,
+                        },
+                    ],
+                },
+                dst: tile,
+            },
+            BlockStmt::Store {
+                dst: TileAccess {
+                    buf: dst,
+                    indices: vec![
+                        TileIndex { var: gb, tile: 1 },
+                        TileIndex {
+                            var: VarRef::Zero,
+                            tile: 4,
+                        },
+                        TileIndex {
+                            var: VarRef::Zero,
+                            tile: 4,
+                        },
+                    ],
+                },
+                src: tile,
+            },
+        ];
+        let p = b.finish(body);
+        let mut st = TensorStorage::for_program(&p);
+        st.tensors[0] = rand_tensor(&[2, 4, 4], 9);
+        execute(&p, &mut st).unwrap();
+        assert_eq!(st.tensors[1].data, st.tensors[0].data);
+    }
+
+    #[test]
+    fn gemm_b_transposed() {
+        // C = A × Bᵀ with B stored n×k.
+        let mut bld = ProgramBuilder::new("mmT", DType::F32);
+        let a_buf = bld.buffer("A", vec![8, 4], DType::F32, BufferRole::Input);
+        let b_buf = bld.buffer("B", vec![8, 4], DType::F32, BufferRole::Input);
+        let c_buf = bld.buffer("C", vec![8, 8], DType::F32, BufferRole::Output);
+        let sa = bld.smem("sA", 8, 4, DType::F32);
+        let sb = bld.smem("sB", 8, 4, DType::F32);
+        let sc = bld.smem("sC", 8, 8, DType::F32);
+        let z = VarRef::Zero;
+        let body = vec![
+            BlockStmt::Fill {
+                dst: sc,
+                value: 0.0,
+            },
+            BlockStmt::Load {
+                src: TileAccess {
+                    buf: a_buf,
+                    indices: vec![TileIndex { var: z, tile: 8 }, TileIndex { var: z, tile: 4 }],
+                },
+                dst: sa,
+            },
+            BlockStmt::Load {
+                src: TileAccess {
+                    buf: b_buf,
+                    indices: vec![TileIndex { var: z, tile: 8 }, TileIndex { var: z, tile: 4 }],
+                },
+                dst: sb,
+            },
+            BlockStmt::Gemm {
+                a: sa,
+                b: sb,
+                acc: sc,
+                b_transposed: true,
+            },
+            BlockStmt::Store {
+                dst: TileAccess {
+                    buf: c_buf,
+                    indices: vec![TileIndex { var: z, tile: 8 }, TileIndex { var: z, tile: 8 }],
+                },
+                src: sc,
+            },
+        ];
+        let p = bld.finish(body);
+        let mut st = TensorStorage::for_program(&p);
+        st.tensors[0] = rand_tensor(&[8, 4], 11);
+        st.tensors[1] = rand_tensor(&[8, 4], 12);
+        execute(&p, &mut st).unwrap();
+        // Reference: C[i][j] = Σ_k A[i][k] * B[j][k].
+        for i in 0..8 {
+            for j in 0..8 {
+                let mut s = 0.0;
+                for kk in 0..4 {
+                    s += st.tensors[0].data[i * 4 + kk] * st.tensors[1].data[j * 4 + kk];
+                }
+                let got = st.tensors[2].data[i * 8 + j];
+                assert!((got - s).abs() < 1e-5);
+            }
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Deterministic measurement jitter.
+//!
+//! Real kernel timings fluctuate a few percent between runs (clock
+//! boosting, DVFS, scheduling). The tuning algorithms in the paper are
+//! designed around this — e.g. Algorithm 1's convergence threshold ε exists
+//! because two measurements of the same candidate differ. We reproduce the
+//! effect *deterministically*: the jitter is a pure function of
+//! `(seed, kernel identity)`, so experiments are reproducible bit-for-bit
+//! while scatter plots still look like hardware data.
+
+/// Relative noise amplitude (±3 %).
+pub const NOISE_AMPLITUDE: f64 = 0.03;
+
+/// SplitMix64 — a tiny, high-quality mixing function.
+#[inline]
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A multiplicative noise factor in `[1-A, 1+A]`, deterministic in its
+/// inputs.
+pub fn noise_factor(seed: u64, kernel_hash: u64) -> f64 {
+    let h = splitmix64(seed ^ splitmix64(kernel_hash));
+    // Map to [0,1) with 53-bit precision.
+    let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+    1.0 + NOISE_AMPLITUDE * (2.0 * u - 1.0)
+}
+
+/// A deterministic uniform sample in `[0,1)` (used for scatter dithering).
+pub fn unit_sample(seed: u64, salt: u64) -> f64 {
+    let h = splitmix64(seed ^ splitmix64(salt));
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factor_in_range() {
+        for s in 0..2000u64 {
+            let f = noise_factor(s, s.wrapping_mul(7919));
+            assert!((1.0 - NOISE_AMPLITUDE..=1.0 + NOISE_AMPLITUDE).contains(&f));
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(noise_factor(1, 2), noise_factor(1, 2));
+        assert_ne!(noise_factor(1, 2), noise_factor(1, 3));
+    }
+
+    #[test]
+    fn mean_is_near_one() {
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|i| noise_factor(i, 0xDEAD_BEEF)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0).abs() < 0.002, "mean {mean}");
+    }
+
+    #[test]
+    fn unit_sample_in_unit_interval() {
+        for s in 0..100 {
+            let u = unit_sample(s, 13);
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+}

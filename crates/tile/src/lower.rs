@@ -1,0 +1,635 @@
+//! Lowering: schedule candidate → executable [`TileProgram`].
+//!
+//! This is the reproduction's stand-in for the paper's TIR → TritonIR →
+//! PTX pipeline (§V-A). MCFuser is an *inter-tile* optimizer; intra-tile
+//! policies (double buffering, bank-conflict padding, accumulator
+//! precision) are applied here deterministically, playing the role of
+//! Triton's automatic intra-tile optimizations. The difference between
+//! Eq. 1's coarse estimate and what this module actually allocates is the
+//! scatter of the paper's Fig. 10.
+//!
+//! Lowering enforces the legality conditions the search space is pruned
+//! by:
+//!
+//! * consumers may not sit inside their producer's reduction loop
+//!   (partial-tile consumption — the Fig. 6(b) shapes Rule 2 removes);
+//! * accumulators must need exactly one shared-memory tile instance;
+//! * a softmax epilogue requires completed score tiles and a streaming
+//!   (online) update for the downstream accumulator.
+
+use mcfuser_ir::{ChainSpec, Epilogue};
+use mcfuser_sim::{
+    BlockStmt, BufferRole, DType, LoopHandle, ProgramBuilder, SmemId, TileAccess, TileIndex,
+    TileProgram, VarRef,
+};
+
+use crate::candidate::Candidate;
+use crate::dag::{accumulator_instances, place, PlacementError, ScheduleItem, Scope};
+use crate::loops::LoopId;
+use crate::stmt::{compute_reduction_axis, tensor_axes, Stmt, TensorRef};
+
+/// Why a candidate cannot be lowered.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LoweringError {
+    /// Statement placement failed.
+    Placement(PlacementError),
+    /// Compute block `op` would consume a partially accumulated producer
+    /// tile (it is nested inside the producer's reduction loop).
+    PartialConsumption {
+        /// The consuming compute block.
+        op: usize,
+    },
+    /// An accumulator needs more than one shared-memory tile instance
+    /// (the configuration Rule 2 prunes).
+    MultiTileAccumulator {
+        /// The producing compute block.
+        op: usize,
+        /// Required tile instances.
+        instances: u64,
+    },
+    /// Softmax epilogue in an unsupported position (only the final
+    /// producer→consumer hop supports streaming softmax).
+    SoftmaxUnsupported(String),
+}
+
+impl std::fmt::Display for LoweringError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoweringError::Placement(e) => write!(f, "placement: {e}"),
+            LoweringError::PartialConsumption { op } => {
+                write!(f, "compute block {op} consumes a partial accumulator tile")
+            }
+            LoweringError::MultiTileAccumulator { op, instances } => {
+                write!(
+                    f,
+                    "accumulator of block {op} needs {instances} tile instances"
+                )
+            }
+            LoweringError::SoftmaxUnsupported(m) => write!(f, "softmax: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for LoweringError {}
+
+impl From<PlacementError> for LoweringError {
+    fn from(e: PlacementError) -> Self {
+        LoweringError::Placement(e)
+    }
+}
+
+/// Intra-tile policy knobs (the "Triton" side of the split).
+#[derive(Debug, Clone)]
+pub struct LoweringOptions {
+    /// Shared-memory budget for enabling double buffering on load tiles.
+    /// When doubling every load tile still fits this budget, loads are
+    /// double buffered (load/compute overlap). `None` disables.
+    pub double_buffer_budget: Option<u64>,
+    /// Pad tile rows to dodge shared-memory bank conflicts when the row
+    /// stride is a multiple of this many bytes (0 disables padding).
+    pub bank_conflict_stride: u64,
+    /// Apply the §III-B extent-1 dead-loop elimination before placement.
+    /// MCFuser enables this; the Chimera baseline — which only hoists to
+    /// the rightmost related loop — disables it and pays the redundant
+    /// traffic of Fig. 5(a).
+    pub dead_loop_elimination: bool,
+}
+
+impl Default for LoweringOptions {
+    fn default() -> Self {
+        LoweringOptions {
+            double_buffer_budget: None,
+            bank_conflict_stride: 128,
+            dead_loop_elimination: true,
+        }
+    }
+}
+
+impl LoweringOptions {
+    /// Policy for a concrete device: budget = the device's per-block
+    /// shared-memory limit.
+    pub fn for_device(dev: &mcfuser_sim::DeviceSpec) -> Self {
+        LoweringOptions {
+            double_buffer_budget: Some(dev.smem_per_block),
+            ..Default::default()
+        }
+    }
+
+    /// Chimera-style lowering: no dead-loop elimination.
+    pub fn without_dead_loop_elimination(mut self) -> Self {
+        self.dead_loop_elimination = false;
+        self
+    }
+}
+
+/// A lowered fused kernel.
+#[derive(Debug, Clone)]
+pub struct LoweredKernel {
+    /// The executable/measurable virtual kernel.
+    pub program: TileProgram,
+    /// Whether load tiles were double buffered.
+    pub double_buffered: bool,
+    /// Physical shared-memory bytes per block.
+    pub smem_bytes: u64,
+}
+
+/// Lower a candidate schedule of a chain into a tile program.
+pub fn lower(
+    chain: &ChainSpec,
+    cand: &Candidate,
+    opts: &LoweringOptions,
+) -> Result<LoweredKernel, LoweringError> {
+    let placement = if opts.dead_loop_elimination {
+        place(chain, cand)?
+    } else {
+        crate::dag::place_into(chain, cand, &cand.block_expr(chain))?
+    };
+    let num_ops = chain.num_ops();
+
+    // ---- Legality --------------------------------------------------------
+    for op in 0..num_ops {
+        let inst = accumulator_instances(chain, cand, op);
+        if inst > 1 {
+            return Err(LoweringError::MultiTileAccumulator {
+                op,
+                instances: inst,
+            });
+        }
+    }
+    for op in 1..num_ops {
+        // Consumer placed inside producer's reduction loop?
+        let red = compute_reduction_axis(chain, op - 1);
+        let path = &placement
+            .paths
+            .iter()
+            .find(|(s, _)| *s == Stmt::Compute(op))
+            .expect("compute placed")
+            .1;
+        if path.contains(&red) {
+            return Err(LoweringError::PartialConsumption { op });
+        }
+    }
+    for (i, e) in chain.epilogues.iter().enumerate() {
+        if e.is_rowwise() && i + 2 != num_ops + 1 {
+            // softmax between op i and op i+1 requires op i+1 to be final.
+            if i + 1 != num_ops - 1 {
+                return Err(LoweringError::SoftmaxUnsupported(format!(
+                    "softmax after block {i} is not followed by the final block"
+                )));
+            }
+        }
+    }
+
+    // ---- Declarations ----------------------------------------------------
+    let esz = chain.dtype;
+    let mut b = ProgramBuilder::new(format!("{}::{}", chain.name, cand.describe(chain)), esz);
+    // Global buffers: A, W_i, out.
+    let mut input_bufs = Vec::with_capacity(num_ops + 1);
+    for (i, shape) in chain.input_shapes().into_iter().enumerate() {
+        let name = if i == 0 {
+            "A".to_string()
+        } else {
+            format!("W{}", i - 1)
+        };
+        input_bufs.push(b.buffer(name, shape, esz, BufferRole::Input));
+    }
+    let out_buf = b.buffer("out", chain.output_shape(), esz, BufferRole::Output);
+
+    // Grid: batch, m, d_L.
+    let g_batch = b.grid_dim(chain.batch);
+    let g_m = b.grid_dim(cand.trips(chain, LoopId(0)));
+    let last_axis = LoopId(chain.num_axes() - 1);
+    let g_last = b.grid_dim(cand.trips(chain, last_axis));
+
+    // Live block loops → handles (the placement's expression decides
+    // which loops physically exist).
+    let live_axes = if opts.dead_loop_elimination {
+        cand.live_block_expr(chain).axes()
+    } else {
+        cand.block_expr(chain).axes()
+    };
+    let handles: Vec<(LoopId, LoopHandle)> =
+        live_axes.iter().map(|&a| (a, b.fresh_loop())).collect();
+    let var_of = |axis: LoopId| -> VarRef {
+        if axis == LoopId(0) {
+            g_m
+        } else if axis == last_axis {
+            g_last
+        } else if let Some((_, h)) = handles.iter().find(|(a, _)| *a == axis) {
+            VarRef::Loop(*h)
+        } else {
+            VarRef::Zero
+        }
+    };
+    let handle_of = |axis: LoopId| -> LoopHandle {
+        handles
+            .iter()
+            .find(|(a, _)| *a == axis)
+            .expect("live loop")
+            .1
+    };
+
+    // Shared tiles. Load tiles at chain precision; accumulators in f32.
+    let pad = |cols: u64| -> u64 {
+        if opts.bank_conflict_stride > 0
+            && (cols * esz.size_bytes()).is_multiple_of(opts.bank_conflict_stride)
+        {
+            8
+        } else {
+            0
+        }
+    };
+    let mut load_tiles = Vec::with_capacity(num_ops + 1);
+    for (i, &buf) in input_bufs.iter().enumerate() {
+        let t = if i == 0 {
+            TensorRef::Input(0)
+        } else {
+            TensorRef::Input(i)
+        };
+        let ax = tensor_axes(chain, t);
+        let (r, c) = (cand.tile(ax[0]), cand.tile(ax[1]));
+        let id = b.smem_with(
+            format!("tile_{}", i),
+            r,
+            c,
+            esz,
+            pad(c),
+            false, // double buffering decided below
+        );
+        load_tiles.push((id, buf, t));
+    }
+    let mut accs = Vec::with_capacity(num_ops);
+    for op in 0..num_ops {
+        let t = crate::stmt::compute_output(chain, op);
+        let ax = tensor_axes(chain, t);
+        let (r, c) = (cand.tile(ax[0]), cand.tile(ax[1]));
+        accs.push(b.smem_with(format!("acc_{}", op), r, c, DType::F32, 0, false));
+    }
+    // Softmax statistics (allocated only when needed).
+    let softmax_pos = chain.epilogues.iter().position(Epilogue::is_rowwise);
+    let stats = softmax_pos.map(|_| {
+        let tm = cand.tile(LoopId(0));
+        let mx = b.smem_with("row_max", tm, 1, DType::F32, 0, false);
+        let sm = b.smem_with("row_sum", tm, 1, DType::F32, 0, false);
+        (mx, sm)
+    });
+
+    // ---- Fill anchoring ---------------------------------------------------
+    // acc_i is zeroed at the body start of the deepest live loop on C_i's
+    // path whose axis is spatial for T_i; stats/output accs anchor at root.
+    let mut fills_at: Vec<(Option<LoopId>, BlockStmt)> = Vec::new();
+    for op in 0..num_ops {
+        let t = crate::stmt::compute_output(chain, op);
+        let spatial = tensor_axes(chain, t);
+        let path = &placement
+            .paths
+            .iter()
+            .find(|(s, _)| *s == Stmt::Compute(op))
+            .expect("compute placed")
+            .1;
+        let anchor = path.iter().rev().find(|a| spatial.contains(a)).copied();
+        fills_at.push((
+            anchor,
+            BlockStmt::Fill {
+                dst: accs[op],
+                value: 0.0,
+            },
+        ));
+    }
+    if let Some((mx, sm)) = stats {
+        fills_at.push((
+            None,
+            BlockStmt::Fill {
+                dst: mx,
+                value: f32::NEG_INFINITY,
+            },
+        ));
+        fills_at.push((
+            None,
+            BlockStmt::Fill {
+                dst: sm,
+                value: 0.0,
+            },
+        ));
+    }
+
+    // ---- Emit body --------------------------------------------------------
+    let ctx = EmitCtx {
+        chain,
+        cand,
+        g_batch,
+        var_of: &var_of,
+        handle_of: &handle_of,
+        load_tiles: &load_tiles,
+        accs: &accs,
+        stats,
+        out_buf,
+        softmax_pos,
+        fills_at: &fills_at,
+    };
+    let body = emit_scope(&placement.tree.root, None, &ctx);
+
+    let mut program = b.finish(body);
+
+    // ---- Intra-tile policy: double buffering ------------------------------
+    let mut double_buffered = false;
+    if let Some(budget) = opts.double_buffer_budget {
+        let base = program.smem_bytes();
+        let extra: u64 = load_tiles
+            .iter()
+            .map(|(id, _, _)| program.smem[id.0].alloc_bytes())
+            .sum();
+        if base + extra <= budget {
+            for (id, _, _) in &load_tiles {
+                program.smem[id.0].double_buffered = true;
+            }
+            double_buffered = true;
+        }
+    }
+    let smem_bytes = program.smem_bytes();
+    Ok(LoweredKernel {
+        program,
+        double_buffered,
+        smem_bytes,
+    })
+}
+
+/// Emission context shared by the scope walker.
+struct EmitCtx<'a> {
+    chain: &'a ChainSpec,
+    cand: &'a Candidate,
+    g_batch: VarRef,
+    var_of: &'a dyn Fn(LoopId) -> VarRef,
+    handle_of: &'a dyn Fn(LoopId) -> LoopHandle,
+    load_tiles: &'a [(SmemId, mcfuser_sim::BufId, TensorRef)],
+    accs: &'a [SmemId],
+    stats: Option<(SmemId, SmemId)>,
+    out_buf: mcfuser_sim::BufId,
+    softmax_pos: Option<usize>,
+    fills_at: &'a [(Option<LoopId>, BlockStmt)],
+}
+
+fn tile_access(ctx: &EmitCtx<'_>, t: TensorRef, buf: mcfuser_sim::BufId) -> TileAccess {
+    let ax = tensor_axes(ctx.chain, t);
+    TileAccess {
+        buf,
+        indices: vec![
+            TileIndex {
+                var: ctx.g_batch,
+                tile: 1,
+            },
+            TileIndex {
+                var: (ctx.var_of)(ax[0]),
+                tile: ctx.cand.tile(ax[0]),
+            },
+            TileIndex {
+                var: (ctx.var_of)(ax[1]),
+                tile: ctx.cand.tile(ax[1]),
+            },
+        ],
+    }
+}
+
+fn emit_scope(scope: &Scope, at_loop: Option<LoopId>, ctx: &EmitCtx<'_>) -> Vec<BlockStmt> {
+    let mut out = Vec::new();
+    // Anchored accumulator fills first.
+    for (anchor, fill) in ctx.fills_at {
+        if *anchor == at_loop {
+            out.push(fill.clone());
+        }
+    }
+    for item in &scope.items {
+        match item {
+            ScheduleItem::Loop { axis, trips, body } => {
+                out.push(BlockStmt::Loop {
+                    handle: (ctx.handle_of)(*axis),
+                    extent: *trips,
+                    body: emit_scope(body, Some(*axis), ctx),
+                });
+            }
+            ScheduleItem::Stmt(s) => emit_stmt(*s, ctx, &mut out),
+        }
+    }
+    out
+}
+
+fn emit_stmt(s: Stmt, ctx: &EmitCtx<'_>, out: &mut Vec<BlockStmt>) {
+    let num_ops = ctx.chain.num_ops();
+    match s {
+        Stmt::Load(t) => {
+            let (id, buf, _) = ctx
+                .load_tiles
+                .iter()
+                .find(|(_, _, tt)| *tt == t)
+                .expect("load tile declared");
+            out.push(BlockStmt::Load {
+                src: tile_access(ctx, t, *buf),
+                dst: *id,
+            });
+        }
+        Stmt::Compute(op) => {
+            // Producer epilogue (applied once per completed producer tile).
+            if op > 0 {
+                emit_epilogue(op - 1, ctx, out);
+            }
+            let a = if op == 0 {
+                ctx.load_tiles[0].0
+            } else {
+                ctx.accs[op - 1]
+            };
+            let b_tile = ctx.load_tiles[op + 1].0;
+            out.push(BlockStmt::Gemm {
+                a,
+                b: b_tile,
+                acc: ctx.accs[op],
+                b_transposed: false,
+            });
+        }
+        Stmt::Store => {
+            // Final epilogue + softmax normalization before the store.
+            emit_epilogue(num_ops - 1, ctx, out);
+            if let (Some(pos), Some((_, sm))) = (ctx.softmax_pos, ctx.stats) {
+                let _ = pos;
+                out.push(BlockStmt::RowDiv {
+                    target: ctx.accs[num_ops - 1],
+                    denom: sm,
+                });
+            }
+            out.push(BlockStmt::Store {
+                dst: tile_access(ctx, TensorRef::Output, ctx.out_buf),
+                src: ctx.accs[num_ops - 1],
+            });
+        }
+    }
+}
+
+/// Apply `chain.epilogues[i]` to `acc_i`.
+fn emit_epilogue(i: usize, ctx: &EmitCtx<'_>, out: &mut Vec<BlockStmt>) {
+    match ctx.chain.epilogues[i] {
+        Epilogue::None => {}
+        Epilogue::Relu => out.push(BlockStmt::Relu {
+            target: ctx.accs[i],
+        }),
+        Epilogue::Scale(f) => out.push(BlockStmt::Scale {
+            target: ctx.accs[i],
+            factor: f,
+        }),
+        Epilogue::Softmax { scale } => {
+            let (mx, sm) = ctx.stats.expect("stats allocated");
+            // Rescale every *downstream* accumulator (there is exactly one:
+            // the final output, by the legality check).
+            let rescale: Vec<SmemId> = ctx.accs[i + 1..].to_vec();
+            out.push(BlockStmt::OnlineSoftmax {
+                scores: ctx.accs[i],
+                row_max: mx,
+                row_sum: sm,
+                rescale,
+                scale,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::TilingExpr;
+    use mcfuser_sim::{execute, DeviceSpec, TensorStorage};
+
+    fn gemm_chain() -> ChainSpec {
+        ChainSpec::gemm_chain("g", 1, 128, 96, 64, 80)
+    }
+
+    fn cand_for(chain: &ChainSpec, expr: &str, tiles: Vec<u64>) -> Candidate {
+        Candidate::new(TilingExpr::parse(expr, chain).unwrap(), tiles)
+    }
+
+    /// Run a lowered kernel functionally and compare with the chain oracle.
+    fn check_numerics(chain: &ChainSpec, cand: &Candidate, seed: u64) {
+        let k = lower(chain, cand, &LoweringOptions::default()).unwrap();
+        k.program.validate().unwrap();
+        let inputs = chain.random_inputs(seed);
+        let mut st = TensorStorage::for_program(&k.program);
+        for (i, t) in inputs.iter().enumerate() {
+            st.tensors[i] = t.clone();
+        }
+        execute(&k.program, &mut st).unwrap();
+        let expect = chain.reference(&inputs);
+        let got = st.tensors.last().unwrap();
+        let err = got.rel_l2_error(&expect);
+        assert!(err < 2e-2, "rel error {err} for {}", cand.describe(chain));
+    }
+
+    #[test]
+    fn nk_schedule_computes_correct_result() {
+        let c = gemm_chain();
+        check_numerics(&c, &cand_for(&c, "mhnk", vec![32, 32, 32, 16]), 1);
+    }
+
+    #[test]
+    fn flat_schedule_computes_correct_result() {
+        let c = gemm_chain();
+        check_numerics(&c, &cand_for(&c, "mn(k,h)", vec![32, 32, 32, 16]), 2);
+    }
+
+    #[test]
+    fn full_dim_tiles_compute_correct_result() {
+        let c = gemm_chain();
+        // k tile covers K → dead k loop; exercises Fig. 5(b) hoisting.
+        check_numerics(&c, &cand_for(&c, "mhnk", vec![32, 64, 32, 16]), 3);
+    }
+
+    #[test]
+    fn partial_tiles_compute_correct_result() {
+        // Dims not divisible by tiles.
+        let c = ChainSpec::gemm_chain("g", 1, 100, 72, 40, 56);
+        check_numerics(&c, &cand_for(&c, "mhnk", vec![32, 16, 32, 16]), 4);
+    }
+
+    #[test]
+    fn batched_chain_correct() {
+        let c = ChainSpec::gemm_chain("g", 3, 64, 48, 32, 32);
+        check_numerics(&c, &cand_for(&c, "mnkh", vec![32, 16, 16, 16]), 5);
+    }
+
+    #[test]
+    fn relu_epilogue_correct() {
+        let mut c = gemm_chain();
+        c.epilogues[0] = Epilogue::Relu;
+        check_numerics(&c, &cand_for(&c, "mhnk", vec![32, 32, 32, 16]), 6);
+    }
+
+    #[test]
+    fn attention_softmax_correct() {
+        let c = ChainSpec::attention("s", 2, 64, 64, 32, 32);
+        check_numerics(&c, &cand_for(&c, "mhnk", vec![32, 32, 16, 32]), 7);
+    }
+
+    #[test]
+    fn attention_single_n_tile_correct() {
+        let c = ChainSpec::attention("s", 1, 64, 64, 32, 32);
+        // n tile covers N: softmax in one shot.
+        check_numerics(&c, &cand_for(&c, "mhnk", vec![32, 32, 64, 32]), 8);
+    }
+
+    #[test]
+    fn kn_order_rejected_as_multi_tile() {
+        let c = gemm_chain();
+        let cd = cand_for(&c, "mhkn", vec![32, 16, 32, 16]);
+        let err = lower(&c, &cd, &LoweringOptions::default()).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                LoweringError::MultiTileAccumulator { .. }
+                    | LoweringError::PartialConsumption { .. }
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn double_buffering_enabled_under_budget() {
+        let c = gemm_chain();
+        let cd = cand_for(&c, "mhnk", vec![32, 32, 32, 16]);
+        let dev = DeviceSpec::a100();
+        let k = lower(&c, &cd, &LoweringOptions::for_device(&dev)).unwrap();
+        assert!(k.double_buffered);
+        let k2 = lower(&c, &cd, &LoweringOptions::default()).unwrap();
+        assert!(!k2.double_buffered);
+        assert!(k.smem_bytes > k2.smem_bytes);
+    }
+
+    #[test]
+    fn actual_smem_exceeds_estimate() {
+        // Double buffering + f32 accumulators make the lowered footprint
+        // larger than Eq. 1's estimate — the Fig. 10 gap.
+        let c = gemm_chain();
+        let cd = cand_for(&c, "mhnk", vec![32, 32, 32, 16]);
+        let dev = DeviceSpec::a100();
+        let k = lower(&c, &cd, &LoweringOptions::for_device(&dev)).unwrap();
+        let est = crate::shmem::estimate_shmem_bytes(&c, &cd);
+        assert!(k.smem_bytes > est, "{} !> {}", k.smem_bytes, est);
+    }
+
+    #[test]
+    fn single_matmul_lowers_and_computes() {
+        let c = ChainSpec::single_matmul("mm", 1, 96, 64, 48);
+        check_numerics(&c, &cand_for(&c, "mkn", vec![32, 16, 32]), 9);
+    }
+
+    #[test]
+    fn scale_epilogue_on_output() {
+        let mut c = ChainSpec::single_matmul("mm", 1, 64, 64, 32);
+        c.epilogues[0] = Epilogue::Scale(0.5);
+        check_numerics(&c, &cand_for(&c, "mkn", vec![32, 16, 32]), 10);
+    }
+
+    #[test]
+    fn program_grid_matches_candidate() {
+        let c = gemm_chain();
+        let cd = cand_for(&c, "mhnk", vec![32, 32, 32, 16]);
+        let k = lower(&c, &cd, &LoweringOptions::default()).unwrap();
+        assert_eq!(k.program.grid, cd.grid(&c));
+        assert_eq!(k.program.num_blocks(), cd.num_blocks(&c));
+    }
+}

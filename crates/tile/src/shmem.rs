@@ -1,0 +1,96 @@
+//! Shared-memory estimation — Equation (1) of the paper.
+//!
+//! `Shm_estm = Σ_{Xi} (T_Li × T_Lj)`: the sum of the tile footprints of
+//! every tensor touched by the fused kernel. The estimate is deliberately
+//! coarse — it ignores double buffering, bank-conflict padding and the
+//! wider accumulator precision the lowering actually allocates — which is
+//! why the paper validates it against measured usage (Fig. 10) and prunes
+//! with a 1.2× error margin (Rule 4).
+
+use mcfuser_ir::ChainSpec;
+
+use crate::candidate::Candidate;
+use crate::stmt::{tensor_axes, TensorRef};
+
+/// All tensors of a chain: `A`, weights, intermediates, output.
+pub fn chain_tensors(chain: &ChainSpec) -> Vec<TensorRef> {
+    let mut v = vec![TensorRef::Input(0)];
+    for i in 0..chain.num_ops() {
+        v.push(TensorRef::Input(i + 1));
+        if i + 1 < chain.num_ops() {
+            v.push(TensorRef::Intermediate(i));
+        }
+    }
+    v.push(TensorRef::Output);
+    v
+}
+
+/// Eq. (1): estimated shared-memory bytes per thread block for a
+/// candidate (tile footprints at the chain's storage precision).
+pub fn estimate_shmem_bytes(chain: &ChainSpec, cand: &Candidate) -> u64 {
+    let esz = chain.dtype.size_bytes();
+    chain_tensors(chain)
+        .iter()
+        .map(|&t| {
+            let ax = tensor_axes(chain, t);
+            cand.tile(ax[0]) * cand.tile(ax[1]) * esz
+        })
+        .sum()
+}
+
+/// The paper's Rule-4 test: prune candidates whose *estimate* exceeds
+/// `1.2 × Shm_max` (the margin absorbs estimation error).
+pub fn rule4_fits(chain: &ChainSpec, cand: &Candidate, shm_max: u64) -> bool {
+    estimate_shmem_bytes(chain, cand) as f64 <= 1.2 * shm_max as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::TilingExpr;
+
+    fn chain() -> ChainSpec {
+        ChainSpec::gemm_chain("g", 1, 1024, 1024, 512, 512)
+    }
+
+    fn cand(tiles: Vec<u64>) -> Candidate {
+        let c = chain();
+        Candidate::new(TilingExpr::parse("mhnk", &c).unwrap(), tiles)
+    }
+
+    #[test]
+    fn tensor_census_for_2gemm() {
+        // A, B(W0), C(T0), D(W1), E(out) — five tensors like the paper.
+        assert_eq!(chain_tensors(&chain()).len(), 5);
+    }
+
+    #[test]
+    fn estimate_matches_hand_computation() {
+        let c = chain();
+        // tiles m=64, k=32, n=64, h=16, f16 (2 B):
+        // A:64×32 + B:32×64 + C:64×64 + D:64×16 + E:64×16 = 2048+2048+4096+1024+1024
+        let cd = cand(vec![64, 32, 64, 16]);
+        let est = estimate_shmem_bytes(&c, &cd);
+        assert_eq!(est, 2 * (2048 + 2048 + 4096 + 1024 + 1024));
+    }
+
+    #[test]
+    fn rule4_prunes_giant_tiles() {
+        let c = chain();
+        let shm_max = 164 * 1024;
+        assert!(rule4_fits(&c, &cand(vec![64, 32, 64, 16]), shm_max));
+        // 512×512 C tile alone is 512 KiB in f16 — way over.
+        assert!(!rule4_fits(&c, &cand(vec![512, 32, 512, 16]), shm_max));
+    }
+
+    #[test]
+    fn rule4_margin_admits_slight_overshoot() {
+        let c = chain();
+        let cd = cand(vec![64, 32, 64, 16]);
+        let est = estimate_shmem_bytes(&c, &cd);
+        // A budget exactly est/1.2 still admits the candidate.
+        let budget = (est as f64 / 1.2).ceil() as u64;
+        assert!(rule4_fits(&c, &cd, budget));
+        assert!(!rule4_fits(&c, &cd, budget / 2));
+    }
+}

@@ -1,0 +1,78 @@
+//! Table III — the self-attention module configurations S1–S9.
+
+use mcfuser_ir::ChainSpec;
+
+/// All (name, heads, M, N, K, H, network) rows of Table III.
+pub const TABLE_III: [(&str, u64, u64, u64, u64, u64, &str); 9] = [
+    ("S1", 8, 512, 512, 64, 64, "Bert-Small"),
+    ("S2", 12, 512, 512, 64, 64, "Bert-Base"),
+    ("S3", 16, 512, 512, 64, 64, "Bert-Large"),
+    ("S4", 12, 256, 256, 64, 64, "ViT-Base"),
+    ("S5", 16, 256, 256, 64, 64, "ViT-Large"),
+    ("S6", 16, 256, 256, 80, 80, "ViT-Huge"),
+    ("S7", 1, 512, 256, 64, 64, "MLP-Mixer"),
+    ("S8", 1, 768, 384, 64, 64, "MLP-Mixer"),
+    ("S9", 1, 1024, 512, 64, 64, "MLP-Mixer"),
+];
+
+/// Build one workload by name (`"S1"` … `"S9"`).
+pub fn attention_workload(name: &str) -> Option<ChainSpec> {
+    TABLE_III
+        .iter()
+        .find(|(n, ..)| *n == name)
+        .map(|&(n, heads, m, nn, k, h, _)| ChainSpec::attention(n, heads, m, nn, k, h))
+}
+
+/// The full Table III suite in order.
+pub fn attention_suite() -> Vec<ChainSpec> {
+    TABLE_III
+        .iter()
+        .map(|&(n, heads, m, nn, k, h, _)| ChainSpec::attention(n, heads, m, nn, k, h))
+        .collect()
+}
+
+/// The network each module comes from.
+pub fn attention_network(name: &str) -> Option<&'static str> {
+    TABLE_III.iter().find(|(n, ..)| *n == name).map(|r| r.6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcfuser_sim::DeviceSpec;
+
+    #[test]
+    fn nine_workloads_all_softmax() {
+        let suite = attention_suite();
+        assert_eq!(suite.len(), 9);
+        assert!(suite.iter().all(ChainSpec::has_softmax));
+    }
+
+    #[test]
+    fn head_counts_match_paper() {
+        assert_eq!(attention_workload("S3").unwrap().batch, 16);
+        assert_eq!(attention_workload("S7").unwrap().batch, 1);
+    }
+
+    #[test]
+    fn vit_huge_uses_head_dim_80() {
+        let s6 = attention_workload("S6").unwrap();
+        assert_eq!(s6.dims, vec![80, 256, 80]);
+    }
+
+    #[test]
+    fn all_attention_modules_are_mbci() {
+        // The paper's central observation: self-attention is memory bound.
+        let dev = DeviceSpec::a100();
+        for c in attention_suite() {
+            assert!(c.is_memory_bound(&dev), "{} not memory bound", c.name);
+        }
+    }
+
+    #[test]
+    fn networks_resolve() {
+        assert_eq!(attention_network("S2"), Some("Bert-Base"));
+        assert_eq!(attention_network("S9"), Some("MLP-Mixer"));
+        assert_eq!(attention_network("S0"), None);
+    }
+}

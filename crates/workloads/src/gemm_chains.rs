@@ -1,0 +1,75 @@
+//! Table II — the batch GEMM chain configurations G1–G12.
+//!
+//! `(batch, M, K) × (batch, K, N)` is the first GEMM,
+//! `(batch, M, N) × (batch, N, H)` the second.
+
+use mcfuser_ir::ChainSpec;
+
+/// All (name, batch, M, N, K, H) rows of Table II.
+pub const TABLE_II: [(&str, u64, u64, u64, u64, u64); 12] = [
+    ("G1", 1, 512, 256, 64, 64),
+    ("G2", 1, 512, 256, 64, 128),
+    ("G3", 1, 512, 256, 64, 256),
+    ("G4", 1, 512, 512, 256, 256),
+    ("G5", 1, 512, 512, 512, 256),
+    ("G6", 1, 512, 512, 1024, 256),
+    ("G7", 1, 512, 512, 128, 128),
+    ("G8", 1, 1024, 512, 128, 128),
+    ("G9", 1, 2048, 512, 128, 128),
+    ("G10", 1, 1024, 1024, 128, 128),
+    ("G11", 4, 1024, 1024, 128, 128),
+    ("G12", 8, 1024, 1024, 128, 128),
+];
+
+/// Build one workload by name (`"G1"` … `"G12"`).
+pub fn gemm_chain_workload(name: &str) -> Option<ChainSpec> {
+    TABLE_II
+        .iter()
+        .find(|(n, ..)| *n == name)
+        .map(|&(n, b, m, nn, k, h)| ChainSpec::gemm_chain(n, b, m, nn, k, h))
+}
+
+/// The full Table II suite in order.
+pub fn gemm_chain_suite() -> Vec<ChainSpec> {
+    TABLE_II
+        .iter()
+        .map(|&(n, b, m, nn, k, h)| ChainSpec::gemm_chain(n, b, m, nn, k, h))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcfuser_sim::DeviceSpec;
+
+    #[test]
+    fn twelve_workloads() {
+        assert_eq!(gemm_chain_suite().len(), 12);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let g5 = gemm_chain_workload("G5").unwrap();
+        assert_eq!(g5.m, 512);
+        assert_eq!(g5.dims, vec![512, 512, 256]); // K, N, H
+        assert!(gemm_chain_workload("G99").is_none());
+    }
+
+    #[test]
+    fn most_workloads_are_mbci_on_a100() {
+        // The premise of the evaluation: these chains are memory bound.
+        let dev = DeviceSpec::a100();
+        let mbci = gemm_chain_suite()
+            .iter()
+            .filter(|c| c.is_memory_bound(&dev))
+            .count();
+        assert!(mbci >= 9, "{mbci}/12 memory bound");
+    }
+
+    #[test]
+    fn batch_rows_match_paper() {
+        assert_eq!(gemm_chain_workload("G10").unwrap().batch, 1);
+        assert_eq!(gemm_chain_workload("G11").unwrap().batch, 4);
+        assert_eq!(gemm_chain_workload("G12").unwrap().batch, 8);
+    }
+}

@@ -1,0 +1,61 @@
+//! Fusing a BERT-Base self-attention module (the paper's S2 workload)
+//! and racing every backend on it.
+//!
+//! ```sh
+//! cargo run --release --example attention_fusion
+//! ```
+
+use mcfuser::baselines::{Ansor, Backend, Bolt, Chimera, FlashAttention, McFuserBackend, PyTorch};
+use mcfuser::prelude::*;
+
+fn main() {
+    // S2: 12 heads, sequence 512, head dim 64 (Table III).
+    let chain = ChainSpec::attention("S2", 12, 512, 512, 64, 64);
+    let device = DeviceSpec::a100();
+    println!("workload: {chain}");
+    println!(
+        "unfused pipelines move {:.1}x the compulsory traffic\n",
+        1.0 + chain.unfused_extra_traffic_bytes() / chain.min_traffic_bytes()
+    );
+
+    let backends: Vec<Box<dyn Backend>> = vec![
+        Box::new(PyTorch),
+        Box::new(Ansor::with_trials(200)),
+        Box::new(Bolt::new()),
+        Box::new(FlashAttention),
+        Box::new(Chimera),
+        Box::new(McFuserBackend::new()),
+    ];
+
+    let mut baseline_time = None;
+    println!(
+        "{:<16} {:>10} {:>9} {:>8} {:>7}  note",
+        "backend", "time", "speedup", "kernels", "fused"
+    );
+    for b in &backends {
+        match b.run_chain(&chain, &device) {
+            Ok(run) => {
+                let base = *baseline_time.get_or_insert(run.time);
+                println!(
+                    "{:<16} {:>8.2}us {:>8.2}x {:>8} {:>7}  {}",
+                    b.name(),
+                    run.time * 1e6,
+                    base / run.time,
+                    run.kernels,
+                    run.fused,
+                    run.note
+                );
+            }
+            Err(e) => println!("{:<16} {:>10}  ({e})", b.name(), "-"),
+        }
+    }
+
+    // FlashAttention's rigid constraint: K must equal H.
+    let mut odd = chain.clone();
+    odd.dims = vec![64, 512, 96];
+    let refusal = FlashAttention.run_chain(&odd, &device).unwrap_err();
+    println!("\nFlashAttention on K=64,H=96: {refusal}");
+    println!("MCFuser handles it fine:");
+    let tuned = McFuserBackend::new().run_chain(&odd, &device).unwrap();
+    println!("  {:.2} us with schedule {}", tuned.time * 1e6, tuned.note);
+}

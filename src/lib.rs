@@ -1,0 +1,50 @@
+//! # MCFuser — high-performance and rapid fusion of memory-bound
+//! compute-intensive operators
+//!
+//! A from-scratch Rust reproduction of *MCFuser* (Zhang, Yang, Zhou,
+//! Cheng — SC 2024) on a deterministic simulated-GPU substrate. This
+//! facade crate re-exports the whole workspace:
+//!
+//! * [`sim`] — the GPU substrate (A100/RTX 3080 models, virtual kernels,
+//!   functional execution, timing, tuning clock);
+//! * [`ir`] — tensor-operator graphs and the MBCI chain abstraction;
+//! * [`tile`] — tiling expressions, schedule DAG, lowering;
+//! * [`core`] — search space, pruning Rules 1–4, the analytical
+//!   performance model (Eqs. 2–5) and Algorithm 1;
+//! * [`baselines`] — PyTorch/Relay/Ansor/BOLT/FlashAttention/Chimera;
+//! * [`workloads`] — Tables II & III and BERT/ViT/Mixer graphs.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use mcfuser::prelude::*;
+//!
+//! // A memory-bound GEMM chain: C = A×B, E = C×D (the paper's G1).
+//! let chain = ChainSpec::gemm_chain("demo", 1, 256, 128, 64, 64);
+//! let device = DeviceSpec::a100();
+//! assert!(chain.is_memory_bound(&device));
+//!
+//! // Tune a fused kernel with MCFuser.
+//! let tuned = McFuser::new().tune(&chain, &device).unwrap();
+//! println!(
+//!     "fused schedule {} runs in {:.2} us",
+//!     tuned.candidate.describe(&chain),
+//!     tuned.profile.time * 1e6,
+//! );
+//! ```
+
+pub use mcfuser_baselines as baselines;
+pub use mcfuser_core as core;
+pub use mcfuser_ir as ir;
+pub use mcfuser_sim as sim;
+pub use mcfuser_tile as tile;
+pub use mcfuser_workloads as workloads;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use mcfuser_baselines::{Backend, ChainRun, Unsupported};
+    pub use mcfuser_core::{McFuser, SearchParams, TunedKernel};
+    pub use mcfuser_ir::{ChainSpec, Epilogue, Graph, GraphBuilder};
+    pub use mcfuser_sim::{DType, DeviceSpec, HostTensor, TensorStorage};
+    pub use mcfuser_tile::{Candidate, TilingExpr};
+}

@@ -1,0 +1,147 @@
+//! Integration: comparative invariants across backends — the qualitative
+//! claims of Fig. 8 and Table I must hold on the simulated devices.
+
+use mcfuser::baselines::{
+    Ansor, Backend, Bolt, Chimera, FlashAttention, McFuserBackend, PyTorch, Relay,
+};
+use mcfuser::prelude::*;
+
+fn g1() -> ChainSpec {
+    ChainSpec::gemm_chain("G1", 1, 512, 256, 64, 64)
+}
+
+fn s1() -> ChainSpec {
+    ChainSpec::attention("S1", 8, 512, 512, 64, 64)
+}
+
+#[test]
+fn mcfuser_wins_on_gemm_chain() {
+    let dev = DeviceSpec::a100();
+    let ours = McFuserBackend::new().run_chain(&g1(), &dev).unwrap();
+    for b in [
+        Box::new(PyTorch) as Box<dyn Backend>,
+        Box::new(Ansor::with_trials(80)),
+        Box::new(Bolt::new()),
+        Box::new(Relay::new()),
+    ] {
+        let them = b.run_chain(&g1(), &dev).unwrap();
+        assert!(
+            ours.time <= them.time * 1.02,
+            "MCFuser {} vs {} {}",
+            ours.time,
+            b.name(),
+            them.time
+        );
+    }
+}
+
+#[test]
+fn mcfuser_wins_on_attention() {
+    let dev = DeviceSpec::a100();
+    let ours = McFuserBackend::new().run_chain(&s1(), &dev).unwrap();
+    for b in [
+        Box::new(PyTorch) as Box<dyn Backend>,
+        Box::new(Ansor::with_trials(80)),
+        Box::new(FlashAttention),
+        Box::new(Chimera),
+    ] {
+        let them = b.run_chain(&s1(), &dev).unwrap();
+        assert!(
+            ours.time <= them.time * 1.02,
+            "MCFuser {} vs {} {}",
+            ours.time,
+            b.name(),
+            them.time
+        );
+    }
+}
+
+#[test]
+fn fusion_beats_eager_by_a_wide_margin_on_attention() {
+    // The headline effect: multi-kernel eager attention vs one fused
+    // kernel (paper: 8.1x average on A100).
+    let dev = DeviceSpec::a100();
+    let pt = PyTorch.run_chain(&s1(), &dev).unwrap();
+    let ours = McFuserBackend::new().run_chain(&s1(), &dev).unwrap();
+    let speedup = pt.time / ours.time;
+    assert!(speedup > 3.0, "speedup only {speedup:.2}x");
+}
+
+#[test]
+fn bolt_rejects_sm86_and_flash_rejects_gemm() {
+    let r3080 = DeviceSpec::rtx3080();
+    assert!(Bolt::new().run_chain(&g1(), &r3080).is_err());
+    assert!(FlashAttention
+        .run_chain(&g1(), &DeviceSpec::a100())
+        .is_err());
+}
+
+#[test]
+fn all_backends_run_on_rtx3080_except_bolt() {
+    let dev = DeviceSpec::rtx3080();
+    assert!(PyTorch.run_chain(&s1(), &dev).is_ok());
+    assert!(Ansor::with_trials(40).run_chain(&s1(), &dev).is_ok());
+    assert!(FlashAttention.run_chain(&s1(), &dev).is_ok());
+    assert!(Chimera.run_chain(&s1(), &dev).is_ok());
+    assert!(McFuserBackend::new().run_chain(&s1(), &dev).is_ok());
+    assert!(Bolt::new().run_chain(&s1(), &dev).is_err());
+}
+
+#[test]
+fn tuning_time_ordering_matches_table4() {
+    // MCFuser and Chimera tune in tens of seconds; Ansor takes orders of
+    // magnitude longer; BOLT sits between.
+    let dev = DeviceSpec::a100();
+    let ours = McFuserBackend::new().run_chain(&g1(), &dev).unwrap();
+    let chimera = Chimera.run_chain(&g1(), &dev).unwrap();
+    let bolt = Bolt::new().run_chain(&g1(), &dev).unwrap();
+    let ansor = Ansor::with_trials(300).run_chain(&g1(), &dev).unwrap();
+    assert!(ours.tuning_seconds < 150.0);
+    assert!(chimera.tuning_seconds < 150.0);
+    assert!(
+        ansor.tuning_seconds > 5.0 * ours.tuning_seconds,
+        "ansor {} vs ours {}",
+        ansor.tuning_seconds,
+        ours.tuning_seconds
+    );
+    assert!(bolt.tuning_seconds > 10.0);
+}
+
+#[test]
+fn capability_matrix_is_consistent() {
+    // Table I: exactly the systems claiming MBCI support fuse the chain.
+    let dev = DeviceSpec::a100();
+    let backends: Vec<Box<dyn Backend>> = vec![
+        Box::new(PyTorch),
+        Box::new(Ansor::with_trials(40)),
+        Box::new(Bolt::new()),
+        Box::new(Chimera),
+        Box::new(McFuserBackend::new()),
+    ];
+    for b in &backends {
+        let caps = b.capabilities();
+        let run = b.run_chain(&g1(), &dev).unwrap();
+        match caps.supports_mbci {
+            "Yes" if b.name() != "Ansor" => {
+                assert!(
+                    run.fused,
+                    "{} claims MBCI support but did not fuse",
+                    b.name()
+                )
+            }
+            "No" => assert!(!run.fused, "{} claims no MBCI support but fused", b.name()),
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn devices_rank_consistently() {
+    // The same fused kernel must be slower on the smaller device.
+    let a100 = DeviceSpec::a100();
+    let r3080 = DeviceSpec::rtx3080();
+    let big = ChainSpec::gemm_chain("big", 4, 1024, 1024, 128, 128);
+    let on_a = McFuserBackend::new().run_chain(&big, &a100).unwrap();
+    let on_r = McFuserBackend::new().run_chain(&big, &r3080).unwrap();
+    assert!(on_r.time > on_a.time);
+}

@@ -1,0 +1,126 @@
+//! Integration: end-to-end graph compilation — partitioning, chain
+//! tuning, fallback pricing, and functional equivalence of the fused
+//! model with pure reference evaluation.
+
+use rustc_hash::FxHashMap;
+
+use mcfuser::baselines::{Ansor, Relay};
+use mcfuser::core::{compile_graph, execute_compiled, McFuser};
+use mcfuser::ir::{evaluate, partition, NodeId, Op};
+use mcfuser::prelude::*;
+use mcfuser::workloads::{bert_graph, mixer_block, BertConfig};
+
+fn mini_bert() -> Graph {
+    bert_graph(
+        "bert-mini",
+        &BertConfig {
+            layers: 2,
+            hidden: 128,
+            heads: 4,
+            seq: 64,
+            intermediate: 512,
+        },
+    )
+}
+
+fn inputs_for(graph: &Graph) -> FxHashMap<NodeId, mcfuser::sim::HostTensor> {
+    let mut m = FxHashMap::default();
+    for (i, node) in graph.nodes.iter().enumerate() {
+        if matches!(node.op, Op::Input) {
+            let len: u64 = node.shape.iter().product();
+            m.insert(
+                NodeId(i),
+                mcfuser::sim::HostTensor::from_vec(
+                    &node.shape,
+                    (0..len).map(|x| ((x % 17) as f32 - 8.0) / 17.0).collect(),
+                ),
+            );
+        }
+    }
+    m
+}
+
+#[test]
+fn bert_partition_finds_attention_per_layer() {
+    let g = mini_bert();
+    let part = partition(&g, &DeviceSpec::a100());
+    assert_eq!(part.chains.len(), 2);
+    assert!(part.chains.iter().all(|c| c.chain.has_softmax()));
+}
+
+#[test]
+fn compiled_bert_matches_reference_numerically() {
+    let g = mini_bert();
+    let device = DeviceSpec::a100();
+    let model = compile_graph(&g, &device, &McFuser::new(), &Relay::new()).unwrap();
+    let inputs = inputs_for(&g);
+    let fused = execute_compiled(&g, &model, &inputs, 3).unwrap();
+    let reference = evaluate(&g, &inputs, 3).unwrap();
+    let out = g.outputs[0];
+    let err = fused[out.0].rel_l2_error(&reference[out.0]);
+    assert!(err < 5e-2, "end-to-end error {err}");
+}
+
+#[test]
+fn fusion_reduces_total_time() {
+    let g = mini_bert();
+    let device = DeviceSpec::a100();
+    let relay = Relay::new();
+    let model = compile_graph(&g, &device, &McFuser::new(), &relay).unwrap();
+    // Price the same graph with no fusion at all.
+    let all_nodes: Vec<NodeId> = g
+        .nodes
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| !matches!(n.op, Op::Input | Op::Weight))
+        .map(|(i, _)| NodeId(i))
+        .collect();
+    let unfused: f64 = all_nodes
+        .iter()
+        .map(|&n| relay.op_time(&g, n, &device))
+        .sum();
+    assert!(
+        model.total_time < unfused,
+        "fused {} vs unfused {}",
+        model.total_time,
+        unfused
+    );
+}
+
+#[test]
+fn identical_layers_share_one_tuning_session() {
+    let g = mini_bert();
+    let device = DeviceSpec::a100();
+    let model = compile_graph(&g, &device, &McFuser::new(), &Relay::new()).unwrap();
+    assert_eq!(model.chains.len(), 2);
+    assert_eq!(
+        model.chains[0].tuned.candidate, model.chains[1].tuned.candidate,
+        "layer chains are identical and must share tuning"
+    );
+}
+
+#[test]
+fn ansor_fallback_compiles_too() {
+    let g = mini_bert();
+    let device = DeviceSpec::a100();
+    let model = compile_graph(&g, &device, &McFuser::new(), &Ansor::with_trials(30)).unwrap();
+    assert_eq!(model.fallback, "Ansor");
+    assert!(model.total_time.is_finite() && model.total_time > 0.0);
+    assert!(model.tuning_seconds > 0.0);
+}
+
+#[test]
+fn mixer_block_compiles_and_fuses() {
+    let g = mixer_block(128, 64, 64, 256);
+    let device = DeviceSpec::a100();
+    let model = compile_graph(&g, &device, &McFuser::new(), &Relay::new()).unwrap();
+    assert!(!model.chains.is_empty(), "token/channel MLPs should fuse");
+    let inputs = inputs_for(&g);
+    let fused = execute_compiled(&g, &model, &inputs, 5).unwrap();
+    let reference = evaluate(&g, &inputs, 5).unwrap();
+    let out = g.outputs[0];
+    let err = fused[out.0].rel_l2_error(&reference[out.0]);
+    assert!(err < 5e-2, "mixer error {err}");
+}
+
+use mcfuser::core::OpCostModel as _;

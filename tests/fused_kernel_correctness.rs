@@ -1,0 +1,111 @@
+//! Integration: every kernel MCFuser tunes must compute exactly what the
+//! chain's CPU reference computes — across chain shapes, epilogues,
+//! batching and non-divisible dimensions.
+
+use mcfuser::ir::Epilogue;
+use mcfuser::prelude::*;
+use mcfuser::sim::execute;
+
+/// Tune a chain and verify the winning kernel functionally.
+fn tune_and_verify(chain: &ChainSpec, seed: u64) {
+    let device = DeviceSpec::a100();
+    let tuned = McFuser::new()
+        .tune(chain, &device)
+        .unwrap_or_else(|e| panic!("{}: tuning failed: {e}", chain.name));
+    let inputs = chain.random_inputs(seed);
+    let mut st = TensorStorage::for_program(&tuned.kernel.program);
+    for (i, t) in inputs.iter().enumerate() {
+        st.tensors[i] = t.clone();
+    }
+    execute(&tuned.kernel.program, &mut st).expect("kernel executes");
+    let reference = chain.reference(&inputs);
+    let err = st.tensors.last().unwrap().rel_l2_error(&reference);
+    assert!(
+        err < 2e-2,
+        "{}: rel error {err} with schedule {}",
+        chain.name,
+        tuned.candidate.describe(chain)
+    );
+}
+
+#[test]
+fn gemm_chain_small() {
+    tune_and_verify(&ChainSpec::gemm_chain("cc-g", 1, 128, 96, 64, 80), 1);
+}
+
+#[test]
+fn gemm_chain_batched() {
+    tune_and_verify(&ChainSpec::gemm_chain("cc-gb", 3, 96, 64, 48, 32), 2);
+}
+
+#[test]
+fn gemm_chain_non_divisible_dims() {
+    tune_and_verify(&ChainSpec::gemm_chain("cc-gp", 1, 100, 72, 40, 56), 3);
+}
+
+#[test]
+fn attention_small() {
+    tune_and_verify(&ChainSpec::attention("cc-a", 2, 96, 96, 32, 32), 4);
+}
+
+#[test]
+fn attention_distinct_k_h() {
+    // The case FlashAttention refuses (K != H).
+    let mut chain = ChainSpec::attention("cc-akh", 2, 96, 96, 32, 48);
+    chain.epilogues[0] = Epilogue::Softmax {
+        scale: 1.0 / (32f32).sqrt(),
+    };
+    tune_and_verify(&chain, 5);
+}
+
+#[test]
+fn relu_epilogue_chain() {
+    let mut chain = ChainSpec::gemm_chain("cc-relu", 1, 96, 64, 48, 48);
+    chain.epilogues[0] = Epilogue::Relu;
+    tune_and_verify(&chain, 6);
+}
+
+#[test]
+fn scale_epilogue_chain() {
+    let mut chain = ChainSpec::gemm_chain("cc-scale", 1, 96, 64, 48, 48);
+    chain.epilogues[0] = Epilogue::Scale(0.125);
+    tune_and_verify(&chain, 7);
+}
+
+#[test]
+fn single_matmul_chain() {
+    tune_and_verify(&ChainSpec::single_matmul("cc-mm", 1, 128, 96, 64), 8);
+}
+
+#[test]
+fn three_op_chain() {
+    let chain = ChainSpec {
+        name: "cc-3op".into(),
+        batch: 1,
+        m: 96,
+        dims: vec![32, 64, 64, 32],
+        epilogues: vec![Epilogue::None; 3],
+        dtype: DType::F16,
+    };
+    tune_and_verify(&chain, 9);
+}
+
+#[test]
+fn rtx3080_target_also_correct() {
+    let chain = ChainSpec::attention("cc-a3080", 2, 96, 96, 32, 32);
+    let device = DeviceSpec::rtx3080();
+    let tuned = McFuser::new().tune(&chain, &device).unwrap();
+    assert!(tuned.kernel.smem_bytes <= device.smem_per_block);
+    let inputs = chain.random_inputs(10);
+    let mut st = TensorStorage::for_program(&tuned.kernel.program);
+    for (i, t) in inputs.iter().enumerate() {
+        st.tensors[i] = t.clone();
+    }
+    execute(&tuned.kernel.program, &mut st).unwrap();
+    let err = st
+        .tensors
+        .last()
+        .unwrap()
+        .rel_l2_error(&chain.reference(&inputs));
+    assert!(err < 2e-2, "{err}");
+}

@@ -1,0 +1,140 @@
+//! Property-based tests (proptest) over the core data structures:
+//! tiling expressions, candidates, placement, lowering, and the
+//! simulator's numerics.
+
+use proptest::prelude::*;
+
+use mcfuser::core::{estimate, SearchSpace};
+use mcfuser::prelude::*;
+use mcfuser::sim::{execute, noise};
+use mcfuser::tile::{
+    accumulator_instances, estimate_shmem_bytes, lower, place, Candidate, LoweringOptions,
+    TilingExpr,
+};
+
+/// A random 2-GEMM chain with tensor-core-friendly dims.
+fn chain_strategy() -> impl Strategy<Value = ChainSpec> {
+    (
+        1u64..3,
+        prop::sample::select(vec![32u64, 48, 64, 96, 128]),
+        prop::sample::select(vec![32u64, 48, 64, 96]),
+        prop::sample::select(vec![16u64, 32, 48, 64]),
+        prop::sample::select(vec![16u64, 32, 48, 64]),
+    )
+        .prop_map(|(b, m, n, k, h)| ChainSpec::gemm_chain("prop", b, m, n, k, h))
+}
+
+/// A random deep-tiling permutation of the chain's four axes.
+fn perm_strategy() -> impl Strategy<Value = Vec<usize>> {
+    Just(vec![0usize, 1, 2, 3]).prop_shuffle()
+}
+
+/// Random tile sizes (multiples of 16, clamped per axis at lowering).
+fn tiles_strategy() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(prop::sample::select(vec![16u64, 32, 48, 64]), 4)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// display → parse is the identity on every tiling expression of a
+    /// chain (deep and flat).
+    #[test]
+    fn expr_roundtrip(chain in chain_strategy()) {
+        for e in mcfuser::tile::enumerate_all(&chain) {
+            let s = e.display(&chain);
+            let p = TilingExpr::parse(&s, &chain).expect("parses");
+            prop_assert_eq!(p, e);
+        }
+    }
+
+    /// Candidate arithmetic invariants: trips cover the dims, padding
+    /// ratio is non-negative, the grid matches the trip counts.
+    #[test]
+    fn candidate_invariants(
+        chain in chain_strategy(),
+        perm in perm_strategy(),
+        tiles in tiles_strategy(),
+    ) {
+        let axes: Vec<_> = perm.into_iter().map(mcfuser::tile::LoopId).collect();
+        let cand = Candidate::new(TilingExpr::deep(&axes), tiles);
+        for a in 0..chain.num_axes() {
+            let id = mcfuser::tile::LoopId(a);
+            let trips = cand.trips(&chain, id);
+            prop_assert!(trips >= 1);
+            prop_assert!(trips * cand.tile(id) >= chain.axis_extent(a));
+        }
+        prop_assert!(cand.padding_ratio(&chain) >= 0.0);
+        prop_assert_eq!(
+            cand.num_blocks(&chain),
+            cand.grid(&chain).iter().product::<u64>()
+        );
+    }
+
+    /// Placement succeeds for every deep candidate and the Eq. 1 estimate
+    /// is positive; accumulator-instance analysis never reports zero.
+    #[test]
+    fn placement_and_estimates_total(
+        chain in chain_strategy(),
+        perm in perm_strategy(),
+        tiles in tiles_strategy(),
+    ) {
+        let axes: Vec<_> = perm.into_iter().map(mcfuser::tile::LoopId).collect();
+        let cand = Candidate::new(TilingExpr::deep(&axes), tiles);
+        prop_assert!(place(&chain, &cand).is_ok());
+        prop_assert!(estimate_shmem_bytes(&chain, &cand) > 0);
+        for op in 0..chain.num_ops() {
+            prop_assert!(accumulator_instances(&chain, &cand, op) >= 1);
+        }
+        // The analytical model is total over placeable candidates.
+        let e = estimate(&chain, &cand, &DeviceSpec::a100()).unwrap();
+        prop_assert!(e.total > 0.0 && e.total.is_finite());
+        prop_assert!(e.alpha >= 1.0);
+    }
+
+    /// Any candidate that lowers computes the same function as the CPU
+    /// reference (the central soundness property of the compiler).
+    #[test]
+    fn lowered_kernels_are_correct(
+        chain in chain_strategy(),
+        perm in perm_strategy(),
+        tiles in tiles_strategy(),
+        seed in 0u64..1000,
+    ) {
+        let axes: Vec<_> = perm.into_iter().map(mcfuser::tile::LoopId).collect();
+        let cand = Candidate::new(TilingExpr::deep(&axes), tiles);
+        let Ok(k) = lower(&chain, &cand, &LoweringOptions::default()) else {
+            // Rule-2-style rejections are legal outcomes.
+            return Ok(());
+        };
+        let inputs = chain.random_inputs(seed);
+        let mut st = TensorStorage::for_program(&k.program);
+        for (i, t) in inputs.iter().enumerate() {
+            st.tensors[i] = t.clone();
+        }
+        execute(&k.program, &mut st).unwrap();
+        let reference = chain.reference(&inputs);
+        let err = st.tensors.last().unwrap().rel_l2_error(&reference);
+        prop_assert!(err < 2e-2, "err {} for {}", err, cand.describe(&chain));
+    }
+
+    /// Measurement noise is bounded and deterministic.
+    #[test]
+    fn noise_bounds(seed in any::<u64>(), salt in any::<u64>()) {
+        let f = noise::noise_factor(seed, salt);
+        prop_assert!((0.97..=1.03).contains(&f));
+        prop_assert_eq!(f, noise::noise_factor(seed, salt));
+    }
+
+    /// Search-space sampling always yields candidates inside the domains.
+    #[test]
+    fn space_samples_in_domain(chain in chain_strategy(), seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let space = SearchSpace::generate(&chain);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let cand = space.sample(&mut rng);
+        for (a, t) in cand.tiles.iter().enumerate() {
+            prop_assert!(space.tile_domains[a].contains(t));
+        }
+    }
+}
