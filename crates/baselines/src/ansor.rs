@@ -61,6 +61,7 @@ fn features(batch: u64, m: u64, n: u64, k: u64, t: (u64, u64, u64), dev: &Device
 }
 
 /// Tune one batched-matmul task with `trials` measurements.
+#[allow(clippy::too_many_arguments)]
 pub fn tune_matmul_task(
     batch: u64,
     m: u64,
@@ -182,6 +183,7 @@ impl Ansor {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn tuned(
         &self,
         batch: u64,

@@ -152,6 +152,7 @@ fn build_node(
     let n_features = x[0].len();
     let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, sse)
     let base_sse: f64 = idx.iter().map(|&i| (r[i] - mean) * (r[i] - mean)).sum();
+    #[allow(clippy::needless_range_loop)]
     for f in 0..n_features {
         let mut vals: Vec<f64> = idx.iter().map(|&i| x[i][f]).collect();
         vals.sort_by(f64::total_cmp);

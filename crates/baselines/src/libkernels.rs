@@ -49,6 +49,7 @@ pub fn pick_library_tile(batch: u64, m: u64, n: u64, k: u64, dev: &DeviceSpec) -
 /// Build a batched matmul kernel `out[b,m,n] = x[b,m,k] · w[b,k,n]`
 /// with the given tiles (double buffered, library style). Optionally
 /// fuses a simple element-wise epilogue (Relay/BOLT epilogue fusion).
+#[allow(clippy::too_many_arguments)]
 pub fn matmul_program(
     name: &str,
     batch: u64,
@@ -141,6 +142,7 @@ pub fn matmul_program(
 
 /// Time one library matmul on a device; `hot_input` marks the `x`
 /// operand as L2-resident (it was just produced by the previous kernel).
+#[allow(clippy::too_many_arguments)]
 pub fn matmul_time(
     name: &str,
     batch: u64,

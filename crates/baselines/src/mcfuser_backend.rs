@@ -1,23 +1,70 @@
 //! MCFuser itself behind the uniform [`Backend`] interface, so the
 //! evaluation harness treats it like every comparator.
+//!
+//! Internally this is a [`FusionEngine`] session per target device:
+//! repeated `run_chain` calls on the same device share one engine and
+//! therefore one tuning cache, exactly how the engine would sit behind a
+//! serving endpoint.
 
-use mcfuser_core::McFuser;
+use parking_lot::Mutex;
+use rustc_hash::FxHashMap;
+use std::sync::Arc;
+
+use mcfuser_core::{FusionEngine, SearchParams};
 use mcfuser_ir::ChainSpec;
 use mcfuser_sim::DeviceSpec;
 
 use crate::backend::{Backend, Capabilities, ChainRun, Unsupported};
 
 /// MCFuser as a benchmarkable backend.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default)]
 pub struct McFuserBackend {
-    /// The underlying tuner.
-    pub tuner: McFuser,
+    /// Algorithm 1 parameters for every session this backend opens.
+    pub params: SearchParams,
+    /// One engine session per device fingerprint.
+    engines: Mutex<FxHashMap<String, Arc<FusionEngine>>>,
+}
+
+impl Clone for McFuserBackend {
+    /// Cloning yields a backend with the same configuration and fresh
+    /// (empty) engine sessions.
+    fn clone(&self) -> Self {
+        McFuserBackend {
+            params: self.params.clone(),
+            engines: Mutex::new(FxHashMap::default()),
+        }
+    }
 }
 
 impl McFuserBackend {
-    /// Default-parameter tuner.
+    /// Default-parameter backend.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Backend with explicit search parameters.
+    pub fn with_params(params: SearchParams) -> Self {
+        McFuserBackend {
+            params,
+            engines: Mutex::new(FxHashMap::default()),
+        }
+    }
+
+    /// The engine session for a device (created on first use). Keyed by
+    /// the full device fingerprint: two specs differing in any field get
+    /// separate sessions.
+    pub fn engine_for(&self, dev: &DeviceSpec) -> Arc<FusionEngine> {
+        let key = mcfuser_core::cache::device_fingerprint(dev);
+        let mut g = self.engines.lock();
+        g.entry(key)
+            .or_insert_with(|| {
+                Arc::new(
+                    FusionEngine::builder(dev.clone())
+                        .search_params(self.params.clone())
+                        .build(),
+                )
+            })
+            .clone()
     }
 }
 
@@ -37,9 +84,9 @@ impl Backend for McFuserBackend {
     }
 
     fn run_chain(&self, chain: &ChainSpec, dev: &DeviceSpec) -> Result<ChainRun, Unsupported> {
-        let tuned = self
-            .tuner
-            .tune(chain, dev)
+        let engine = self.engine_for(dev);
+        let tuned = engine
+            .tune(chain)
             .map_err(|e| Unsupported::new(e.to_string()))?;
         Ok(ChainRun {
             time: tuned.profile.time,
@@ -97,5 +144,18 @@ mod tests {
             ours.time,
             pt.time
         );
+    }
+
+    #[test]
+    fn repeated_runs_share_the_session_cache() {
+        let chain = ChainSpec::gemm_chain("g1", 1, 512, 256, 64, 64);
+        let dev = DeviceSpec::a100();
+        let backend = McFuserBackend::new();
+        let a = backend.run_chain(&chain, &dev).unwrap();
+        let b = backend.run_chain(&chain, &dev).unwrap();
+        assert_eq!(a.time, b.time);
+        let engine = backend.engine_for(&dev);
+        assert_eq!(engine.stats().cache_hits, 1);
+        assert_eq!(engine.stats().cache_misses, 1);
     }
 }

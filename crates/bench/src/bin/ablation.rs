@@ -3,17 +3,21 @@
 //!
 //! Variants, each differing from full MCFuser in exactly one mechanism:
 //!
-//! * `full`        — the complete system;
-//! * `-flat`       — deep tilings only (Chimera's space restriction);
-//! * `-deadloop`   — no §III-B extent-1 DAG elimination (Chimera's
-//!                   memory optimization level);
-//! * `-compute`    — data-movement-only objective (drop Eq. 4);
-//! * `-alpha`      — no parallelism slowdown factor (drop Eq. 5);
-//! * `-model`      — random ranking instead of the analytical model
-//!                   (measures what the model itself contributes);
-//! * `-rule4`      — no shared-memory pruning (Rule 4 off) — shows the
-//!                   tuning-cost impact of measuring unlaunchable
-//!                   candidates.
+//! * `full` — the complete system;
+//! * `-flat` — deep tilings only (Chimera's space restriction);
+//! * `-deadloop` — no §III-B extent-1 DAG elimination (Chimera's
+//!   memory optimization level);
+//! * `-compute` — data-movement-only objective (drop Eq. 4);
+//! * `-alpha` — no parallelism slowdown factor (drop Eq. 5);
+//! * `-model` — random ranking instead of the analytical model
+//!   (measures what the model itself contributes);
+//! * `-rule4` — no shared-memory pruning (Rule 4 off) — shows the
+//!   tuning-cost impact of measuring unlaunchable candidates.
+//!
+//! Each variant is one `FusionEngine` session configured through the
+//! builder's `SearchParams` + `SpacePolicy` knobs; chains are tuned in
+//! parallel via `tune_many` (results are deterministic regardless of
+//! the parallelism degree).
 //!
 //! Reports fused-kernel quality (vs. full MCFuser) and virtual tuning
 //! time per variant, averaged over a workload mix.
@@ -21,39 +25,38 @@
 //! Usage: `ablation [--fast]`
 
 use mcfuser_bench::{fast_mode, fmt_time, geomean, write_json, TextTable};
-use mcfuser_core::{heuristic_search, prune, ModelOptions, PrunedSpace, SearchParams, SearchSpace};
+use mcfuser_core::{CachePolicy, FusionEngine, ModelOptions, SearchParams, SpacePolicy};
 use mcfuser_ir::ChainSpec;
-use mcfuser_sim::{DeviceSpec, TuningClock};
-use mcfuser_tile::enumerate_deep;
+use mcfuser_sim::DeviceSpec;
 use mcfuser_workloads::{attention_workload, gemm_chain_workload};
 
-/// One ablation variant: how to build the space and the search params.
+/// One ablation variant: search parameters + space policy.
 struct Variant {
     name: &'static str,
-    deep_only: bool,
-    rule4: bool,
+    policy: SpacePolicy,
     params: SearchParams,
 }
 
 fn variants() -> Vec<Variant> {
     let base = SearchParams::default();
+    let full_space = SpacePolicy::default();
     vec![
         Variant {
             name: "full",
-            deep_only: false,
-            rule4: true,
+            policy: full_space,
             params: base.clone(),
         },
         Variant {
             name: "-flat",
-            deep_only: true,
-            rule4: true,
+            policy: SpacePolicy {
+                deep_tiling_only: true,
+                ..full_space
+            },
             params: base.clone(),
         },
         Variant {
             name: "-deadloop",
-            deep_only: false,
-            rule4: true,
+            policy: full_space,
             params: SearchParams {
                 dead_loop_elimination: false,
                 model: ModelOptions {
@@ -65,8 +68,7 @@ fn variants() -> Vec<Variant> {
         },
         Variant {
             name: "-compute",
-            deep_only: false,
-            rule4: true,
+            policy: full_space,
             params: SearchParams {
                 model: ModelOptions {
                     include_compute: false,
@@ -77,8 +79,7 @@ fn variants() -> Vec<Variant> {
         },
         Variant {
             name: "-alpha",
-            deep_only: false,
-            rule4: true,
+            policy: full_space,
             params: SearchParams {
                 model: ModelOptions {
                     include_alpha: false,
@@ -89,8 +90,7 @@ fn variants() -> Vec<Variant> {
         },
         Variant {
             name: "-model",
-            deep_only: false,
-            rule4: true,
+            policy: full_space,
             // Random ranking: measure arbitrary candidates instead of the
             // analytical model's top picks.
             params: SearchParams {
@@ -100,53 +100,23 @@ fn variants() -> Vec<Variant> {
         },
         Variant {
             name: "-rule4",
-            deep_only: false,
-            rule4: false,
+            policy: SpacePolicy {
+                shared_memory_pruning: false,
+                ..full_space
+            },
             params: base,
         },
     ]
 }
 
-/// Build the (optionally restricted) pruned space for a variant.
-fn space_for(chain: &ChainSpec, dev: &DeviceSpec, v: &Variant) -> PrunedSpace {
-    let mut space = SearchSpace::generate(chain);
-    if v.deep_only {
-        space.exprs = enumerate_deep(chain);
-    }
-    let mut pruned = prune(chain, dev, &space);
-    if !v.rule4 {
-        // Re-materialize without the shared-memory filter: every rule-3
-        // tile combination is admitted.
-        let mut cands = Vec::new();
-        let mut idx = vec![0usize; pruned.tile_domains.len()];
-        'outer: loop {
-            let tiles: Vec<u64> = idx
-                .iter()
-                .enumerate()
-                .map(|(a, &i)| pruned.tile_domains[a][i])
-                .collect();
-            for e in &pruned.exprs {
-                cands.push(mcfuser_tile::Candidate::new(e.clone(), tiles.clone()));
-            }
-            let mut a = 0;
-            loop {
-                if a == idx.len() {
-                    break 'outer;
-                }
-                idx[a] += 1;
-                if idx[a] < pruned.tile_domains[a].len() {
-                    break;
-                }
-                idx[a] = 0;
-                a += 1;
-            }
-            if cands.len() > 150_000 {
-                break;
-            }
-        }
-        pruned.candidates = cands;
-    }
-    pruned
+/// One engine session per variant; tuning every chain costs fresh.
+fn engine_for(v: &Variant, dev: &DeviceSpec) -> FusionEngine {
+    FusionEngine::builder(dev.clone())
+        .search_params(v.params.clone())
+        .space_policy(v.policy)
+        .cache(CachePolicy::Disabled)
+        .parallelism(0)
+        .build()
 }
 
 fn main() {
@@ -177,31 +147,25 @@ fn main() {
     let mut json_rows = Vec::new();
 
     // Reference: full MCFuser per chain.
-    let full_times: Vec<f64> = chains
-        .iter()
-        .map(|c| {
-            let clock = TuningClock::new();
-            let sp = space_for(c, &dev, &vs[0]);
-            heuristic_search(c, &dev, &sp, &vs[0].params, &clock)
-                .map(|o| o.best_time)
-                .unwrap_or(f64::INFINITY)
-        })
+    let full_times: Vec<f64> = engine_for(&vs[0], &dev)
+        .tune_many(&chains)
+        .into_iter()
+        .map(|r| r.map(|t| t.profile.time).unwrap_or(f64::INFINITY))
         .collect();
 
     for v in &vs {
+        let engine = engine_for(v, &dev);
         let mut ratios = Vec::new();
         let mut tunings = Vec::new();
         let mut measured = Vec::new();
-        for (c, &full_t) in chains.iter().zip(&full_times) {
-            let clock = TuningClock::new();
-            let sp = space_for(c, &dev, v);
-            match heuristic_search(c, &dev, &sp, &v.params, &clock) {
-                Some(o) => {
-                    ratios.push(o.best_time / full_t);
-                    tunings.push(clock.virtual_seconds());
-                    measured.push(o.measured as f64);
+        for (result, &full_t) in engine.tune_many(&chains).into_iter().zip(&full_times) {
+            match result {
+                Ok(t) => {
+                    ratios.push(t.profile.time / full_t);
+                    tunings.push(t.tuning.virtual_seconds);
+                    measured.push(t.measured as f64);
                 }
-                None => {
+                Err(_) => {
                     ratios.push(f64::INFINITY);
                 }
             }

@@ -25,7 +25,7 @@ fn main() {
     let dev = DeviceSpec::a100();
     let shm_max = dev.smem_per_block as f64;
     let per_workload = if fast_mode() { 120 } else { 400 };
-    let mut rng = StdRng::seed_from_u64(0xF16_10);
+    let mut rng = StdRng::seed_from_u64(0x000F_1610);
 
     let workloads: Vec<_> = ["G1", "G2", "G3", "G4"]
         .iter()
@@ -113,7 +113,7 @@ fn main() {
         &serde_json::json!({
             "device": dev.name,
             "shm_max_bytes": dev.smem_per_block,
-            "quadrants": { "I": q1, "II": q2, "III": q3, "IV": q4 },
+            "quadrants": serde_json::json!({ "I": q1, "II": q2, "III": q3, "IV": q4 }),
             "accuracy_pct": acc,
             "points": points,
         }),

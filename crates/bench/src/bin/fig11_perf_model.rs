@@ -14,7 +14,7 @@ fn main() {
     mcfuser_sim::assert_codegen_ok();
     let dev = DeviceSpec::a100();
     let samples = if fast_mode() { 60 } else { 200 };
-    let mut rng = StdRng::seed_from_u64(0xF16_11);
+    let mut rng = StdRng::seed_from_u64(0x000F_1611);
 
     let mut t = TextTable::new(&["workload", "#candidates", "corr(est, meas)", "top-8 hit"]);
     let mut json_rows = Vec::new();

@@ -4,11 +4,14 @@
 //! Relay, BOLT, MCFuser+Relay, Ansor, MCFuser+Ansor — normalized to
 //! Relay, with the MCFuser speedup factors annotated.
 //!
+//! Each MCFuser configuration is a fresh `FusionEngine` session (fresh
+//! tuning cache), so tuning costs are comparable across bars.
+//!
 //! Usage: `fig9_end2end [--fast]` (fast trims models and Ansor trials).
 
 use mcfuser_baselines::{Ansor, Bolt, Relay};
 use mcfuser_bench::{fast_mode, fmt_time, unfused_graph_cost, write_json, TextTable};
-use mcfuser_core::{compile_graph, McFuser};
+use mcfuser_core::FusionEngine;
 use mcfuser_ir::Graph;
 use mcfuser_sim::DeviceSpec;
 use mcfuser_workloads::{bert_base, bert_large, bert_small};
@@ -47,15 +50,16 @@ fn main() {
         let (t_bolt, tune_bolt) = unfused_graph_cost(graph, &dev, &bolt);
         let (t_ansor, tune_ansor) = unfused_graph_cost(graph, &dev, &ansor);
 
-        let mcf_relay =
-            compile_graph(graph, &dev, &McFuser::new(), &Relay::new()).expect("compiles");
-        let mcf_ansor = compile_graph(
-            graph,
-            &dev,
-            &McFuser::new(),
-            &Ansor::with_trials(ansor_trials),
-        )
-        .expect("compiles");
+        let mcf_relay = FusionEngine::builder(dev.clone())
+            .fallback(Relay::new())
+            .build()
+            .compile(graph)
+            .expect("compiles");
+        let mcf_ansor = FusionEngine::builder(dev.clone())
+            .fallback(Ansor::with_trials(ansor_trials))
+            .build()
+            .compile(graph)
+            .expect("compiles");
 
         let norm = |t: f64| t_relay / t;
         table.row(vec![
@@ -69,6 +73,13 @@ fn main() {
             format!("{:.2}x", t_ansor / mcf_relay.total_time),
             format!("{:.2}x", t_ansor / mcf_ansor.total_time),
         ]);
+        let tuning = serde_json::json!({
+            "relay_s": tune_relay,
+            "bolt_s": tune_bolt,
+            "mcfuser_relay_s": mcf_relay.tuning_seconds,
+            "ansor_s": tune_ansor,
+            "mcfuser_ansor_s": mcf_ansor.tuning_seconds,
+        });
         json_rows.push(serde_json::json!({
             "model": graph.name,
             "relay_s": t_relay,
@@ -78,13 +89,7 @@ fn main() {
             "mcfuser_ansor_s": mcf_ansor.total_time,
             "chains_fused": mcf_relay.chains.len(),
             "chain_time_s": mcf_relay.chain_time,
-            "tuning": {
-                "relay_s": tune_relay,
-                "bolt_s": tune_bolt,
-                "mcfuser_relay_s": mcf_relay.tuning_seconds,
-                "ansor_s": tune_ansor,
-                "mcfuser_ansor_s": mcf_ansor.tuning_seconds,
-            },
+            "tuning": tuning,
         }));
     }
 

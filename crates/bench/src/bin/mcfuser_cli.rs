@@ -1,14 +1,19 @@
 //! `mcfuser_cli` — tune an arbitrary MBCI chain from the command line and
-//! inspect the winning kernel.
+//! inspect the winning kernel, through a `FusionEngine` session.
 //!
 //! ```sh
 //! mcfuser_cli gemm  --m 512 --n 256 --k 64 --h 64 [--batch 1] [--device a100]
 //! mcfuser_cli attn  --heads 12 --seq 512 --dim 64 [--device rtx3080]
 //! mcfuser_cli explain gemm --m 512 --n 256 --k 64 --h 64   # kernel report
+//! mcfuser_cli gemm --m 512 ... --cache tuning.json         # persistent cache
 //! ```
+//!
+//! With `--cache <path>`, the session reuses any schedule tuned by an
+//! earlier invocation pointed at the same file (a second identical run
+//! reports a cache hit and near-zero tuning cost).
 
 use mcfuser_bench::device_by_name;
-use mcfuser_core::McFuser;
+use mcfuser_core::{CachePolicy, FusionEngine};
 use mcfuser_ir::ChainSpec;
 use mcfuser_sim::{explain, DeviceSpec};
 
@@ -21,6 +26,13 @@ fn arg(flag: &str, default: u64) -> u64 {
         .unwrap_or(default)
 }
 
+fn arg_str(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
 fn main() {
     mcfuser_sim::assert_codegen_ok();
     let args: Vec<String> = std::env::args().collect();
@@ -31,9 +43,7 @@ fn main() {
         (false, mode)
     };
 
-    let device: DeviceSpec = std::env::args()
-        .position(|a| a == "--device")
-        .and_then(|i| std::env::args().nth(i + 1))
+    let device: DeviceSpec = arg_str("--device")
         .and_then(|d| device_by_name(&d))
         .unwrap_or_else(DeviceSpec::a100);
 
@@ -63,8 +73,15 @@ fn main() {
         device.ridge_flops_per_byte(chain.dtype)
     );
 
-    match McFuser::new().tune(&chain, &device) {
+    let cache = match arg_str("--cache") {
+        Some(path) => CachePolicy::DiskJson(path.into()),
+        None => CachePolicy::InMemory,
+    };
+    let engine = FusionEngine::builder(device.clone()).cache(cache).build();
+
+    match engine.tune(&chain) {
         Ok(t) => {
+            let stats = engine.stats();
             println!("sched : {}", t.candidate.describe(&chain));
             println!(
                 "time  : {:.2} us ({} blocks)",
@@ -72,8 +89,15 @@ fn main() {
                 t.profile.blocks
             );
             println!(
-                "tuning: {:.0} virtual s ({} measured / {} estimated)",
-                t.tuning.virtual_seconds, t.tuning.measurements, t.tuning.estimates
+                "tuning: {:.0} virtual s ({} measured / {} estimated){}",
+                t.tuning.virtual_seconds,
+                t.tuning.measurements,
+                t.tuning.estimates,
+                if stats.cache_hits > 0 {
+                    " [cache hit — nothing spent this run]"
+                } else {
+                    ""
+                }
             );
             if want_explain {
                 println!("\n{}", explain(&t.kernel.program, &device));

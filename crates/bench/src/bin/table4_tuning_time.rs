@@ -10,7 +10,7 @@
 
 use mcfuser_baselines::{Ansor, Backend, Bolt, Chimera, McFuserBackend, Relay};
 use mcfuser_bench::{fast_mode, fmt_time, unfused_graph_cost, write_json, TextTable};
-use mcfuser_core::{compile_graph, McFuser};
+use mcfuser_core::FusionEngine;
 use mcfuser_ir::ChainSpec;
 use mcfuser_sim::DeviceSpec;
 use mcfuser_workloads::{attention_suite, bert_base, bert_large, bert_small, gemm_chain_suite};
@@ -84,15 +84,12 @@ fn subgraph_half(dev: &DeviceSpec, fast: bool) -> serde_json::Value {
         let ansor_m = mean(&per[1].1);
         let chim_m = mean(&per[2].1);
         let ours_m = mean(&per[3].1);
-        let speedups = format!(
-            "{} / {}",
-            if bolt_m.is_finite() {
-                format!("{:.1}x", bolt_m / ours_m)
-            } else {
-                "-".into()
-            },
-            format!("{:.0}x", ansor_m / ours_m),
-        );
+        let bolt_speedup: String = if bolt_m.is_finite() {
+            format!("{:.1}x", bolt_m / ours_m)
+        } else {
+            "-".into()
+        };
+        let speedups = format!("{} / {:.0}x", bolt_speedup, ansor_m / ours_m);
         t.row(vec![
             name.to_string(),
             if per[0].1.is_empty() {
@@ -143,9 +140,18 @@ fn end2end_half(dev: &DeviceSpec, fast: bool) -> serde_json::Value {
         let (_, tune_relay) = unfused_graph_cost(graph, dev, &Relay::new());
         let (_, tune_bolt) = unfused_graph_cost(graph, dev, &Bolt::new());
         let (_, tune_ansor) = unfused_graph_cost(graph, dev, &Ansor::with_trials(trials));
-        let mcf_relay = compile_graph(graph, dev, &McFuser::new(), &Relay::new()).unwrap();
-        let mcf_ansor =
-            compile_graph(graph, dev, &McFuser::new(), &Ansor::with_trials(trials)).unwrap();
+        // Fresh engine sessions per configuration: fresh tuning caches,
+        // comparable costs.
+        let mcf_relay = FusionEngine::builder(dev.clone())
+            .fallback(Relay::new())
+            .build()
+            .compile(graph)
+            .unwrap();
+        let mcf_ansor = FusionEngine::builder(dev.clone())
+            .fallback(Ansor::with_trials(trials))
+            .build()
+            .compile(graph)
+            .unwrap();
         t.row(vec![
             graph.name.clone(),
             fmt_time(tune_relay),

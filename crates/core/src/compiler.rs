@@ -1,22 +1,28 @@
-//! End-to-end graph compilation (§V-B).
+//! The fallback-backend interface for end-to-end compilation (§V-B),
+//! plus deprecated free-function shims over the [`FusionEngine`] API.
 //!
 //! MCFuser only tunes MBCI sub-graphs; everything else is delegated to a
 //! per-operator backend ("we either continue optimization with Ansor or
-//! Relay"). The delegation point is the [`OpCostModel`] trait, implemented
-//! by the baseline backends — `MCFuser+Relay` and `MCFuser+Ansor` from
-//! Fig. 9 are `compile_graph` with different fallbacks.
+//! Relay"). The delegation point is the [`OpCostModel`] trait,
+//! implemented by the baseline backends — `MCFuser+Relay` and
+//! `MCFuser+Ansor` from Fig. 9 are an engine with different fallbacks.
 //!
-//! Besides timing, the compiled model can be *executed for value*: fused
-//! chains run through the simulator's functional interpreter and the
-//! remaining operators through the CPU reference, so end-to-end numerics
-//! are verified against pure reference evaluation.
+//! Graph compilation itself lives on [`FusionEngine::compile`] /
+//! [`FusionEngine::execute`]; the old `compile_graph` /
+//! `execute_compiled` free functions remain here as thin deprecated
+//! shims for one release.
+//!
+//! [`FusionEngine`]: crate::engine::FusionEngine
+//! [`FusionEngine::compile`]: crate::engine::FusionEngine::compile
+//! [`FusionEngine::execute`]: crate::engine::FusionEngine::execute
 
 use rustc_hash::FxHashMap;
 
-use mcfuser_ir::{partition, ChainSpec, Graph, NodeId};
-use mcfuser_sim::{execute, DeviceSpec, HostTensor, TensorStorage, TuningClock};
+use mcfuser_ir::{Graph, NodeId};
+use mcfuser_sim::{DeviceSpec, HostTensor};
 
-use crate::tuner::{McFuser, TuneError, TunedKernel};
+use crate::engine::{CachePolicy, CompiledModel, FusionEngine};
+use crate::tuner::{McFuser, TuneError};
 
 /// Cost/tuning model for operators MCFuser does not fuse.
 pub trait OpCostModel: Sync {
@@ -28,151 +34,41 @@ pub trait OpCostModel: Sync {
     fn tuning_seconds(&self, graph: &Graph, nodes: &[NodeId], dev: &DeviceSpec) -> f64;
 }
 
-/// One fused sub-graph in a compiled model.
-#[derive(Debug, Clone)]
-pub struct CompiledChain {
-    /// The extracted chain.
-    pub chain: ChainSpec,
-    /// Tuned kernel.
-    pub tuned: TunedKernel,
-    /// Graph nodes the kernel replaces.
-    pub nodes: Vec<NodeId>,
-    /// Chain data inputs as graph nodes.
-    pub data_inputs: Vec<NodeId>,
-    /// The graph node whose value the kernel produces.
-    pub output: NodeId,
-    /// Inputs stored transposed in the graph relative to chain layout.
-    pub transposed_inputs: Vec<bool>,
-}
-
-/// A compiled end-to-end model.
-#[derive(Debug)]
-pub struct CompiledModel {
-    /// Model name.
-    pub name: String,
-    /// Fused chains with their kernels.
-    pub chains: Vec<CompiledChain>,
-    /// Per-op times of the non-fused remainder.
-    pub rest_times: Vec<(NodeId, f64)>,
-    /// Fallback backend used for the remainder.
-    pub fallback: String,
-    /// Total inference time (seconds) = fused kernels + remainder.
-    pub total_time: f64,
-    /// Time spent in fused chains only.
-    pub chain_time: f64,
-    /// Virtual tuning time (chains + fallback).
-    pub tuning_seconds: f64,
-}
-
 /// Compile a graph: partition, tune MBCI sub-graphs with MCFuser, price
 /// the remainder with the fallback backend.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a session instead: FusionEngine::builder(dev).build() and call .compile_with_fallback(graph, fallback)"
+)]
 pub fn compile_graph(
     graph: &Graph,
     dev: &DeviceSpec,
     mcfuser: &McFuser,
     fallback: &dyn OpCostModel,
 ) -> Result<CompiledModel, TuneError> {
-    let part = partition(graph, dev);
-    let clock = TuningClock::new();
-    let mut chains = Vec::new();
-    let mut chain_time = 0.0;
-    // Identical chains (e.g. the attention of every layer) share a tuned
-    // kernel, exactly like a compiler caching tuned tasks.
-    let mut cache: FxHashMap<String, TunedKernel> = FxHashMap::default();
-    for fc in &part.chains {
-        let key = format!(
-            "b{}m{}d{:?}e{:?}",
-            fc.chain.batch, fc.chain.m, fc.chain.dims, fc.chain.epilogues
-        );
-        let tuned = match cache.get(&key) {
-            Some(t) => t.clone(),
-            None => {
-                let t = mcfuser.tune_with_clock(&fc.chain, dev, &clock)?;
-                cache.insert(key, t.clone());
-                t
-            }
-        };
-        chain_time += tuned.profile.time;
-        chains.push(CompiledChain {
-            chain: fc.chain.clone(),
-            tuned,
-            nodes: fc.nodes.clone(),
-            data_inputs: fc.data_inputs.clone(),
-            output: fc.output,
-            transposed_inputs: fc.transposed_inputs.clone(),
-        });
-    }
-    let rest_times: Vec<(NodeId, f64)> = part
-        .rest
-        .iter()
-        .map(|&n| (n, fallback.op_time(graph, n, dev)))
-        .collect();
-    let rest_total: f64 = rest_times.iter().map(|(_, t)| t).sum();
-    let tuning_seconds = clock.virtual_seconds() + fallback.tuning_seconds(graph, &part.rest, dev);
-    Ok(CompiledModel {
-        name: graph.name.clone(),
-        chains,
-        rest_times,
-        fallback: fallback.name().to_string(),
-        total_time: chain_time + rest_total,
-        chain_time,
-        tuning_seconds,
-    })
+    let engine = FusionEngine::builder(dev.clone())
+        .search_params(mcfuser.params.clone())
+        .cache(CachePolicy::Disabled)
+        .build();
+    engine.compile_with_fallback(graph, fallback)
 }
 
-/// Execute a compiled model *for value*: fused chains run on the
-/// simulator's functional interpreter, every other operator on the CPU
-/// reference, and fused outputs flow into downstream operators. Returns
-/// the value of every graph node (like [`mcfuser_ir::evaluate`]).
+/// Execute a compiled model *for value* (see [`FusionEngine::execute`]).
+#[deprecated(
+    since = "0.2.0",
+    note = "use FusionEngine::execute on the engine that compiled the model"
+)]
 pub fn execute_compiled(
     graph: &Graph,
     model: &CompiledModel,
     inputs: &FxHashMap<NodeId, HostTensor>,
     seed: u64,
 ) -> Result<Vec<HostTensor>, Box<dyn std::error::Error>> {
-    // Which nodes are produced by a fused kernel, and which are interior
-    // to a chain (computed by the kernel, never consumed outside).
-    let mut chain_output: FxHashMap<NodeId, usize> = FxHashMap::default();
-    for (ci, cc) in model.chains.iter().enumerate() {
-        chain_output.insert(cc.output, ci);
-    }
-
-    let mut values: Vec<Option<HostTensor>> = vec![None; graph.nodes.len()];
-    for i in 0..graph.nodes.len() {
-        let id = NodeId(i);
-        let v = if let Some(&ci) = chain_output.get(&id) {
-            let cc = &model.chains[ci];
-            let program = &cc.tuned.kernel.program;
-            let mut st = TensorStorage::for_program(program);
-            for (j, &node) in cc.data_inputs.iter().enumerate() {
-                let src = values[node.0].as_ref().expect("topological order");
-                let v = if cc.transposed_inputs.get(j).copied().unwrap_or(false) {
-                    src.transpose_last2()
-                } else {
-                    src.clone()
-                };
-                // Chain buffers are [batch, rows, cols]; graph tensors may
-                // be flat 2-D (batch = 1) — reshape by element count.
-                let want = &program.buffers[j].shape;
-                let elems: u64 = want.iter().product();
-                assert_eq!(elems as usize, v.data.len(), "chain input shape mismatch");
-                st.tensors[j] = HostTensor::from_vec(want, v.data);
-            }
-            execute(program, &mut st)?;
-            let out = st.tensors.last().unwrap();
-            let out_shape = graph.node(id).shape.clone();
-            HostTensor::from_vec(&out_shape, out.data.clone())
-        } else {
-            // Interior chain nodes are evaluated too (cheap, keeps the
-            // value table total); everything else is plain reference.
-            mcfuser_ir::evaluate_node(graph, id, &values, inputs, seed)?
-        };
-        values[i] = Some(v);
-    }
-    Ok(values.into_iter().map(Option::unwrap).collect())
+    crate::engine::execute_model(graph, model, inputs, seed)
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use mcfuser_ir::GraphBuilder;
@@ -192,7 +88,7 @@ mod tests {
         }
     }
 
-    fn tiny_attention_graph() -> (Graph, Vec<NodeId>) {
+    fn tiny_attention_graph() -> Graph {
         let mut gb = GraphBuilder::new("attn", DType::F16);
         let q = gb.input("q", vec![2, 64, 32]);
         let k = gb.input("k", vec![2, 64, 32]);
@@ -201,58 +97,44 @@ mod tests {
         let p = gb.softmax("sm", s, 1.0 / (32f32).sqrt());
         let o = gb.batch_matmul("pv", p, v, false);
         let ln = gb.layer_norm("ln", o);
-        (gb.finish(vec![ln]), vec![q, k, v])
+        gb.finish(vec![ln])
     }
 
     #[test]
-    fn compile_fuses_attention_and_prices_rest() {
-        let (g, _) = tiny_attention_graph();
+    fn deprecated_shim_matches_engine_compile() {
+        let g = tiny_attention_graph();
         let dev = DeviceSpec::a100();
-        let model = compile_graph(&g, &dev, &McFuser::new(), &FlatCost).unwrap();
-        assert_eq!(model.chains.len(), 1);
-        assert_eq!(model.rest_times.len(), 1); // the layer norm
-        assert!(model.total_time > model.chain_time);
-        assert!(model.tuning_seconds > 0.0);
-    }
-
-    #[test]
-    fn qk_transpose_note() {
-        // The partitioner maps BatchMatMul(transpose_b=true) onto a chain
-        // whose W₀ is Kᵀ; execute_compiled must still agree with the pure
-        // reference. This is covered by the integration suite with real
-        // tensors; here we check the compiled structure only.
-        let (g, _) = tiny_attention_graph();
-        let dev = DeviceSpec::a100();
-        let model = compile_graph(&g, &dev, &McFuser::new(), &FlatCost).unwrap();
-        let c = &model.chains[0].chain;
-        assert_eq!(c.dims, vec![32, 64, 32]);
-        assert!(c.has_softmax());
-    }
-
-    #[test]
-    fn identical_chains_share_tuning() {
-        // Two attention blocks with identical shapes → one tuning session.
-        let mut gb = GraphBuilder::new("two", DType::F16);
-        let mut outs = Vec::new();
-        for l in 0..2 {
-            let q = gb.input(format!("q{l}"), vec![2, 64, 32]);
-            let k = gb.input(format!("k{l}"), vec![2, 64, 32]);
-            let v = gb.input(format!("v{l}"), vec![2, 64, 32]);
-            let s = gb.batch_matmul(&format!("qk{l}"), q, k, true);
-            let p = gb.softmax(&format!("sm{l}"), s, 1.0);
-            let o = gb.batch_matmul(&format!("pv{l}"), p, v, false);
-            outs.push(o);
-        }
-        let g = gb.finish(outs);
-        let dev = DeviceSpec::a100();
-        let t0 = std::time::Instant::now();
-        let model = compile_graph(&g, &dev, &McFuser::new(), &FlatCost).unwrap();
-        let _ = t0;
-        assert_eq!(model.chains.len(), 2);
-        // Shared tuning: both chains report identical candidates.
+        let shim = compile_graph(&g, &dev, &McFuser::new(), &FlatCost).unwrap();
+        let engine = FusionEngine::builder(dev).fallback(FlatCost).build();
+        let direct = engine.compile(&g).unwrap();
+        assert_eq!(shim.total_time, direct.total_time);
+        assert_eq!(shim.chains.len(), direct.chains.len());
         assert_eq!(
-            model.chains[0].tuned.candidate,
-            model.chains[1].tuned.candidate
+            shim.chains[0].tuned.candidate,
+            direct.chains[0].tuned.candidate
         );
+    }
+
+    #[test]
+    fn deprecated_execute_shim_runs() {
+        let g = tiny_attention_graph();
+        let dev = DeviceSpec::a100();
+        let model = compile_graph(&g, &dev, &McFuser::new(), &FlatCost).unwrap();
+        let mut inputs: FxHashMap<NodeId, HostTensor> = FxHashMap::default();
+        for (i, node) in g.nodes.iter().enumerate() {
+            if matches!(node.op, mcfuser_ir::Op::Input) {
+                let len: u64 = node.shape.iter().product();
+                inputs.insert(
+                    NodeId(i),
+                    HostTensor::from_vec(
+                        &node.shape,
+                        (0..len).map(|x| ((x % 13) as f32 - 6.0) / 13.0).collect(),
+                    ),
+                );
+            }
+        }
+        let values = execute_compiled(&g, &model, &inputs, 7).unwrap();
+        assert_eq!(values.len(), g.nodes.len());
+        assert!(values.iter().all(|t| t.data.iter().all(|v| v.is_finite())));
     }
 }

@@ -1,0 +1,754 @@
+//! The `FusionEngine` session API — one configured entry point for
+//! everything the paper's pipeline does (§III–§V): per-chain tuning,
+//! end-to-end graph compilation with MBCI partitioning, fallback pricing
+//! of the non-fused remainder, and functional execution of the compiled
+//! model.
+//!
+//! Previously these lived behind three disjoint entry points
+//! (`McFuser::tune`, `compile_graph`, `Backend::run_chain`) with no
+//! shared configuration or reuse. The engine consolidates them the way
+//! FusionStitching and Blockbuster turn a fusion algorithm into a
+//! reusable compiler service:
+//!
+//! * built once via [`EngineBuilder`] with explicit knobs — target
+//!   [`DeviceSpec`], [`SearchParams`], fallback [`OpCostModel`],
+//!   [`CachePolicy`], [`SpacePolicy`], and a parallelism degree;
+//! * owns a content-addressed [`TuningCache`] keyed by chain content
+//!   (dtype included), input-transpose layout, device, and search
+//!   configuration;
+//! * tunes independent chains in parallel with deterministic results:
+//!   each chain runs on its own virtual clock (merged afterwards), so
+//!   the winning candidates and every aggregate are identical at any
+//!   parallelism degree.
+//!
+//! ```
+//! use mcfuser_core::FusionEngine;
+//! use mcfuser_ir::ChainSpec;
+//! use mcfuser_sim::DeviceSpec;
+//!
+//! let engine = FusionEngine::builder(DeviceSpec::a100()).build();
+//! let chain = ChainSpec::gemm_chain("demo", 1, 256, 128, 64, 64);
+//! let tuned = engine.tune(&chain).unwrap();
+//! assert!(tuned.profile.time > 0.0);
+//! // The second request is served from the session cache.
+//! let again = engine.tune(&chain).unwrap();
+//! assert_eq!(again.candidate, tuned.candidate);
+//! assert_eq!(engine.stats().cache_hits, 1);
+//! ```
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rustc_hash::FxHashMap;
+
+use mcfuser_ir::{partition, ChainSpec, Graph, NodeId};
+use mcfuser_sim::{
+    execute, measure_noisy, DeviceSpec, HostTensor, TensorStorage, TuningClock, TuningReport,
+};
+use mcfuser_tile::{lower, Candidate, LoweringOptions, TilingExpr};
+
+use crate::cache::{CacheKey, CachedTuning, JsonDiskCache, MemoryCache, TuningCache};
+use crate::compiler::OpCostModel;
+use crate::search::SearchParams;
+use crate::tuner::{McFuser, SpacePolicy, TuneError, TunedKernel};
+
+/// One fused sub-graph in a compiled model.
+#[derive(Debug, Clone)]
+pub struct CompiledChain {
+    /// The extracted chain.
+    pub chain: ChainSpec,
+    /// Tuned kernel.
+    pub tuned: TunedKernel,
+    /// Graph nodes the kernel replaces.
+    pub nodes: Vec<NodeId>,
+    /// Chain data inputs as graph nodes.
+    pub data_inputs: Vec<NodeId>,
+    /// The graph node whose value the kernel produces.
+    pub output: NodeId,
+    /// Inputs stored transposed in the graph relative to chain layout.
+    pub transposed_inputs: Vec<bool>,
+    /// Whether this chain spent no new measurements in this compile —
+    /// served from the engine cache, or deduplicated against an
+    /// identical chain tuned earlier in the same batch.
+    pub cache_hit: bool,
+}
+
+/// A compiled end-to-end model.
+#[derive(Debug)]
+pub struct CompiledModel {
+    /// Model name.
+    pub name: String,
+    /// Fused chains with their kernels.
+    pub chains: Vec<CompiledChain>,
+    /// Per-op times of the non-fused remainder.
+    pub rest_times: Vec<(NodeId, f64)>,
+    /// Fallback backend used for the remainder.
+    pub fallback: String,
+    /// Total inference time (seconds) = fused kernels + remainder.
+    pub total_time: f64,
+    /// Time spent in fused chains only.
+    pub chain_time: f64,
+    /// Virtual tuning time this compile actually spent (cache hits cost
+    /// nothing) plus the fallback's preparation cost.
+    pub tuning_seconds: f64,
+}
+
+/// Where the engine keeps tuning results.
+#[derive(Debug, Clone, Default)]
+pub enum CachePolicy {
+    /// No reuse across requests (identical chains inside one `compile`
+    /// still share a single tuning via in-flight deduplication).
+    Disabled,
+    /// In-memory, for the lifetime of the engine.
+    #[default]
+    InMemory,
+    /// Write-through JSON file: a fresh engine (or process) pointed at
+    /// the same path reuses every schedule tuned before it started.
+    DiskJson(PathBuf),
+}
+
+/// Counters describing what a session has done so far.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Tuning requests answered from the cache.
+    pub cache_hits: u64,
+    /// Tuning requests that ran the full search pipeline.
+    pub cache_misses: u64,
+    /// Graphs compiled.
+    pub graphs_compiled: u64,
+}
+
+/// Configures and constructs a [`FusionEngine`].
+pub struct EngineBuilder {
+    device: DeviceSpec,
+    params: SearchParams,
+    policy: SpacePolicy,
+    fallback: Option<Arc<dyn OpCostModel + Send + Sync>>,
+    cache: CachePolicy,
+    custom_cache: Option<Box<dyn TuningCache>>,
+    parallelism: usize,
+}
+
+impl EngineBuilder {
+    /// Start configuring an engine for a target device.
+    pub fn new(device: DeviceSpec) -> Self {
+        EngineBuilder {
+            device,
+            params: SearchParams::default(),
+            policy: SpacePolicy::default(),
+            fallback: None,
+            cache: CachePolicy::default(),
+            custom_cache: None,
+            parallelism: 1,
+        }
+    }
+
+    /// Algorithm 1 parameters (population, top-n, convergence ε, …).
+    pub fn search_params(mut self, params: SearchParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Search-space construction policy (full space by default; the
+    /// restricted variants drive the ablation study).
+    pub fn space_policy(mut self, policy: SpacePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Backend pricing the operators MCFuser does not fuse. Required for
+    /// [`FusionEngine::compile`]; chain-only sessions can omit it.
+    pub fn fallback(mut self, fallback: impl OpCostModel + Send + 'static) -> Self {
+        self.fallback = Some(Arc::new(fallback));
+        self
+    }
+
+    /// Like [`EngineBuilder::fallback`], for an already-shared backend.
+    pub fn fallback_arc(mut self, fallback: Arc<dyn OpCostModel + Send + Sync>) -> Self {
+        self.fallback = Some(fallback);
+        self
+    }
+
+    /// Where tuning results live (default: in-memory for the engine's
+    /// lifetime).
+    pub fn cache(mut self, policy: CachePolicy) -> Self {
+        self.cache = policy;
+        self.custom_cache = None;
+        self
+    }
+
+    /// Bring your own [`TuningCache`] implementation.
+    pub fn cache_store(mut self, cache: Box<dyn TuningCache>) -> Self {
+        self.custom_cache = Some(cache);
+        self
+    }
+
+    /// Number of worker threads for independent chains (1 = serial;
+    /// results are bit-identical at any degree). 0 selects the host's
+    /// available parallelism.
+    pub fn parallelism(mut self, degree: usize) -> Self {
+        self.parallelism = if degree == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            degree
+        };
+        self
+    }
+
+    /// Construct the engine.
+    pub fn build(self) -> FusionEngine {
+        let cache: Option<Box<dyn TuningCache>> = match (self.custom_cache, &self.cache) {
+            (Some(c), _) => Some(c),
+            (None, CachePolicy::Disabled) => None,
+            (None, CachePolicy::InMemory) => Some(Box::new(MemoryCache::new())),
+            (None, CachePolicy::DiskJson(path)) => Some(Box::new(JsonDiskCache::open(path))),
+        };
+        FusionEngine {
+            device: self.device,
+            tuner: McFuser {
+                params: self.params,
+            },
+            policy: self.policy,
+            fallback: self.fallback,
+            cache,
+            parallelism: self.parallelism.max(1),
+            clock: TuningClock::new(),
+            stats: Mutex::new(EngineStats::default()),
+        }
+    }
+}
+
+/// A configured fusion session: tuning, graph compilation, and execution
+/// through one object. All methods take `&self`; the engine is `Sync`
+/// and safe to share across request threads.
+pub struct FusionEngine {
+    device: DeviceSpec,
+    tuner: McFuser,
+    policy: SpacePolicy,
+    fallback: Option<Arc<dyn OpCostModel + Send + Sync>>,
+    cache: Option<Box<dyn TuningCache>>,
+    parallelism: usize,
+    clock: TuningClock,
+    stats: Mutex<EngineStats>,
+}
+
+impl std::fmt::Debug for FusionEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FusionEngine")
+            .field("device", &self.device.name)
+            .field("parallelism", &self.parallelism)
+            .field("cached_entries", &self.cache.as_ref().map(|c| c.len()))
+            .field("fallback", &self.fallback.as_ref().map(|b| b.name()))
+            .finish()
+    }
+}
+
+impl FusionEngine {
+    /// Start building an engine for a target device.
+    pub fn builder(device: DeviceSpec) -> EngineBuilder {
+        EngineBuilder::new(device)
+    }
+
+    /// The target device.
+    pub fn device(&self) -> &DeviceSpec {
+        &self.device
+    }
+
+    /// The session's search parameters.
+    pub fn params(&self) -> &SearchParams {
+        &self.tuner.params
+    }
+
+    /// Session counters (cache hits/misses, graphs compiled).
+    pub fn stats(&self) -> EngineStats {
+        self.stats.lock().clone()
+    }
+
+    /// Aggregate virtual tuning cost of everything this session tuned
+    /// fresh (cache hits charge nothing).
+    pub fn session_report(&self) -> TuningReport {
+        self.clock.report()
+    }
+
+    /// Tune one chain in its natural layout.
+    pub fn tune(&self, chain: &ChainSpec) -> Result<TunedKernel, TuneError> {
+        self.tune_with_layout(chain, &[])
+    }
+
+    /// Tune one chain whose inputs the surrounding graph stores in the
+    /// given transpose layout (one flag per input; empty = natural).
+    /// Layout is part of the cache identity: two chains differing only
+    /// in how their inputs are stored never share a schedule.
+    pub fn tune_with_layout(
+        &self,
+        chain: &ChainSpec,
+        transposed_inputs: &[bool],
+    ) -> Result<TunedKernel, TuneError> {
+        let (tuned, fresh) = self.tune_entry(chain, transposed_inputs)?;
+        if let Some(report) = &fresh {
+            self.clock.absorb(report);
+        }
+        Ok(tuned)
+    }
+
+    /// Tune many independent chains, in parallel up to the configured
+    /// degree. Results come back in input order and are identical to a
+    /// serial run (duplicates are deduplicated up front, and fresh
+    /// tuning costs are folded into the session clock in input order,
+    /// so aggregates are bit-identical at any parallelism degree).
+    pub fn tune_many(&self, chains: &[ChainSpec]) -> Vec<Result<TunedKernel, TuneError>> {
+        let tasks: Vec<(&ChainSpec, &[bool])> =
+            chains.iter().map(|c| (c, &[] as &[bool])).collect();
+        self.tune_tasks(&tasks)
+            .0
+            .into_iter()
+            .map(|r| r.map(|(t, _)| t))
+            .collect()
+    }
+
+    /// Deduplicate tasks by cache key, tune each unique task once (in
+    /// parallel), absorb fresh costs deterministically, and fan results
+    /// back out in input order. The bool in each result marks cache
+    /// hits; the second return value is the total virtual seconds of
+    /// fresh tuning (each unique task counted once).
+    #[allow(clippy::type_complexity)]
+    fn tune_tasks(
+        &self,
+        tasks: &[(&ChainSpec, &[bool])],
+    ) -> (Vec<Result<(TunedKernel, bool), TuneError>>, f64) {
+        let mut unique: Vec<(&ChainSpec, &[bool])> = Vec::new();
+        let mut task_of: Vec<usize> = Vec::with_capacity(tasks.len());
+        let mut index_of: FxHashMap<String, usize> = FxHashMap::default();
+        for &(chain, layout) in tasks {
+            let key = self.key_for(chain, layout).canonical();
+            let idx = *index_of.entry(key).or_insert_with(|| {
+                unique.push((chain, layout));
+                unique.len() - 1
+            });
+            task_of.push(idx);
+        }
+
+        let results = self.run_jobs(unique.len(), |i| {
+            let (chain, layout) = unique[i];
+            self.tune_entry(chain, layout)
+        });
+
+        // Fold fresh tuning costs into the session clock in job order —
+        // doing this on the worker threads would make the f64 sums
+        // depend on completion order.
+        let mut fresh_seconds = 0.0;
+        for r in &results {
+            if let Ok((_, Some(report))) = r {
+                self.clock.absorb(report);
+                fresh_seconds += report.virtual_seconds;
+            }
+        }
+
+        // Fan out in input order. Only the first occurrence of a fresh
+        // tuning is "paid for"; duplicates of it (and all true cache
+        // hits) spent nothing and are flagged accordingly.
+        let mut paid = vec![false; results.len()];
+        let fanned = task_of
+            .into_iter()
+            .map(|idx| match &results[idx] {
+                Ok((t, fresh)) => {
+                    let free = fresh.is_none() || paid[idx];
+                    paid[idx] = true;
+                    Ok((t.clone(), free))
+                }
+                Err(e) => Err(e.clone()),
+            })
+            .collect();
+        (fanned, fresh_seconds)
+    }
+
+    /// Compile a graph end to end with the engine's configured fallback:
+    /// partition into MBCI sub-graphs, tune each (in parallel, with
+    /// cache reuse), price the remainder.
+    pub fn compile(&self, graph: &Graph) -> Result<CompiledModel, TuneError> {
+        let fallback = self
+            .fallback
+            .clone()
+            .ok_or_else(|| TuneError::MissingFallback {
+                graph: graph.name.clone(),
+            })?;
+        self.compile_with_fallback(graph, fallback.as_ref())
+    }
+
+    /// Compile with an explicit fallback, overriding (or standing in
+    /// for) the configured one. Useful for comparing fallback backends
+    /// while sharing one engine's tuning cache.
+    pub fn compile_with_fallback(
+        &self,
+        graph: &Graph,
+        fallback: &dyn OpCostModel,
+    ) -> Result<CompiledModel, TuneError> {
+        let part = partition(graph, &self.device);
+
+        // Identical tuning tasks (e.g. the attention of every layer) are
+        // deduplicated by tune_tasks and tuned once, then fanned back out
+        // in partition order.
+        let tasks: Vec<(&ChainSpec, &[bool])> = part
+            .chains
+            .iter()
+            .map(|fc| (&fc.chain, fc.transposed_inputs.as_slice()))
+            .collect();
+        let (results, fresh_tuning_seconds) = self.tune_tasks(&tasks);
+
+        let mut chains = Vec::with_capacity(part.chains.len());
+        let mut chain_time = 0.0;
+        for (fc, result) in part.chains.iter().zip(results) {
+            let (t, cache_hit) = result?;
+            chain_time += t.profile.time;
+            chains.push(CompiledChain {
+                chain: fc.chain.clone(),
+                tuned: t,
+                nodes: fc.nodes.clone(),
+                data_inputs: fc.data_inputs.clone(),
+                output: fc.output,
+                transposed_inputs: fc.transposed_inputs.clone(),
+                cache_hit,
+            });
+        }
+
+        let rest_times: Vec<(NodeId, f64)> = part
+            .rest
+            .iter()
+            .map(|&n| (n, fallback.op_time(graph, n, &self.device)))
+            .collect();
+        let rest_total: f64 = rest_times.iter().map(|(_, t)| t).sum();
+        let tuning_seconds =
+            fresh_tuning_seconds + fallback.tuning_seconds(graph, &part.rest, &self.device);
+        self.stats.lock().graphs_compiled += 1;
+        Ok(CompiledModel {
+            name: graph.name.clone(),
+            chains,
+            rest_times,
+            fallback: fallback.name().to_string(),
+            total_time: chain_time + rest_total,
+            chain_time,
+            tuning_seconds,
+        })
+    }
+
+    /// Execute a compiled model *for value*: fused chains run on the
+    /// simulator's functional interpreter, every other operator on the
+    /// CPU reference, and fused outputs flow into downstream operators.
+    /// Returns the value of every graph node (like
+    /// [`mcfuser_ir::evaluate`]).
+    pub fn execute(
+        &self,
+        graph: &Graph,
+        model: &CompiledModel,
+        inputs: &FxHashMap<NodeId, HostTensor>,
+        seed: u64,
+    ) -> Result<Vec<HostTensor>, Box<dyn std::error::Error>> {
+        execute_model(graph, model, inputs, seed)
+    }
+
+    fn key_for(&self, chain: &ChainSpec, transposed_inputs: &[bool]) -> CacheKey {
+        CacheKey::new(
+            chain,
+            transposed_inputs,
+            &self.device,
+            &self.tuner.params,
+            &self.policy,
+        )
+    }
+
+    /// Tune one task, consulting the cache. Returns the kernel plus the
+    /// fresh-tuning report (`None` on a cache hit).
+    fn tune_entry(
+        &self,
+        chain: &ChainSpec,
+        transposed_inputs: &[bool],
+    ) -> Result<(TunedKernel, Option<TuningReport>), TuneError> {
+        let key = self.key_for(chain, transposed_inputs);
+        if let Some(cache) = &self.cache {
+            if let Some(entry) = cache.get(&key) {
+                if let Some(t) = self.rehydrate(chain, &entry) {
+                    self.stats.lock().cache_hits += 1;
+                    return Ok((t, None));
+                }
+            }
+        }
+        let local = TuningClock::new();
+        let tuned = self
+            .tuner
+            .tune_with_policy(chain, &self.device, &local, &self.policy)?;
+        // The local report is returned to the caller, which absorbs it
+        // into the session clock in deterministic (input) order — never
+        // here on a worker thread, where completion order would make the
+        // f64 sums scheduling-dependent.
+        let report = local.report();
+        self.stats.lock().cache_misses += 1;
+        if let Some(cache) = &self.cache {
+            cache.put(&key, CachedTuning::from_tuned(&tuned));
+        }
+        Ok((tuned, Some(report)))
+    }
+
+    /// Rebuild a [`TunedKernel`] from a cached schedule: parse the
+    /// expression, re-lower (deterministic, virtually free), re-derive
+    /// the profile. No measurements are charged — that is the point of
+    /// the cache. Returns `None` if the entry does not fit the chain
+    /// (treated as a miss).
+    fn rehydrate(&self, chain: &ChainSpec, entry: &CachedTuning) -> Option<TunedKernel> {
+        let expr = TilingExpr::parse(&entry.expr, chain)?;
+        if entry.tiles.len() != chain.num_axes() {
+            return None;
+        }
+        let candidate = Candidate::new(expr, entry.tiles.clone());
+        let opts = if self.tuner.params.dead_loop_elimination {
+            LoweringOptions::for_device(&self.device)
+        } else {
+            LoweringOptions::for_device(&self.device).without_dead_loop_elimination()
+        };
+        let kernel = lower(chain, &candidate, &opts).ok()?;
+        if kernel.smem_bytes > self.device.smem_per_block {
+            return None;
+        }
+        let profile = measure_noisy(&kernel.program, &self.device, self.tuner.params.seed);
+        Some(TunedKernel {
+            chain: chain.clone(),
+            candidate,
+            kernel,
+            profile,
+            tuning: entry.tuning.clone(),
+            prune_stats: entry.prune_stats.clone(),
+            rounds: entry.rounds,
+            measured: entry.measured,
+        })
+    }
+
+    /// Run `n` independent jobs, in parallel up to the configured
+    /// degree, collecting results in job order (deterministic for
+    /// deterministic jobs regardless of scheduling).
+    fn run_jobs<T, F>(&self, n: usize, job: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let workers = self.parallelism.min(n);
+        if workers <= 1 {
+            return (0..n).map(job).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::SeqCst);
+                    if i >= n {
+                        break;
+                    }
+                    let result = job(i);
+                    *slots[i].lock() = Some(result);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|m| m.into_inner().expect("every job slot filled"))
+            .collect()
+    }
+}
+
+/// Shared implementation of model execution (also backs the deprecated
+/// free function `execute_compiled`).
+pub(crate) fn execute_model(
+    graph: &Graph,
+    model: &CompiledModel,
+    inputs: &FxHashMap<NodeId, HostTensor>,
+    seed: u64,
+) -> Result<Vec<HostTensor>, Box<dyn std::error::Error>> {
+    // Which nodes are produced by a fused kernel.
+    let mut chain_output: FxHashMap<NodeId, usize> = FxHashMap::default();
+    for (ci, cc) in model.chains.iter().enumerate() {
+        chain_output.insert(cc.output, ci);
+    }
+
+    let mut values: Vec<Option<HostTensor>> = vec![None; graph.nodes.len()];
+    for i in 0..graph.nodes.len() {
+        let id = NodeId(i);
+        let v = if let Some(&ci) = chain_output.get(&id) {
+            let cc = &model.chains[ci];
+            let program = &cc.tuned.kernel.program;
+            let mut st = TensorStorage::for_program(program);
+            for (j, &node) in cc.data_inputs.iter().enumerate() {
+                let src = values[node.0].as_ref().expect("topological order");
+                let v = if cc.transposed_inputs.get(j).copied().unwrap_or(false) {
+                    src.transpose_last2()
+                } else {
+                    src.clone()
+                };
+                // Chain buffers are [batch, rows, cols]; graph tensors may
+                // be flat 2-D (batch = 1) — reshape by element count.
+                let want = &program.buffers[j].shape;
+                let elems: u64 = want.iter().product();
+                assert_eq!(elems as usize, v.data.len(), "chain input shape mismatch");
+                st.tensors[j] = HostTensor::from_vec(want, v.data);
+            }
+            execute(program, &mut st)?;
+            let out = st.tensors.last().unwrap();
+            let out_shape = graph.node(id).shape.clone();
+            HostTensor::from_vec(&out_shape, out.data.clone())
+        } else {
+            // Interior chain nodes are evaluated too (cheap, keeps the
+            // value table total); everything else is plain reference.
+            mcfuser_ir::evaluate_node(graph, id, &values, inputs, seed)?
+        };
+        values[i] = Some(v);
+    }
+    Ok(values.into_iter().map(Option::unwrap).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcfuser_ir::GraphBuilder;
+    use mcfuser_sim::DType;
+
+    struct FlatCost;
+    impl OpCostModel for FlatCost {
+        fn name(&self) -> &str {
+            "flat"
+        }
+        fn op_time(&self, _g: &Graph, _n: NodeId, _d: &DeviceSpec) -> f64 {
+            10e-6
+        }
+        fn tuning_seconds(&self, _g: &Graph, nodes: &[NodeId], _d: &DeviceSpec) -> f64 {
+            nodes.len() as f64 * 0.5
+        }
+    }
+
+    fn tiny_attention_graph() -> Graph {
+        let mut gb = GraphBuilder::new("attn", DType::F16);
+        let q = gb.input("q", vec![2, 64, 32]);
+        let k = gb.input("k", vec![2, 64, 32]);
+        let v = gb.input("v", vec![2, 64, 32]);
+        let s = gb.batch_matmul("qk", q, k, true);
+        let p = gb.softmax("sm", s, 1.0 / (32f32).sqrt());
+        let o = gb.batch_matmul("pv", p, v, false);
+        let ln = gb.layer_norm("ln", o);
+        gb.finish(vec![ln])
+    }
+
+    #[test]
+    fn engine_tunes_and_caches() {
+        let engine = FusionEngine::builder(DeviceSpec::a100()).build();
+        let chain = ChainSpec::gemm_chain("g", 1, 256, 128, 64, 64);
+        let first = engine.tune(&chain).unwrap();
+        let measurements_after_first = engine.session_report().measurements;
+        assert!(measurements_after_first > 0);
+        let second = engine.tune(&chain).unwrap();
+        assert_eq!(first.candidate, second.candidate);
+        assert_eq!(first.profile.time, second.profile.time);
+        // The hit spent nothing on the session clock.
+        assert_eq!(
+            engine.session_report().measurements,
+            measurements_after_first
+        );
+        assert_eq!(
+            engine.stats(),
+            EngineStats {
+                cache_hits: 1,
+                cache_misses: 1,
+                graphs_compiled: 0
+            }
+        );
+    }
+
+    #[test]
+    fn compile_fuses_attention_and_prices_rest() {
+        let engine = FusionEngine::builder(DeviceSpec::a100())
+            .fallback(FlatCost)
+            .build();
+        let model = engine.compile(&tiny_attention_graph()).unwrap();
+        assert_eq!(model.chains.len(), 1);
+        assert_eq!(model.rest_times.len(), 1); // the layer norm
+        assert!(model.total_time > model.chain_time);
+        assert!(model.tuning_seconds > 0.0);
+        assert!(!model.chains[0].cache_hit);
+    }
+
+    #[test]
+    fn compile_without_fallback_is_a_structured_error() {
+        let engine = FusionEngine::builder(DeviceSpec::a100()).build();
+        let err = engine.compile(&tiny_attention_graph()).unwrap_err();
+        assert_eq!(
+            err,
+            TuneError::MissingFallback {
+                graph: "attn".into()
+            }
+        );
+    }
+
+    #[test]
+    fn second_compile_is_served_from_cache() {
+        let engine = FusionEngine::builder(DeviceSpec::a100())
+            .fallback(FlatCost)
+            .build();
+        let g = tiny_attention_graph();
+        let first = engine.compile(&g).unwrap();
+        let second = engine.compile(&g).unwrap();
+        assert_eq!(first.total_time, second.total_time);
+        assert!(second.chains[0].cache_hit);
+        // Only the fallback's preparation cost remains.
+        assert!(second.tuning_seconds < first.tuning_seconds);
+        assert_eq!(engine.stats().cache_misses, 1);
+    }
+
+    #[test]
+    fn identical_chains_dedup_even_with_cache_disabled() {
+        let mut gb = GraphBuilder::new("two", DType::F16);
+        let mut outs = Vec::new();
+        for l in 0..2 {
+            let q = gb.input(format!("q{l}"), vec![2, 64, 32]);
+            let k = gb.input(format!("k{l}"), vec![2, 64, 32]);
+            let v = gb.input(format!("v{l}"), vec![2, 64, 32]);
+            let s = gb.batch_matmul(&format!("qk{l}"), q, k, true);
+            let p = gb.softmax(&format!("sm{l}"), s, 1.0);
+            let o = gb.batch_matmul(&format!("pv{l}"), p, v, false);
+            outs.push(o);
+        }
+        let g = gb.finish(outs);
+        let engine = FusionEngine::builder(DeviceSpec::a100())
+            .fallback(FlatCost)
+            .cache(CachePolicy::Disabled)
+            .build();
+        let model = engine.compile(&g).unwrap();
+        assert_eq!(model.chains.len(), 2);
+        assert_eq!(
+            model.chains[0].tuned.candidate,
+            model.chains[1].tuned.candidate
+        );
+        // One tuning session for two identical chains; the duplicate is
+        // flagged as costing nothing.
+        assert_eq!(engine.stats().cache_misses, 1);
+        assert!(!model.chains[0].cache_hit);
+        assert!(model.chains[1].cache_hit);
+    }
+
+    #[test]
+    fn parallel_compile_matches_serial() {
+        let g = tiny_attention_graph();
+        let run = |threads: usize| {
+            let engine = FusionEngine::builder(DeviceSpec::a100())
+                .fallback(FlatCost)
+                .parallelism(threads)
+                .build();
+            let m = engine.compile(&g).unwrap();
+            (
+                m.total_time,
+                m.tuning_seconds,
+                m.chains[0].tuned.candidate.clone(),
+            )
+        };
+        assert_eq!(run(1), run(8));
+    }
+}

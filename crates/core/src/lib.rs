@@ -8,30 +8,57 @@
 //! * [`perf_model`] — the analytical performance model, Eqs. 2–5 (§IV-A);
 //! * [`search`] — the heuristic evolutionary search with automatic
 //!   convergence, Algorithm 1 (§IV-B);
-//! * [`tuner`] — the per-chain entry point ([`McFuser`]);
-//! * [`compiler`] — end-to-end graph compilation with MBCI partitioning
-//!   and fallback backends (§V-B): `MCFuser+Relay`, `MCFuser+Ansor`.
+//! * [`tuner`] — the per-chain pipeline ([`McFuser`]) and structured
+//!   [`TuneError`];
+//! * [`engine`] — the [`FusionEngine`] session API: one configured
+//!   object for tuning, end-to-end graph compilation with MBCI
+//!   partitioning and fallback backends (§V-B), and execution;
+//! * [`cache`] — the content-addressed [`TuningCache`] behind the
+//!   engine (in-memory and JSON-on-disk);
+//! * [`compiler`] — the [`OpCostModel`] fallback interface plus
+//!   deprecated free-function shims.
+//!
+//! Sessions are built once with explicit knobs, then reused:
 //!
 //! ```
-//! use mcfuser_core::McFuser;
+//! use mcfuser_core::{CachePolicy, FusionEngine, SearchParams};
 //! use mcfuser_ir::ChainSpec;
 //! use mcfuser_sim::DeviceSpec;
 //!
+//! let engine = FusionEngine::builder(DeviceSpec::a100())
+//!     .search_params(SearchParams::default())
+//!     .cache(CachePolicy::InMemory)
+//!     .parallelism(2)
+//!     .build();
+//!
 //! let chain = ChainSpec::gemm_chain("demo", 1, 256, 128, 64, 64);
-//! let tuned = McFuser::new().tune(&chain, &DeviceSpec::a100()).unwrap();
+//! let tuned = engine.tune(&chain).unwrap();
 //! assert!(tuned.profile.time > 0.0);
+//!
+//! // Identical requests are cache hits — no new measurements.
+//! let again = engine.tune(&chain).unwrap();
+//! assert_eq!(again.candidate, tuned.candidate);
+//! assert_eq!(engine.stats().cache_hits, 1);
 //! ```
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod compiler;
+pub mod engine;
 pub mod perf_model;
 pub mod prune;
 pub mod search;
 pub mod space;
 pub mod tuner;
 
-pub use compiler::{compile_graph, execute_compiled, CompiledChain, CompiledModel, OpCostModel};
+pub use cache::{CacheKey, CachedTuning, JsonDiskCache, MemoryCache, TuningCache};
+pub use compiler::OpCostModel;
+#[allow(deprecated)]
+pub use compiler::{compile_graph, execute_compiled};
+pub use engine::{
+    CachePolicy, CompiledChain, CompiledModel, EngineBuilder, EngineStats, FusionEngine,
+};
 pub use perf_model::{
     estimate, estimate_or_inf, estimate_or_inf_with, estimate_with, matmul_tile_intensity,
     ModelOptions, PerfEstimate,
@@ -39,4 +66,4 @@ pub use perf_model::{
 pub use prune::{prune, prune_with_cap, rule2_ok, rule3_tiles, PruneStats, PrunedSpace};
 pub use search::{heuristic_search, SearchOutcome, SearchParams};
 pub use space::SearchSpace;
-pub use tuner::{McFuser, TuneError, TunedKernel};
+pub use tuner::{build_pruned_space, McFuser, SpacePolicy, TuneError, TunedKernel};

@@ -31,7 +31,7 @@ use mcfuser_tile::{
 use crate::space::SearchSpace;
 
 /// Candidate counts after each pruning rule (the Fig. 7 waterfall).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PruneStats {
     /// Full space size.
     pub original: u128,

@@ -16,22 +16,138 @@ use crate::prune::{prune, PruneStats};
 use crate::search::{heuristic_search, SearchOutcome, SearchParams};
 use crate::space::SearchSpace;
 
-/// Tuning failure.
+/// Tuning failure, carrying enough context to identify which task of a
+/// multi-chain session failed and where.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum TuneError {
-    /// Every candidate was pruned or unlaunchable on the device.
-    NoViableCandidate,
+    /// Pruning left nothing to search (the space itself is empty).
+    EmptySearchSpace {
+        /// Chain name.
+        chain: String,
+        /// Device name.
+        device: String,
+    },
+    /// Candidates existed but every one failed lowering or exceeded the
+    /// device's launch limits.
+    NoViableCandidate {
+        /// Chain name.
+        chain: String,
+        /// Device name.
+        device: String,
+    },
+    /// `FusionEngine::compile` was called on an engine built without a
+    /// fallback `OpCostModel` for the non-fused remainder.
+    MissingFallback {
+        /// Graph name.
+        graph: String,
+    },
+}
+
+impl TuneError {
+    pub(crate) fn empty_space(chain: &ChainSpec, dev: &DeviceSpec) -> Self {
+        TuneError::EmptySearchSpace {
+            chain: chain.name.clone(),
+            device: dev.name.clone(),
+        }
+    }
+
+    pub(crate) fn no_viable(chain: &ChainSpec, dev: &DeviceSpec) -> Self {
+        TuneError::NoViableCandidate {
+            chain: chain.name.clone(),
+            device: dev.name.clone(),
+        }
+    }
 }
 
 impl std::fmt::Display for TuneError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            TuneError::NoViableCandidate => f.write_str("no viable fused kernel"),
+            TuneError::EmptySearchSpace { chain, device } => {
+                write!(f, "search space of chain '{chain}' is empty on {device}")
+            }
+            TuneError::NoViableCandidate { chain, device } => {
+                write!(f, "no viable fused kernel for chain '{chain}' on {device}")
+            }
+            TuneError::MissingFallback { graph } => write!(
+                f,
+                "cannot compile graph '{graph}': engine has no fallback backend \
+                 for non-fused operators (set one via EngineBuilder::fallback)"
+            ),
         }
     }
 }
 
 impl std::error::Error for TuneError {}
+
+/// How the tuner constructs the space it searches. The default is the
+/// full MCFuser pipeline; the alternatives reproduce the restricted
+/// configurations of the paper's ablation (§VI-E) and the
+/// MCFuser-Chimera comparator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpacePolicy {
+    /// Restrict to deep tilings only (Chimera's space restriction).
+    pub deep_tiling_only: bool,
+    /// Apply Rule 4 (shared-memory estimate filter). Disabling admits
+    /// every Rule-3 tile combination, so unlaunchable candidates reach
+    /// measurement — the `-rule4` ablation.
+    pub shared_memory_pruning: bool,
+}
+
+impl Default for SpacePolicy {
+    fn default() -> Self {
+        SpacePolicy {
+            deep_tiling_only: false,
+            shared_memory_pruning: true,
+        }
+    }
+}
+
+/// Materialize the pruned space a policy admits for a chain on a device.
+pub fn build_pruned_space(
+    chain: &ChainSpec,
+    dev: &DeviceSpec,
+    policy: &SpacePolicy,
+) -> crate::prune::PrunedSpace {
+    let mut space = SearchSpace::generate(chain);
+    if policy.deep_tiling_only {
+        space.exprs = mcfuser_tile::enumerate_deep(chain);
+    }
+    let mut pruned = prune(chain, dev, &space);
+    if !policy.shared_memory_pruning {
+        // Re-materialize without the shared-memory filter: every Rule-3
+        // tile combination is admitted (capped like the pruner's own
+        // materialization to keep memory bounded).
+        let mut cands = Vec::new();
+        let mut idx = vec![0usize; pruned.tile_domains.len()];
+        'outer: loop {
+            let tiles: Vec<u64> = idx
+                .iter()
+                .enumerate()
+                .map(|(a, &i)| pruned.tile_domains[a][i])
+                .collect();
+            for e in &pruned.exprs {
+                cands.push(Candidate::new(e.clone(), tiles.clone()));
+            }
+            let mut a = 0;
+            loop {
+                if a == idx.len() {
+                    break 'outer;
+                }
+                idx[a] += 1;
+                if idx[a] < pruned.tile_domains[a].len() {
+                    break;
+                }
+                idx[a] = 0;
+                a += 1;
+            }
+            if cands.len() > 150_000 {
+                break;
+            }
+        }
+        pruned.candidates = cands;
+    }
+    pruned
+}
 
 /// A tuned fused kernel with full provenance.
 #[derive(Debug, Clone)]
@@ -74,17 +190,31 @@ impl McFuser {
     }
 
     /// Tune, accumulating costs into an external clock (used by the
-    /// end-to-end compiler which tunes many sub-graphs).
+    /// engine/compiler layer which tunes many sub-graphs).
     pub fn tune_with_clock(
         &self,
         chain: &ChainSpec,
         dev: &DeviceSpec,
         clock: &TuningClock,
     ) -> Result<TunedKernel, TuneError> {
-        let space = SearchSpace::generate(chain);
-        let pruned = prune(chain, dev, &space);
+        self.tune_with_policy(chain, dev, clock, &SpacePolicy::default())
+    }
+
+    /// Tune over the space a [`SpacePolicy`] admits (the engine's
+    /// configurable pipeline; also drives the ablation variants).
+    pub fn tune_with_policy(
+        &self,
+        chain: &ChainSpec,
+        dev: &DeviceSpec,
+        clock: &TuningClock,
+        policy: &SpacePolicy,
+    ) -> Result<TunedKernel, TuneError> {
+        let pruned = build_pruned_space(chain, dev, policy);
+        if pruned.candidates.is_empty() {
+            return Err(TuneError::empty_space(chain, dev));
+        }
         let outcome: SearchOutcome = heuristic_search(chain, dev, &pruned, &self.params, clock)
-            .ok_or(TuneError::NoViableCandidate)?;
+            .ok_or_else(|| TuneError::no_viable(chain, dev))?;
         Ok(TunedKernel {
             chain: chain.clone(),
             candidate: outcome.best,

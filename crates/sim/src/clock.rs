@@ -70,7 +70,7 @@ impl CostProfile {
 }
 
 /// Counters of a finished tuning session.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct TuningReport {
     /// Accumulated virtual tuning time.
     pub virtual_seconds: f64,
@@ -127,6 +127,18 @@ impl TuningClock {
     /// Charge an arbitrary fixed cost (e.g. graph-level passes).
     pub fn charge_fixed(&self, seconds: f64) {
         self.inner.lock().virtual_seconds += seconds;
+    }
+
+    /// Fold another session's counters into this clock (used by the
+    /// engine layer, which tunes each chain on its own local clock and
+    /// merges the results so parallel tuning stays deterministic).
+    pub fn absorb(&self, other: &TuningReport) {
+        let mut g = self.inner.lock();
+        g.virtual_seconds += other.virtual_seconds;
+        g.compiles += other.compiles;
+        g.measurements += other.measurements;
+        g.train_rounds += other.train_rounds;
+        g.estimates += other.estimates;
     }
 
     /// Snapshot the counters.

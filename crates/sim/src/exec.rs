@@ -572,6 +572,7 @@ fn online_softmax(
         // Per-row: new max, rescale factor, probability materialization.
         let max_cols = smem.cols[row_max.0] as usize;
         let sum_cols = smem.cols[row_sum.0] as usize;
+        #[allow(clippy::needless_range_loop)]
         for r in 0..rows {
             let m_old = smem.bufs[row_max.0][r * max_cols];
             let mut m_tile = f32::NEG_INFINITY;
@@ -785,6 +786,7 @@ mod tests {
                 1.0,
             );
             // Accumulate "P @ ones" per row to test downstream consistency.
+            #[allow(clippy::needless_range_loop)]
             for r in 0..rows {
                 let alpha_applied: f32 = smem.bufs[0][r * cols..(r + 1) * cols].iter().sum();
                 acc_contrib[r] += alpha_applied; // acc rescale tested via bufs[3]

@@ -271,7 +271,7 @@ fn subtree_loops(expr: &TilingExpr) -> usize {
     }
 }
 
-#[allow(clippy::too_many_arguments)]
+#[allow(clippy::too_many_arguments, clippy::only_used_in_recursion)]
 fn build_scope(
     expr: &TilingExpr,
     chain: &ChainSpec,

@@ -278,6 +278,7 @@ pub fn lower(
     // acc_i is zeroed at the body start of the deepest live loop on C_i's
     // path whose axis is spatial for T_i; stats/output accs anchor at root.
     let mut fills_at: Vec<(Option<LoopId>, BlockStmt)> = Vec::new();
+    #[allow(clippy::needless_range_loop)]
     for op in 0..num_ops {
         let t = crate::stmt::compute_output(chain, op);
         let spatial = tensor_axes(chain, t);

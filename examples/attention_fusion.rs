@@ -55,7 +55,12 @@ fn main() {
     odd.dims = vec![64, 512, 96];
     let refusal = FlashAttention.run_chain(&odd, &device).unwrap_err();
     println!("\nFlashAttention on K=64,H=96: {refusal}");
-    println!("MCFuser handles it fine:");
-    let tuned = McFuserBackend::new().run_chain(&odd, &device).unwrap();
-    println!("  {:.2} us with schedule {}", tuned.time * 1e6, tuned.note);
+    println!("MCFuser handles it fine (direct engine session this time):");
+    let engine = FusionEngine::builder(device).build();
+    let tuned = engine.tune(&odd).unwrap();
+    println!(
+        "  {:.2} us with schedule {}",
+        tuned.profile.time * 1e6,
+        tuned.candidate.describe(&odd)
+    );
 }

@@ -1,13 +1,13 @@
-//! End-to-end compilation of a BERT encoder: partition the graph into
-//! MBCI sub-graphs, tune them with MCFuser, delegate the rest to Relay,
-//! and verify that fused execution matches pure reference evaluation.
+//! End-to-end compilation of a BERT encoder through one `FusionEngine`
+//! session: partition the graph into MBCI sub-graphs, tune them (in
+//! parallel), delegate the rest to Relay, and verify that fused
+//! execution matches pure reference evaluation.
 //!
 //! ```sh
 //! cargo run --release --example bert_end_to_end
 //! ```
 
 use mcfuser::baselines::Relay;
-use mcfuser::core::{compile_graph, execute_compiled};
 use mcfuser::ir::{evaluate, NodeId, Op};
 use mcfuser::prelude::*;
 use mcfuser::sim::HostTensor;
@@ -32,16 +32,21 @@ fn main() {
         graph.total_flops() / 1e9
     );
 
-    // Compile: MBCI partition + MCFuser chains + Relay for the rest.
-    let model = compile_graph(&graph, &device, &McFuser::new(), &Relay::new())
-        .expect("compilation succeeds");
+    // One session: MBCI partition + parallel chain tuning + Relay for
+    // the rest. Identical layers share a single tuning via the cache.
+    let engine = FusionEngine::builder(device)
+        .fallback(Relay::new())
+        .parallelism(0) // all cores
+        .build();
+    let model = engine.compile(&graph).expect("compilation succeeds");
     println!("fused chains      : {}", model.chains.len());
     for c in &model.chains {
         println!(
-            "  {} -> {} ({:.2} us)",
+            "  {} -> {} ({:.2} us{})",
             c.chain.name,
             c.tuned.candidate.describe(&c.chain),
-            c.tuned.profile.time * 1e6
+            c.tuned.profile.time * 1e6,
+            if c.cache_hit { ", cached" } else { "" }
         );
     }
     println!("chain time        : {:.1} us", model.chain_time * 1e6);
@@ -67,7 +72,9 @@ fn main() {
             );
         }
     }
-    let fused = execute_compiled(&graph, &model, &inputs, 7).expect("fused execution");
+    let fused = engine
+        .execute(&graph, &model, &inputs, 7)
+        .expect("fused execution");
     let reference = evaluate(&graph, &inputs, 7).expect("reference evaluation");
     let out = graph.outputs[0];
     let err = fused[out.0].rel_l2_error(&reference[out.0]);

@@ -1,5 +1,5 @@
-//! Quickstart: tune a fused kernel for a memory-bound GEMM chain and
-//! verify it computes the right answer.
+//! Quickstart: open a `FusionEngine` session, tune a fused kernel for a
+//! memory-bound GEMM chain, and verify it computes the right answer.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
@@ -23,10 +23,10 @@ fn main() {
     );
     assert!(chain.is_memory_bound(&device), "G1 must classify as MBCI");
 
-    // Tune: search space generation -> Rules 1-4 -> Algorithm 1.
-    let tuned = McFuser::new()
-        .tune(&chain, &device)
-        .expect("tuning succeeds");
+    // One session owns the whole pipeline: search-space generation ->
+    // Rules 1-4 -> Algorithm 1, plus the tuning cache.
+    let engine = FusionEngine::builder(device).build();
+    let tuned = engine.tune(&chain).expect("tuning succeeds");
     println!("\nwinning schedule : {}", tuned.candidate.describe(&chain));
     println!("kernel time      : {:.2} us", tuned.profile.time * 1e6);
     println!("thread blocks    : {}", tuned.profile.blocks);
@@ -38,6 +38,16 @@ fn main() {
     println!(
         "tuning cost      : {:.0} virtual s, {} measurements, {} free estimates",
         tuned.tuning.virtual_seconds, tuned.tuning.measurements, tuned.tuning.estimates
+    );
+
+    // Asking the session again is a cache hit: same schedule, no new
+    // measurements on the session clock.
+    let again = engine.tune(&chain).expect("cache hit");
+    assert_eq!(again.candidate, tuned.candidate);
+    let stats = engine.stats();
+    println!(
+        "session          : {} tuned fresh, {} served from cache",
+        stats.cache_misses, stats.cache_hits
     );
 
     // Verify the fused kernel against the CPU reference oracle.

@@ -41,7 +41,9 @@ fn main() {
                 "compute bound — fusion gains little; leave to per-op backends"
             }
         );
-        match McFuser::new().tune(&chain, &device) {
+        // One engine session per device (engines are device-bound).
+        let engine = FusionEngine::builder(device.clone()).build();
+        match engine.tune(&chain) {
             Ok(t) => {
                 println!(
                     "MCFuser: {} in {:.2} us ({} blocks, {} KiB smem, bound: {:?})",

@@ -1,14 +1,16 @@
-//! Integration: end-to-end graph compilation — partitioning, chain
-//! tuning, fallback pricing, and functional equivalence of the fused
-//! model with pure reference evaluation.
+//! Integration: end-to-end graph compilation through the `FusionEngine`
+//! session API — partitioning, chain tuning, fallback pricing, and
+//! functional equivalence of the fused model with pure reference
+//! evaluation.
 
 use rustc_hash::FxHashMap;
 
 use mcfuser::baselines::{Ansor, Relay};
-use mcfuser::core::{compile_graph, execute_compiled, McFuser};
 use mcfuser::ir::{evaluate, partition, NodeId, Op};
 use mcfuser::prelude::*;
 use mcfuser::workloads::{bert_graph, mixer_block, BertConfig};
+
+use mcfuser::core::OpCostModel as _;
 
 fn mini_bert() -> Graph {
     bert_graph(
@@ -40,6 +42,12 @@ fn inputs_for(graph: &Graph) -> FxHashMap<NodeId, mcfuser::sim::HostTensor> {
     m
 }
 
+fn engine_with_relay() -> FusionEngine {
+    FusionEngine::builder(DeviceSpec::a100())
+        .fallback(Relay::new())
+        .build()
+}
+
 #[test]
 fn bert_partition_finds_attention_per_layer() {
     let g = mini_bert();
@@ -51,10 +59,10 @@ fn bert_partition_finds_attention_per_layer() {
 #[test]
 fn compiled_bert_matches_reference_numerically() {
     let g = mini_bert();
-    let device = DeviceSpec::a100();
-    let model = compile_graph(&g, &device, &McFuser::new(), &Relay::new()).unwrap();
+    let engine = engine_with_relay();
+    let model = engine.compile(&g).unwrap();
     let inputs = inputs_for(&g);
-    let fused = execute_compiled(&g, &model, &inputs, 3).unwrap();
+    let fused = engine.execute(&g, &model, &inputs, 3).unwrap();
     let reference = evaluate(&g, &inputs, 3).unwrap();
     let out = g.outputs[0];
     let err = fused[out.0].rel_l2_error(&reference[out.0]);
@@ -66,7 +74,11 @@ fn fusion_reduces_total_time() {
     let g = mini_bert();
     let device = DeviceSpec::a100();
     let relay = Relay::new();
-    let model = compile_graph(&g, &device, &McFuser::new(), &relay).unwrap();
+    let model = FusionEngine::builder(device.clone())
+        .fallback(Relay::new())
+        .build()
+        .compile(&g)
+        .unwrap();
     // Price the same graph with no fusion at all.
     let all_nodes: Vec<NodeId> = g
         .nodes
@@ -90,37 +102,54 @@ fn fusion_reduces_total_time() {
 #[test]
 fn identical_layers_share_one_tuning_session() {
     let g = mini_bert();
-    let device = DeviceSpec::a100();
-    let model = compile_graph(&g, &device, &McFuser::new(), &Relay::new()).unwrap();
+    let engine = engine_with_relay();
+    let model = engine.compile(&g).unwrap();
     assert_eq!(model.chains.len(), 2);
     assert_eq!(
         model.chains[0].tuned.candidate, model.chains[1].tuned.candidate,
         "layer chains are identical and must share tuning"
     );
+    // The engine records exactly one fresh tuning for both layers.
+    assert_eq!(engine.stats().cache_misses, 1);
 }
 
 #[test]
 fn ansor_fallback_compiles_too() {
     let g = mini_bert();
-    let device = DeviceSpec::a100();
-    let model = compile_graph(&g, &device, &McFuser::new(), &Ansor::with_trials(30)).unwrap();
+    let engine = FusionEngine::builder(DeviceSpec::a100())
+        .fallback(Ansor::with_trials(30))
+        .build();
+    let model = engine.compile(&g).unwrap();
     assert_eq!(model.fallback, "Ansor");
     assert!(model.total_time.is_finite() && model.total_time > 0.0);
     assert!(model.tuning_seconds > 0.0);
 }
 
 #[test]
+fn fallbacks_can_share_one_engines_chain_cache() {
+    // Comparing fallbacks through one session: the chains are tuned
+    // once, then re-priced with a different remainder backend.
+    let g = mini_bert();
+    let engine = engine_with_relay();
+    let with_relay = engine.compile(&g).unwrap();
+    let with_ansor = engine
+        .compile_with_fallback(&g, &Ansor::with_trials(30))
+        .unwrap();
+    assert_eq!(with_relay.chain_time, with_ansor.chain_time);
+    assert_eq!(engine.stats().cache_misses, 1, "chains tuned exactly once");
+    assert!(with_ansor.chains.iter().all(|c| c.cache_hit));
+}
+
+#[test]
 fn mixer_block_compiles_and_fuses() {
     let g = mixer_block(128, 64, 64, 256);
-    let device = DeviceSpec::a100();
-    let model = compile_graph(&g, &device, &McFuser::new(), &Relay::new()).unwrap();
+    let engine = engine_with_relay();
+    let model = engine.compile(&g).unwrap();
     assert!(!model.chains.is_empty(), "token/channel MLPs should fuse");
     let inputs = inputs_for(&g);
-    let fused = execute_compiled(&g, &model, &inputs, 5).unwrap();
+    let fused = engine.execute(&g, &model, &inputs, 5).unwrap();
     let reference = evaluate(&g, &inputs, 5).unwrap();
     let out = g.outputs[0];
     let err = fused[out.0].rel_l2_error(&reference[out.0]);
     assert!(err < 5e-2, "mixer error {err}");
 }
-
-use mcfuser::core::OpCostModel as _;

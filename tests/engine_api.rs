@@ -1,0 +1,283 @@
+//! Integration: the `FusionEngine` session contract — cache-key
+//! soundness (the dtype/layout collision the old ad-hoc key had),
+//! disk-cache persistence across engine lifetimes, and determinism of
+//! parallel tuning.
+
+use std::path::PathBuf;
+
+use mcfuser::baselines::Relay;
+use mcfuser::core::{CacheKey, SearchParams, SpacePolicy};
+use mcfuser::ir::{evaluate, NodeId, Op};
+use mcfuser::prelude::*;
+use mcfuser::sim::HostTensor;
+use mcfuser::workloads::{bert_graph, BertConfig};
+use rustc_hash::FxHashMap;
+
+fn key_for(chain: &ChainSpec, layout: &[bool]) -> CacheKey {
+    CacheKey::new(
+        chain,
+        layout,
+        &DeviceSpec::a100(),
+        &SearchParams::default(),
+        &SpacePolicy::default(),
+    )
+}
+
+/// Regression for the old `format!("b{}m{}d{:?}e{:?}")` cache key, which
+/// silently ignored dtype: an f16 and an f32 chain of identical shape
+/// shared one `TunedKernel`. The `CacheKey` must distinguish them.
+#[test]
+fn cache_key_distinguishes_dtype() {
+    let f16 = ChainSpec::gemm_chain("g", 1, 256, 128, 64, 64);
+    let mut f32 = f16.clone();
+    f32.dtype = DType::F32;
+    assert_ne!(key_for(&f16, &[]), key_for(&f32, &[]));
+    assert_ne!(
+        key_for(&f16, &[]).canonical(),
+        key_for(&f32, &[]).canonical()
+    );
+}
+
+/// Same regression for the input-transpose layout (attention stores K as
+/// `[N, K]` while the chain's W₀ is `[K, N]`): layout is part of the
+/// tuning task's identity.
+#[test]
+fn cache_key_distinguishes_transposed_layout() {
+    let chain = ChainSpec::attention("s", 2, 128, 128, 32, 32);
+    let natural = key_for(&chain, &[false, false, false]);
+    let attention_layout = key_for(&chain, &[false, true, false]);
+    assert_ne!(natural, attention_layout);
+    assert_ne!(natural.canonical(), attention_layout.canonical());
+}
+
+/// `[]`, `[false]`, and `[false; n]` all describe the natural layout:
+/// a chain tuned directly (empty layout) must be a cache hit when the
+/// compiler later extracts the identical chain with explicit all-false
+/// transpose flags.
+#[test]
+fn natural_layout_is_shared_between_tune_and_compile() {
+    let engine = FusionEngine::builder(DeviceSpec::a100())
+        .fallback(Relay::new())
+        .build();
+    let chain = ChainSpec::gemm_chain("pre", 1, 512, 256, 64, 64);
+    engine.tune(&chain).unwrap();
+
+    let mut gb = GraphBuilder::new("g", DType::F16);
+    let x = gb.input("x", vec![512, 64]);
+    let y = gb.linear("fc1", x, 256, false);
+    let z = gb.linear("fc2", y, 64, false);
+    let g = gb.finish(vec![z]);
+    let model = engine.compile(&g).unwrap();
+    assert_eq!(model.chains.len(), 1);
+    assert!(
+        model.chains[0].cache_hit,
+        "all-false layout must reuse the natural-layout tuning"
+    );
+    assert_eq!(engine.stats().cache_misses, 1);
+}
+
+/// Everything else being equal, the key must also separate devices and
+/// search configurations (a schedule tuned for the A100 must never be
+/// served to the RTX 3080).
+#[test]
+fn cache_key_distinguishes_device_and_params() {
+    let chain = ChainSpec::gemm_chain("g", 1, 256, 128, 64, 64);
+    let params = SearchParams::default();
+    let policy = SpacePolicy::default();
+    let a100 = CacheKey::new(&chain, &[], &DeviceSpec::a100(), &params, &policy);
+    let r3080 = CacheKey::new(&chain, &[], &DeviceSpec::rtx3080(), &params, &policy);
+    assert_ne!(a100, r3080);
+    let other_params = SearchParams {
+        topk: params.topk + 4,
+        ..params
+    };
+    let tweaked = CacheKey::new(&chain, &[], &DeviceSpec::a100(), &other_params, &policy);
+    assert_ne!(a100, tweaked);
+}
+
+fn temp_cache_path(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mcfuser-engine-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{tag}.json"))
+}
+
+/// Tune → persist → a *fresh* engine pointed at the same file serves the
+/// schedule from disk: identical result, zero new measurements.
+#[test]
+fn disk_cache_round_trip_spends_no_measurements() {
+    let path = temp_cache_path("round-trip");
+    let _ = std::fs::remove_file(&path);
+    let chain = ChainSpec::attention("s", 4, 256, 256, 64, 64);
+
+    let first = FusionEngine::builder(DeviceSpec::a100())
+        .cache(CachePolicy::DiskJson(path.clone()))
+        .build();
+    let tuned = first.tune(&chain).unwrap();
+    assert!(first.session_report().measurements > 0);
+    drop(first);
+
+    let fresh = FusionEngine::builder(DeviceSpec::a100())
+        .cache(CachePolicy::DiskJson(path.clone()))
+        .build();
+    let cached = fresh.tune(&chain).unwrap();
+    assert_eq!(cached.candidate, tuned.candidate);
+    assert_eq!(cached.profile.time, tuned.profile.time);
+    assert_eq!(
+        fresh.session_report().measurements,
+        0,
+        "a disk hit must cost zero new measurements"
+    );
+    assert_eq!(fresh.stats().cache_hits, 1);
+    assert_eq!(fresh.stats().cache_misses, 0);
+    let _ = std::fs::remove_file(&path);
+}
+
+/// The whole compile path through the disk cache: a fresh engine
+/// compiles the same model without tuning anything.
+#[test]
+fn disk_cached_compile_is_tuning_free() {
+    let path = temp_cache_path("compile");
+    let _ = std::fs::remove_file(&path);
+    let g = bert_graph(
+        "bert-cache",
+        &BertConfig {
+            layers: 2,
+            hidden: 128,
+            heads: 4,
+            seq: 64,
+            intermediate: 512,
+        },
+    );
+
+    let first = FusionEngine::builder(DeviceSpec::a100())
+        .fallback(Relay::new())
+        .cache(CachePolicy::DiskJson(path.clone()))
+        .build();
+    let warm = first.compile(&g).unwrap();
+    drop(first);
+
+    let fresh = FusionEngine::builder(DeviceSpec::a100())
+        .fallback(Relay::new())
+        .cache(CachePolicy::DiskJson(path.clone()))
+        .build();
+    let cold_start = fresh.compile(&g).unwrap();
+    assert_eq!(cold_start.total_time, warm.total_time);
+    assert!(cold_start.chains.iter().all(|c| c.cache_hit));
+    assert_eq!(fresh.session_report().measurements, 0);
+    // Only the fallback's preparation cost remains.
+    assert!(cold_start.tuning_seconds < warm.tuning_seconds);
+
+    // And the cached model still computes the right values.
+    let mut inputs: FxHashMap<NodeId, HostTensor> = FxHashMap::default();
+    for (i, node) in g.nodes.iter().enumerate() {
+        if matches!(node.op, Op::Input) {
+            let len: u64 = node.shape.iter().product();
+            inputs.insert(
+                NodeId(i),
+                HostTensor::from_vec(
+                    &node.shape,
+                    (0..len).map(|x| ((x % 23) as f32 - 11.0) / 23.0).collect(),
+                ),
+            );
+        }
+    }
+    let fused = fresh.execute(&g, &cold_start, &inputs, 11).unwrap();
+    let reference = evaluate(&g, &inputs, 11).unwrap();
+    let out = g.outputs[0];
+    let err = fused[out.0].rel_l2_error(&reference[out.0]);
+    assert!(err < 5e-2, "cached model error {err}");
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Parallel tuning must be observationally identical to serial: same
+/// candidates, same `CompiledModel.total_time`, same aggregate tuning
+/// cost, at parallelism 1 and 8.
+#[test]
+fn parallel_and_serial_sessions_agree() {
+    let g = bert_graph(
+        "bert-par",
+        &BertConfig {
+            layers: 2,
+            hidden: 128,
+            heads: 4,
+            seq: 64,
+            intermediate: 512,
+        },
+    );
+    let chains: Vec<ChainSpec> = vec![
+        ChainSpec::gemm_chain("g1", 1, 512, 256, 64, 64),
+        ChainSpec::attention("s1", 4, 256, 256, 64, 64),
+        ChainSpec::gemm_chain("g2", 2, 256, 256, 128, 64),
+        ChainSpec::attention("s2", 2, 128, 128, 32, 32),
+    ];
+
+    let run = |parallelism: usize| {
+        let engine = FusionEngine::builder(DeviceSpec::a100())
+            .fallback(Relay::new())
+            .parallelism(parallelism)
+            .build();
+        let tuned: Vec<TunedKernel> = engine
+            .tune_many(&chains)
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect();
+        let model = engine.compile(&g).unwrap();
+        let report = engine.session_report();
+        (
+            tuned
+                .iter()
+                .map(|t| (t.candidate.clone(), t.profile.time.to_bits()))
+                .collect::<Vec<_>>(),
+            model.total_time.to_bits(),
+            model
+                .chains
+                .iter()
+                .map(|c| c.tuned.candidate.clone())
+                .collect::<Vec<_>>(),
+            report.measurements,
+            report.virtual_seconds.to_bits(),
+        )
+    };
+
+    let serial = run(1);
+    let parallel = run(8);
+    assert_eq!(serial.0, parallel.0, "per-chain results must match");
+    assert_eq!(serial.1, parallel.1, "total_time must be bit-identical");
+    assert_eq!(serial.2, parallel.2, "compiled candidates must match");
+    assert_eq!(serial.3, parallel.3, "measurement counts must match");
+    assert_eq!(serial.4, parallel.4, "virtual cost must be bit-identical");
+}
+
+/// Structured errors carry the failing chain and device.
+#[test]
+fn tune_error_carries_context() {
+    // A degenerate chain whose only tile candidates cannot be launched:
+    // huge dims with a tiny shared-memory device is impractical to build
+    // here, so exercise the MissingFallback variant instead plus the
+    // Display form of NoViableCandidate.
+    let engine = FusionEngine::builder(DeviceSpec::a100()).build();
+    let g = bert_graph(
+        "bert-err",
+        &BertConfig {
+            layers: 1,
+            hidden: 128,
+            heads: 4,
+            seq: 64,
+            intermediate: 512,
+        },
+    );
+    let err = engine.compile(&g).unwrap_err();
+    assert_eq!(
+        err,
+        TuneError::MissingFallback {
+            graph: "bert-err".into()
+        }
+    );
+    assert!(err.to_string().contains("bert-err"));
+
+    let nv = TuneError::NoViableCandidate {
+        chain: "S9".into(),
+        device: "A100-PCIE-40GB".into(),
+    };
+    assert!(nv.to_string().contains("S9") && nv.to_string().contains("A100"));
+}

@@ -9,8 +9,9 @@ use mcfuser::sim::execute;
 /// Tune a chain and verify the winning kernel functionally.
 fn tune_and_verify(chain: &ChainSpec, seed: u64) {
     let device = DeviceSpec::a100();
-    let tuned = McFuser::new()
-        .tune(chain, &device)
+    let tuned = FusionEngine::builder(device)
+        .build()
+        .tune(chain)
         .unwrap_or_else(|e| panic!("{}: tuning failed: {e}", chain.name));
     let inputs = chain.random_inputs(seed);
     let mut st = TensorStorage::for_program(&tuned.kernel.program);
@@ -94,7 +95,10 @@ fn three_op_chain() {
 fn rtx3080_target_also_correct() {
     let chain = ChainSpec::attention("cc-a3080", 2, 96, 96, 32, 32);
     let device = DeviceSpec::rtx3080();
-    let tuned = McFuser::new().tune(&chain, &device).unwrap();
+    let tuned = FusionEngine::builder(device.clone())
+        .build()
+        .tune(&chain)
+        .unwrap();
     assert!(tuned.kernel.smem_bytes <= device.smem_per_block);
     let inputs = chain.random_inputs(10);
     let mut st = TensorStorage::for_program(&tuned.kernel.program);

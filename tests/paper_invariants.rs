@@ -2,7 +2,7 @@
 //! must hold on the reproduction (not the absolute numbers — the
 //! substrate is a simulator — but who wins, what grows, what shrinks).
 
-use mcfuser::core::{estimate, prune, McFuser, SearchSpace};
+use mcfuser::core::{estimate, prune, SearchSpace};
 use mcfuser::prelude::*;
 use mcfuser::sim::{measure, measure_noisy};
 use mcfuser::tile::{estimate_shmem_bytes, lower, LoweringOptions};
@@ -58,7 +58,10 @@ fn fig2_throughput_collapses_with_k() {
     let dev = DeviceSpec::a100();
     let t_of = |m: u64, k: u64| {
         let chain = ChainSpec::single_matmul("sweep", 1, m, m, k);
-        let tuned = McFuser::new().tune(&chain, &dev).unwrap();
+        let tuned = FusionEngine::builder(dev.clone())
+            .build()
+            .tune(&chain)
+            .unwrap();
         chain.flops() / tuned.profile.time
     };
     let fat = t_of(1024, 1024);
@@ -134,7 +137,10 @@ fn all_table_workloads_are_mbci_and_tunable() {
         .chain(attention_suite().into_iter().take(2))
     {
         assert!(chain.is_memory_bound(&dev), "{} not MBCI", chain.name);
-        let tuned = McFuser::new().tune(&chain, &dev).unwrap();
+        let tuned = FusionEngine::builder(dev.clone())
+            .build()
+            .tune(&chain)
+            .unwrap();
         assert!(tuned.profile.time.is_finite());
         assert!(tuned.kernel.smem_bytes <= dev.smem_per_block);
     }

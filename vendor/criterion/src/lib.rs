@@ -1,0 +1,157 @@
+//! In-tree stand-in for `criterion` (offline build). Provides the
+//! benchmark-definition API the workspace's benches use — groups,
+//! `bench_function`, `Bencher::iter` — with a simple wall-clock
+//! measurement loop (median of `sample_size` samples after one warm-up)
+//! instead of criterion's statistical machinery.
+
+use std::time::Instant;
+
+/// Re-export for benches that take `black_box` from criterion.
+pub use std::hint::black_box;
+
+/// Runs closures and times them.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    last_ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Time `f`, recording nanoseconds per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up iteration (also primes lazy state).
+        black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.last_ns_per_iter = start.elapsed().as_nanos() as f64 / self.iters as f64;
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timing samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.samples = samples.max(1);
+        self
+    }
+
+    /// Define one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut times: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let mut b = Bencher {
+                iters: 1,
+                last_ns_per_iter: 0.0,
+            };
+            f(&mut b);
+            times.push(b.last_ns_per_iter);
+        }
+        times.sort_by(|a, b| a.total_cmp(b));
+        let median = times[times.len() / 2];
+        println!(
+            "{}/{:<28} {:>12} / iter ({} samples)",
+            self.name,
+            id,
+            fmt_ns(median),
+            times.len()
+        );
+        self
+    }
+
+    /// Finish the group (printing is incremental; nothing to flush).
+    pub fn finish(self) {}
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// The benchmark harness entry object.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            samples: 10,
+            _criterion: self,
+        }
+    }
+
+    /// Define an ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let mut g = BenchmarkGroup {
+            name: "bench".to_string(),
+            samples: 10,
+            _criterion: self,
+        };
+        g.bench_function(id, f);
+        self
+    }
+}
+
+/// Collect benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test`/`cargo bench` pass harness flags; ignore them.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("demo");
+        g.sample_size(3);
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.finish();
+    }
+
+    #[test]
+    fn harness_runs() {
+        let mut c = Criterion::default();
+        sample_bench(&mut c);
+    }
+
+    #[test]
+    fn ns_formatting() {
+        assert_eq!(fmt_ns(500.0), "500 ns");
+        assert_eq!(fmt_ns(2.5e3), "2.50 us");
+        assert_eq!(fmt_ns(3.2e6), "3.20 ms");
+        assert_eq!(fmt_ns(1.1e9), "1.10 s");
+    }
+}

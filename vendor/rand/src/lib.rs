@@ -1,0 +1,305 @@
+//! In-tree stand-in for the `rand` crate (offline build). Provides the
+//! API surface the workspace uses — `StdRng`, `SeedableRng::seed_from_u64`,
+//! `Rng::{gen_range, gen_bool, gen}`, `SliceRandom::shuffle`, and
+//! `distributions::WeightedIndex` — backed by a deterministic
+//! xoshiro256** generator seeded via SplitMix64. Streams differ from the
+//! real crate's, but every consumer in this workspace only relies on
+//! determinism, not on a specific stream.
+
+use std::ops::Range;
+
+/// Construct a generator from seed material.
+pub trait SeedableRng: Sized {
+    /// Derive a full seed state from a single `u64`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that `gen_range` can sample uniformly from a half-open range.
+pub trait UniformSample: Copy + PartialOrd {
+    /// Sample uniformly from `[lo, hi)` given a raw 64-bit draw source.
+    fn sample_range<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformSample for $t {
+            #[inline]
+            fn sample_range<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u128;
+                let draw = ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % span;
+                (lo as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl UniformSample for f64 {
+    #[inline]
+    fn sample_range<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "gen_range: empty range");
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        lo + unit * (hi - lo)
+    }
+}
+
+impl UniformSample for f32 {
+    #[inline]
+    fn sample_range<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        f64::sample_range(rng, lo as f64, hi as f64) as f32
+    }
+}
+
+/// Values `Rng::gen` can produce without a range.
+pub trait Standard: Sized {
+    /// Draw one value.
+    fn draw<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn draw<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for f64 {
+    fn draw<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn draw<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        f64::draw(rng) as f32
+    }
+}
+
+impl Standard for bool {
+    fn draw<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The random-number-generator interface.
+pub trait Rng {
+    /// Next raw 64 bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from a half-open range.
+    #[inline]
+    fn gen_range<T: UniformSample>(&mut self, range: Range<T>) -> T {
+        T::sample_range(self, range.start, range.end)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        f64::draw(self) < p
+    }
+
+    /// Draw a value of a `Standard`-distributed type.
+    #[inline]
+    fn gen<T: Standard>(&mut self) -> T {
+        T::draw(self)
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic xoshiro256** generator (stands in for rand's
+    /// ChaCha-based `StdRng`; this workspace only needs determinism).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Distributions beyond the uniform-over-range default.
+pub mod distributions {
+    use super::Rng;
+
+    /// A distribution that can be sampled with any generator.
+    pub trait Distribution<T> {
+        /// Draw one value.
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// Error constructing a distribution.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct WeightedError;
+
+    impl std::fmt::Display for WeightedError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("invalid weights for WeightedIndex")
+        }
+    }
+
+    impl std::error::Error for WeightedError {}
+
+    /// Sample indices with probability proportional to the given weights.
+    #[derive(Debug, Clone)]
+    pub struct WeightedIndex {
+        cumulative: Vec<f64>,
+        total: f64,
+    }
+
+    impl WeightedIndex {
+        /// Build from non-negative weights with a positive sum.
+        pub fn new<I>(weights: I) -> Result<Self, WeightedError>
+        where
+            I: IntoIterator,
+            I::Item: std::borrow::Borrow<f64>,
+        {
+            let mut cumulative = Vec::new();
+            let mut total = 0.0f64;
+            for w in weights {
+                let w = *std::borrow::Borrow::borrow(&w);
+                if w.is_nan() || w < 0.0 || !w.is_finite() {
+                    return Err(WeightedError);
+                }
+                total += w;
+                cumulative.push(total);
+            }
+            if cumulative.is_empty() || total <= 0.0 {
+                return Err(WeightedError);
+            }
+            Ok(WeightedIndex { cumulative, total })
+        }
+    }
+
+    impl Distribution<usize> for WeightedIndex {
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+            let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            let target = unit * self.total;
+            match self
+                .cumulative
+                .binary_search_by(|c| c.partial_cmp(&target).unwrap())
+            {
+                Ok(i) => (i + 1).min(self.cumulative.len() - 1),
+                Err(i) => i.min(self.cumulative.len() - 1),
+            }
+        }
+    }
+}
+
+/// In-place random reordering of slices.
+pub trait SliceRandom {
+    /// Fisher–Yates shuffle.
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..i + 1);
+            self.swap(i, j);
+        }
+    }
+}
+
+/// The common imports, mirroring `rand::prelude`.
+pub mod prelude {
+    pub use crate::distributions::Distribution;
+    pub use crate::rngs::StdRng;
+    pub use crate::{Rng, SeedableRng, SliceRandom};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::WeightedIndex;
+    use super::prelude::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = rng.gen_range(3..17usize);
+            assert!((3..17).contains(&x));
+            let f = rng.gen_range(-1.0f32..1.0);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn weighted_index_respects_zero_weights() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = WeightedIndex::new([0.0, 1.0, 0.0]).unwrap();
+        for _ in 0..200 {
+            assert_eq!(d.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn gen_bool_probability_sane() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "hits {hits}");
+    }
+}

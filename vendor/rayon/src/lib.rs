@@ -1,0 +1,81 @@
+//! In-tree stand-in for `rayon` (offline build). `par_iter()` degrades to
+//! the ordinary sequential iterator: real rayon's `collect()` preserves
+//! input order, so the sequential fallback is observationally identical
+//! for the map/collect pipelines this workspace uses — only wall-clock
+//! parallelism is lost. Genuinely parallel sections (the `FusionEngine`
+//! tuning pool) use `std::thread::scope` directly instead of this shim.
+
+/// Borrowed "parallel" iteration — sequential fallback.
+pub trait IntoParallelRefIterator<'data> {
+    /// Item type.
+    type Item: 'data;
+    /// Iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Iterate by reference (sequentially).
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    type Iter = std::slice::Iter<'data, T>;
+    fn par_iter(&'data self) -> Self::Iter {
+        self.iter()
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+    type Iter = std::slice::Iter<'data, T>;
+    fn par_iter(&'data self) -> Self::Iter {
+        self.iter()
+    }
+}
+
+/// Owned "parallel" iteration — sequential fallback.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item;
+    /// Iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Iterate by value (sequentially).
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = std::vec::IntoIter<T>;
+    fn into_par_iter(self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    type Iter = std::ops::Range<usize>;
+    fn into_par_iter(self) -> Self::Iter {
+        self
+    }
+}
+
+/// The common imports, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_preserves_order() {
+        let v = vec![3, 1, 4, 1, 5];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![6, 2, 8, 2, 10]);
+    }
+
+    #[test]
+    fn into_par_iter_over_range() {
+        let squares: Vec<usize> = (0..5).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+    }
+}

@@ -1,0 +1,30 @@
+//! In-tree stand-in for `serde` (offline build). The workspace derives
+//! `Serialize`/`Deserialize` as markers but never drives serde's data
+//! model — persistence goes through the vendored `serde_json::Value` and
+//! hand-written encoders (see `mcfuser-core`'s tuning cache). The traits
+//! are therefore empty markers with blanket impls, and the derives (from
+//! the vendored `serde_derive`) expand to nothing.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker trait standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+/// Mirror of `serde::ser`.
+pub mod ser {
+    pub use super::Serialize;
+}
+
+/// Mirror of `serde::de`.
+pub mod de {
+    pub use super::{Deserialize, DeserializeOwned};
+}

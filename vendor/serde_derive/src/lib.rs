@@ -1,0 +1,20 @@
+//! In-tree stand-in for `serde_derive` (offline build). The workspace
+//! uses `#[derive(Serialize, Deserialize)]` purely as a marker — nothing
+//! drives serde's data model (the JSON paths go through the vendored
+//! `serde_json::Value` and hand-written encoders) — so both derives
+//! expand to nothing. The vendored `serde` crate supplies blanket trait
+//! impls, keeping any `T: Serialize` bound satisfiable.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
