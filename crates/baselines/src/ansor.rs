@@ -249,10 +249,11 @@ impl Backend for Ansor {
             notes.push(format!("mm{op}:{:?}", tuned.tiles));
             match chain.epilogues[op] {
                 Epilogue::None => {}
-                Epilogue::Relu | Epilogue::Scale(_) => {
-                    // Ansor fuses element-wise epilogues into the GEMM.
+                Epilogue::Relu | Epilogue::Gelu | Epilogue::Scale(_) => {
+                    // Ansor fuses element-wise epilogues (and bias adds)
+                    // into the GEMM.
                 }
-                Epilogue::Softmax { .. } => {
+                Epilogue::Softmax { .. } | Epilogue::MaskedSoftmax { .. } => {
                     let kern = fused_softmax_kernel(chain.batch * m, n, esz, true);
                     time += kern.time(dev);
                     kernels += 1;

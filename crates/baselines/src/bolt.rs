@@ -133,6 +133,7 @@ impl Backend for Bolt {
             tuning += cost.compile_seconds;
             let ep = match chain.epilogues[op] {
                 Epilogue::Relu => Epilogue::Relu,
+                Epilogue::Gelu => Epilogue::Gelu,
                 Epilogue::Scale(f) => Epilogue::Scale(f),
                 _ => Epilogue::None,
             };
@@ -149,7 +150,7 @@ impl Backend for Bolt {
                 ep,
             );
             kernels += 1;
-            if let Epilogue::Softmax { .. } = chain.epilogues[op] {
+            if chain.epilogues[op].is_rowwise() {
                 for kern in softmax_kernels(chain.batch * m, n, esz, true) {
                     time += kern.time(dev);
                     kernels += 1;

@@ -119,8 +119,9 @@ pub fn matmul_program(
         },
     ];
     match epilogue {
-        Epilogue::None | Epilogue::Softmax { .. } => {}
+        Epilogue::None | Epilogue::Softmax { .. } | Epilogue::MaskedSoftmax { .. } => {}
         Epilogue::Relu => body.push(BlockStmt::Relu { target: sc }),
+        Epilogue::Gelu => body.push(BlockStmt::Gelu { target: sc }),
         Epilogue::Scale(f) => body.push(BlockStmt::Scale {
             target: sc,
             factor: f,

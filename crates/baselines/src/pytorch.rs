@@ -61,18 +61,28 @@ impl Backend for PyTorch {
             kernels += 1;
             notes.push(format!("bmm{op}:{}x{}x{}", tiles.0, tiles.1, tiles.2));
             // Eager-mode epilogues: one kernel each.
+            if chain.biases.get(op).copied().unwrap_or(false) {
+                // Eager bias-add: one element-wise kernel.
+                time += scale_kernel(chain.batch * m * n, esz, true).time(dev);
+                kernels += 1;
+            }
             match chain.epilogues[op] {
                 Epilogue::None => {}
-                Epilogue::Relu | Epilogue::Scale(_) => {
+                Epilogue::Relu | Epilogue::Gelu | Epilogue::Scale(_) => {
                     let elems = chain.batch * m * n;
                     time += scale_kernel(elems, esz, true).time(dev);
                     kernels += 1;
                 }
-                Epilogue::Softmax { .. } => {
-                    // scale kernel + 2-pass softmax over the score matrix.
+                Epilogue::Softmax { .. } | Epilogue::MaskedSoftmax { .. } => {
+                    // scale (and mask-add) kernel + 2-pass softmax over
+                    // the score matrix.
                     let rows = chain.batch * m;
                     time += scale_kernel(rows * n, esz, true).time(dev);
                     kernels += 1;
+                    if chain.epilogues[op].needs_mask() {
+                        time += scale_kernel(rows * n, esz, true).time(dev);
+                        kernels += 1;
+                    }
                     for kern in softmax_kernels(rows, n, esz, true) {
                         time += kern.time(dev);
                         kernels += 1;

@@ -59,6 +59,7 @@ impl Backend for Relay {
             // Element-wise epilogues fuse into the GEMM template.
             let fused_epilogue = match chain.epilogues[op] {
                 Epilogue::Relu => Epilogue::Relu,
+                Epilogue::Gelu => Epilogue::Gelu,
                 Epilogue::Scale(f) => Epilogue::Scale(f),
                 _ => Epilogue::None,
             };
@@ -75,8 +76,8 @@ impl Backend for Relay {
                 fused_epilogue,
             );
             kernels += 1;
-            if let Epilogue::Softmax { .. } = chain.epilogues[op] {
-                // Scale folds into the fused softmax kernel.
+            if chain.epilogues[op].is_rowwise() {
+                // Scale (and mask add) folds into the fused softmax kernel.
                 time += fused_softmax_kernel(chain.batch * m, n, esz, true).time(dev);
                 kernels += 1;
             }

@@ -15,6 +15,7 @@ fn bench(c: &mut Criterion) {
         m: 512,
         dims: vec![64, 128, 128, 64],
         epilogues: vec![Default::default(); 3],
+        biases: vec![false; 3],
         dtype: mcfuser_sim::DType::F16,
     };
     let mut g = c.benchmark_group("enumeration");

@@ -53,6 +53,9 @@ pub struct CacheKey {
     pub dims: Vec<u64>,
     /// Canonical epilogue descriptions (scales included).
     pub epilogues: Vec<String>,
+    /// Per-stage bias flags (a biased chain loads extra tensors and
+    /// must never share a schedule entry with its unbiased twin).
+    pub biases: Vec<bool>,
     /// Canonical storage-precision name.
     pub dtype: String,
     /// Per input: stored transposed in the graph relative to chain layout.
@@ -87,6 +90,7 @@ impl CacheKey {
             m: chain.m,
             dims: chain.dims.clone(),
             epilogues: chain.epilogues.iter().map(|e| format!("{e:?}")).collect(),
+            biases: chain.biases.clone(),
             dtype: format!("{:?}", chain.dtype),
             transposed_inputs,
             device: device_fingerprint(dev),
@@ -112,11 +116,12 @@ impl CacheKey {
     /// Canonical string form — the map/JSON key.
     pub fn canonical(&self) -> String {
         format!(
-            "b{}|m{}|d{:?}|e{:?}|t{}|x{:?}|dev[{}]|cfg[{}]",
+            "b{}|m{}|d{:?}|e{:?}|bi{:?}|t{}|x{:?}|dev[{}]|cfg[{}]",
             self.batch,
             self.m,
             self.dims,
             self.epilogues,
+            self.biases,
             self.dtype,
             self.transposed_inputs,
             self.device,
@@ -440,6 +445,21 @@ mod tests {
         let mut b = a.clone();
         a.dtype = DType::F16;
         b.dtype = DType::F32;
+        assert_ne!(key_for(&a).canonical(), key_for(&b).canonical());
+    }
+
+    #[test]
+    fn biases_reach_the_key() {
+        let a = ChainSpec::gemm_chain("g", 1, 256, 128, 64, 64);
+        let mut b = a.clone();
+        b.biases = vec![true, false];
+        assert_ne!(key_for(&a).canonical(), key_for(&b).canonical());
+    }
+
+    #[test]
+    fn mask_epilogue_reaches_the_key() {
+        let a = ChainSpec::attention("s", 2, 128, 128, 64, 64);
+        let b = ChainSpec::masked_attention("s", 2, 128, 128, 64, 64);
         assert_ne!(key_for(&a).canonical(), key_for(&b).canonical());
     }
 

@@ -1,5 +1,4 @@
-//! The fallback-backend interface for end-to-end compilation (§V-B),
-//! plus deprecated free-function shims over the [`FusionEngine`] API.
+//! The fallback-backend interface for end-to-end compilation (§V-B).
 //!
 //! MCFuser only tunes MBCI sub-graphs; everything else is delegated to a
 //! per-operator backend ("we either continue optimization with Ansor or
@@ -7,22 +6,16 @@
 //! implemented by the baseline backends — `MCFuser+Relay` and
 //! `MCFuser+Ansor` from Fig. 9 are an engine with different fallbacks.
 //!
-//! Graph compilation itself lives on [`FusionEngine::compile`] /
-//! [`FusionEngine::execute`]; the old `compile_graph` /
-//! `execute_compiled` free functions remain here as thin deprecated
-//! shims for one release.
+//! Graph compilation lives on [`FusionEngine::compile`] /
+//! [`FusionEngine::execute`]. (The 0.2 free-function shims
+//! `compile_graph` / `execute_compiled` have been removed; build a
+//! session with `FusionEngine::builder(dev)` instead.)
 //!
-//! [`FusionEngine`]: crate::engine::FusionEngine
 //! [`FusionEngine::compile`]: crate::engine::FusionEngine::compile
 //! [`FusionEngine::execute`]: crate::engine::FusionEngine::execute
 
-use rustc_hash::FxHashMap;
-
 use mcfuser_ir::{Graph, NodeId};
-use mcfuser_sim::{DeviceSpec, HostTensor};
-
-use crate::engine::{CachePolicy, CompiledModel, FusionEngine};
-use crate::tuner::{McFuser, TuneError};
+use mcfuser_sim::DeviceSpec;
 
 /// Cost/tuning model for operators MCFuser does not fuse.
 pub trait OpCostModel: Sync {
@@ -34,45 +27,13 @@ pub trait OpCostModel: Sync {
     fn tuning_seconds(&self, graph: &Graph, nodes: &[NodeId], dev: &DeviceSpec) -> f64;
 }
 
-/// Compile a graph: partition, tune MBCI sub-graphs with MCFuser, price
-/// the remainder with the fallback backend.
-#[deprecated(
-    since = "0.2.0",
-    note = "build a session instead: FusionEngine::builder(dev).build() and call .compile_with_fallback(graph, fallback)"
-)]
-pub fn compile_graph(
-    graph: &Graph,
-    dev: &DeviceSpec,
-    mcfuser: &McFuser,
-    fallback: &dyn OpCostModel,
-) -> Result<CompiledModel, TuneError> {
-    let engine = FusionEngine::builder(dev.clone())
-        .search_params(mcfuser.params.clone())
-        .cache(CachePolicy::Disabled)
-        .build();
-    engine.compile_with_fallback(graph, fallback)
-}
-
-/// Execute a compiled model *for value* (see [`FusionEngine::execute`]).
-#[deprecated(
-    since = "0.2.0",
-    note = "use FusionEngine::execute on the engine that compiled the model"
-)]
-pub fn execute_compiled(
-    graph: &Graph,
-    model: &CompiledModel,
-    inputs: &FxHashMap<NodeId, HostTensor>,
-    seed: u64,
-) -> Result<Vec<HostTensor>, Box<dyn std::error::Error>> {
-    crate::engine::execute_model(graph, model, inputs, seed)
-}
-
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
+    use crate::engine::FusionEngine;
     use mcfuser_ir::GraphBuilder;
-    use mcfuser_sim::DType;
+    use mcfuser_sim::{DType, HostTensor};
+    use rustc_hash::FxHashMap;
 
     /// A trivial fallback pricing every op at a fixed cost.
     struct FlatCost;
@@ -100,26 +61,34 @@ mod tests {
         gb.finish(vec![ln])
     }
 
+    /// Migrated from the removed `compile_graph` shim test: an explicit
+    /// fallback passed at compile time matches a builder-configured one.
     #[test]
-    fn deprecated_shim_matches_engine_compile() {
+    fn explicit_fallback_matches_configured_fallback() {
         let g = tiny_attention_graph();
         let dev = DeviceSpec::a100();
-        let shim = compile_graph(&g, &dev, &McFuser::new(), &FlatCost).unwrap();
+        let ad_hoc = FusionEngine::builder(dev.clone())
+            .build()
+            .compile_with_fallback(&g, &FlatCost)
+            .unwrap();
         let engine = FusionEngine::builder(dev).fallback(FlatCost).build();
         let direct = engine.compile(&g).unwrap();
-        assert_eq!(shim.total_time, direct.total_time);
-        assert_eq!(shim.chains.len(), direct.chains.len());
+        assert_eq!(ad_hoc.total_time, direct.total_time);
+        assert_eq!(ad_hoc.chains.len(), direct.chains.len());
         assert_eq!(
-            shim.chains[0].tuned.candidate,
+            ad_hoc.chains[0].tuned.candidate,
             direct.chains[0].tuned.candidate
         );
     }
 
+    /// Migrated from the removed `execute_compiled` shim test.
     #[test]
-    fn deprecated_execute_shim_runs() {
+    fn engine_execute_runs_compiled_model() {
         let g = tiny_attention_graph();
-        let dev = DeviceSpec::a100();
-        let model = compile_graph(&g, &dev, &McFuser::new(), &FlatCost).unwrap();
+        let engine = FusionEngine::builder(DeviceSpec::a100())
+            .fallback(FlatCost)
+            .build();
+        let model = engine.compile(&g).unwrap();
         let mut inputs: FxHashMap<NodeId, HostTensor> = FxHashMap::default();
         for (i, node) in g.nodes.iter().enumerate() {
             if matches!(node.op, mcfuser_ir::Op::Input) {
@@ -133,7 +102,7 @@ mod tests {
                 );
             }
         }
-        let values = execute_compiled(&g, &model, &inputs, 7).unwrap();
+        let values = engine.execute(&g, &model, &inputs, 7).unwrap();
         assert_eq!(values.len(), g.nodes.len());
         assert!(values.iter().all(|t| t.data.iter().all(|v| v.is_finite())));
     }

@@ -5,7 +5,7 @@
 //! model.
 //!
 //! Previously these lived behind three disjoint entry points
-//! (`McFuser::tune`, `compile_graph`, `Backend::run_chain`) with no
+//! (`McFuser::tune`, a free `compile_graph`, `Backend::run_chain`) with no
 //! shared configuration or reuse. The engine consolidates them the way
 //! FusionStitching and Blockbuster turn a fusion algorithm into a
 //! reusable compiler service:
@@ -558,8 +558,7 @@ impl FusionEngine {
     }
 }
 
-/// Shared implementation of model execution (also backs the deprecated
-/// free function `execute_compiled`).
+/// Shared implementation of model execution.
 pub(crate) fn execute_model(
     graph: &Graph,
     model: &CompiledModel,

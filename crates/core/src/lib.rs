@@ -15,8 +15,7 @@
 //!   partitioning and fallback backends (§V-B), and execution;
 //! * [`cache`] — the content-addressed [`TuningCache`] behind the
 //!   engine (in-memory and JSON-on-disk);
-//! * [`compiler`] — the [`OpCostModel`] fallback interface plus
-//!   deprecated free-function shims.
+//! * [`compiler`] — the [`OpCostModel`] fallback interface.
 //!
 //! Sessions are built once with explicit knobs, then reused:
 //!
@@ -54,8 +53,6 @@ pub mod tuner;
 
 pub use cache::{CacheKey, CachedTuning, JsonDiskCache, MemoryCache, TuningCache};
 pub use compiler::OpCostModel;
-#[allow(deprecated)]
-pub use compiler::{compile_graph, execute_compiled};
 pub use engine::{
     CachePolicy, CompiledChain, CompiledModel, EngineBuilder, EngineStats, FusionEngine,
 };

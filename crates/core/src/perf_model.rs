@@ -122,6 +122,30 @@ pub fn estimate_with(
         }
     }
 
+    // Auxiliary-input traffic: a stage's bias strip / mask tile is
+    // loaded wherever its epilogue is emitted — with the consuming
+    // compute block (or the store, for the final stage).
+    for i in 0..chain.num_ops() {
+        let has_bias = chain.biases.get(i).copied().unwrap_or(false);
+        let has_mask = chain.epilogues[i].needs_mask();
+        if !has_bias && !has_mask {
+            continue;
+        }
+        let emit_at = if i + 1 < chain.num_ops() {
+            Stmt::Compute(i + 1)
+        } else {
+            Stmt::Store
+        };
+        let trips = placement.block_trips(chain, cand, emit_at) as f64 * nb;
+        let cols = cand.tiles[i + 2] as f64;
+        if has_bias {
+            t_mem += cols * esz * trips / dev.dram_bandwidth;
+        }
+        if has_mask {
+            t_mem += cand.tiles[0] as f64 * cols * esz * trips / dev.dram_bandwidth;
+        }
+    }
+
     if !opts.include_compute {
         t_comp = 0.0;
     }
@@ -249,6 +273,32 @@ mod tests {
         // (the paper's constant folds in its own tile/byte conventions).
         let phi = matmul_tile_intensity(256, 256, 1024);
         assert!((phi - 204.8).abs() < 0.1, "phi {phi}");
+    }
+
+    #[test]
+    fn masked_softmax_costs_more_than_plain() {
+        // The mask tile is extra global traffic the model must see.
+        let plain = ChainSpec::attention("s", 8, 512, 512, 64, 64);
+        let masked = ChainSpec::masked_attention("sm", 8, 512, 512, 64, 64);
+        let cd = |c: &ChainSpec| {
+            Candidate::new(TilingExpr::parse("mhnk", c).unwrap(), vec![64, 32, 64, 32])
+        };
+        let dev = DeviceSpec::a100();
+        let a = estimate(&plain, &cd(&plain), &dev).unwrap();
+        let b = estimate(&masked, &cd(&masked), &dev).unwrap();
+        assert!(b.t_mem > a.t_mem, "{} !> {}", b.t_mem, a.t_mem);
+    }
+
+    #[test]
+    fn bias_traffic_is_accounted() {
+        let plain = chain();
+        let mut biased = chain();
+        biased.biases = vec![true, true];
+        let cd = cand("mhnk", vec![64, 32, 64, 32]);
+        let dev = DeviceSpec::a100();
+        let a = estimate(&plain, &cd, &dev).unwrap();
+        let b = estimate(&biased, &cd, &dev).unwrap();
+        assert!(b.t_mem > a.t_mem);
     }
 
     #[test]

@@ -71,7 +71,10 @@ pub const MAX_PADDING_RATIO: f64 = 0.05;
 
 /// Apply Rule 3 to one axis' tile options. When every option exceeds the
 /// padding budget (awkward extents like 100), the least-padded option is
-/// kept anyway — a compiler must still emit a kernel.
+/// kept anyway — a compiler must still emit a kernel. An empty `options`
+/// slice yields an empty domain; the tuner reports that as a structured
+/// [`TuneError::EmptySearchSpace`](crate::TuneError::EmptySearchSpace)
+/// naming the axis instead of failing confusingly downstream.
 pub fn rule3_tiles(extent: u64, options: &[u64]) -> Vec<u64> {
     let pow2 = extent.is_power_of_two();
     let padding = |t: u64| -> f64 {
@@ -299,6 +302,13 @@ mod tests {
         assert!(kept.contains(&96));
         assert!(!kept.contains(&80));
         assert!(!kept.contains(&64)); // ceil(96/64)*64 = 128 → 33 % padding
+    }
+
+    #[test]
+    fn rule3_empty_options_stay_empty() {
+        // The upstream condition behind EmptySearchSpace { axis }: no
+        // candidate tile sizes at all for an axis.
+        assert!(rule3_tiles(64, &[]).is_empty());
     }
 
     #[test]

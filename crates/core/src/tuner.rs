@@ -26,6 +26,10 @@ pub enum TuneError {
         chain: String,
         /// Device name.
         device: String,
+        /// When a specific axis produced an empty tile domain (e.g.
+        /// Rule 3 filtered every option away), its name and extent —
+        /// the context that used to be silently lost.
+        axis: Option<String>,
     },
     /// Candidates existed but every one failed lowering or exceeded the
     /// device's launch limits.
@@ -44,10 +48,11 @@ pub enum TuneError {
 }
 
 impl TuneError {
-    pub(crate) fn empty_space(chain: &ChainSpec, dev: &DeviceSpec) -> Self {
+    pub(crate) fn empty_space(chain: &ChainSpec, dev: &DeviceSpec, axis: Option<String>) -> Self {
         TuneError::EmptySearchSpace {
             chain: chain.name.clone(),
             device: dev.name.clone(),
+            axis,
         }
     }
 
@@ -62,8 +67,16 @@ impl TuneError {
 impl std::fmt::Display for TuneError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            TuneError::EmptySearchSpace { chain, device } => {
-                write!(f, "search space of chain '{chain}' is empty on {device}")
+            TuneError::EmptySearchSpace {
+                chain,
+                device,
+                axis,
+            } => {
+                write!(f, "search space of chain '{chain}' is empty on {device}")?;
+                if let Some(a) = axis {
+                    write!(f, " (axis {a} has no admissible tile sizes)")?;
+                }
+                Ok(())
             }
             TuneError::NoViableCandidate { chain, device } => {
                 write!(f, "no viable fused kernel for chain '{chain}' on {device}")
@@ -149,6 +162,17 @@ pub fn build_pruned_space(
     pruned
 }
 
+/// Locate the first axis whose Rule-3 tile domain came back empty and
+/// render it for an [`TuneError::EmptySearchSpace`] — the silent
+/// zero-candidate spaces this used to produce surfaced as confusing
+/// failures far downstream.
+pub(crate) fn empty_axis_context(chain: &ChainSpec, tile_domains: &[Vec<u64>]) -> Option<String> {
+    tile_domains
+        .iter()
+        .position(Vec::is_empty)
+        .map(|a| format!("{} (extent {})", chain.axis_name(a), chain.axis_extent(a)))
+}
+
 /// A tuned fused kernel with full provenance.
 #[derive(Debug, Clone)]
 pub struct TunedKernel {
@@ -211,7 +235,11 @@ impl McFuser {
     ) -> Result<TunedKernel, TuneError> {
         let pruned = build_pruned_space(chain, dev, policy);
         if pruned.candidates.is_empty() {
-            return Err(TuneError::empty_space(chain, dev));
+            return Err(TuneError::empty_space(
+                chain,
+                dev,
+                empty_axis_context(chain, &pruned.tile_domains),
+            ));
         }
         let outcome: SearchOutcome = heuristic_search(chain, dev, &pruned, &self.params, clock)
             .ok_or_else(|| TuneError::no_viable(chain, dev))?;
@@ -278,6 +306,29 @@ mod tests {
             "{}",
             tk.tuning.virtual_seconds
         );
+    }
+
+    #[test]
+    fn empty_tile_domain_yields_axis_context() {
+        // An empty Rule-3 domain on one axis must surface as a
+        // structured EmptySearchSpace naming the axis, not as a silent
+        // zero-candidate space.
+        let chain = ChainSpec::gemm_chain("g", 1, 512, 256, 64, 64);
+        let domains = vec![vec![16], vec![], vec![16], vec![16]];
+        let ctx = super::empty_axis_context(&chain, &domains).unwrap();
+        assert!(ctx.starts_with('k'), "{ctx}");
+        assert!(ctx.contains("64"), "{ctx}");
+        let err = TuneError::empty_space(&chain, &DeviceSpec::a100(), Some(ctx));
+        let msg = err.to_string();
+        assert!(msg.contains("no admissible tile sizes"), "{msg}");
+        assert!(msg.contains('g'), "{msg}");
+    }
+
+    #[test]
+    fn full_domains_have_no_axis_context() {
+        let chain = ChainSpec::gemm_chain("g", 1, 512, 256, 64, 64);
+        let domains = vec![vec![16]; 4];
+        assert!(super::empty_axis_context(&chain, &domains).is_none());
     }
 
     #[test]

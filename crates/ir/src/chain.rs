@@ -2,8 +2,9 @@
 //!
 //! A chain is a straight line of matrix multiplications where each
 //! operator's output feeds the next operator's left-hand side, with
-//! optional memory-intensive epilogues (softmax, ReLU, scaling) applied in
-//! between. The paper's running examples are:
+//! optional memory-intensive epilogues (softmax — plain or masked —
+//! ReLU, GELU, scaling) and per-stage bias adds applied in between.
+//! The paper's running examples are:
 //!
 //! * the GEMM chain `C = A×B, E = C×D` (§III, Fig. 3), and
 //! * self-attention `E = softmax(Q Kᵀ / √d) V` (§VI-B2),
@@ -32,6 +33,8 @@ pub enum Epilogue {
     None,
     /// Element-wise `max(x, 0)`.
     Relu,
+    /// Element-wise GELU (tanh approximation).
+    Gelu,
     /// Element-wise multiplication by a constant.
     Scale(f32),
     /// Row-wise softmax over the output's last dimension with a
@@ -40,14 +43,52 @@ pub enum Epilogue {
         /// Pre-softmax multiplier.
         scale: f32,
     },
+    /// Row-wise softmax over `scale·(x + mask)`, where `mask` is an
+    /// auxiliary `[batch, m, d_{i+1}]` chain input (additive attention
+    /// mask; a causal mask is the special case of a lower-triangular
+    /// one). Matches the graph pattern `Softmax{scale}(Add(scores,
+    /// mask))`; for the usual `0/−large` masks this coincides with the
+    /// scale-then-mask convention.
+    MaskedSoftmax {
+        /// Pre-softmax multiplier (applied after the mask is added).
+        scale: f32,
+    },
 }
 
 impl Epilogue {
     /// Whether this epilogue requires full rows before producing output
     /// (forces streaming/online handling when the row dim is tiled).
     pub fn is_rowwise(&self) -> bool {
-        matches!(self, Epilogue::Softmax { .. })
+        matches!(
+            self,
+            Epilogue::Softmax { .. } | Epilogue::MaskedSoftmax { .. }
+        )
     }
+
+    /// Whether this epilogue consumes an auxiliary chain input (the
+    /// attention mask). Biases are tracked separately per stage on
+    /// [`ChainSpec::biases`].
+    pub fn needs_mask(&self) -> bool {
+        matches!(self, Epilogue::MaskedSoftmax { .. })
+    }
+}
+
+/// One auxiliary data input of a chain beyond `A` and the weights:
+/// a per-stage bias vector or an attention mask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AuxInput {
+    /// Bias vector `[d_{stage+1}]`, added to stage `stage`'s output
+    /// before its elementwise epilogue.
+    Bias {
+        /// The compute block this bias belongs to.
+        stage: usize,
+    },
+    /// Additive mask `[batch, m, d_{stage+1}]` consumed by stage
+    /// `stage`'s [`Epilogue::MaskedSoftmax`].
+    Mask {
+        /// The compute block this mask belongs to.
+        stage: usize,
+    },
 }
 
 /// A chain of `L = dims.len() - 1` batched matmuls.
@@ -66,6 +107,10 @@ pub struct ChainSpec {
     /// Epilogue applied after op `i` (length `L`). The last entry is
     /// applied before the final store.
     pub epilogues: Vec<Epilogue>,
+    /// Whether op `i` adds a bias vector `[d_{i+1}]` to its output
+    /// before `epilogues[i]` (length `L`; all-false for the paper's
+    /// unbiased chains).
+    pub biases: Vec<bool>,
     /// Storage precision of all tensors.
     pub dtype: DType,
 }
@@ -84,6 +129,36 @@ impl ChainSpec {
             m,
             dims: vec![k, n, h],
             epilogues: vec![Epilogue::None, Epilogue::None],
+            biases: vec![false, false],
+            dtype: DType::F16,
+        }
+    }
+
+    /// An arbitrary-length chain `T₀ = A·W₀; Tᵢ = εᵢ₋₁(Tᵢ₋₁)·Wᵢ` with
+    /// per-stage epilogues (no biases). `dims` is `d₀ … d_L`, so the
+    /// chain has `dims.len() - 1` matmuls and `epilogues` must have
+    /// that many entries.
+    pub fn chain(
+        name: impl Into<String>,
+        batch: u64,
+        m: u64,
+        dims: Vec<u64>,
+        epilogues: Vec<Epilogue>,
+    ) -> Self {
+        assert!(dims.len() >= 2, "a chain needs at least one matmul");
+        assert_eq!(
+            epilogues.len(),
+            dims.len() - 1,
+            "one epilogue per compute block"
+        );
+        let ops = dims.len() - 1;
+        ChainSpec {
+            name: name.into(),
+            batch,
+            m,
+            dims,
+            epilogues,
+            biases: vec![false; ops],
             dtype: DType::F16,
         }
     }
@@ -102,8 +177,31 @@ impl ChainSpec {
                 },
                 Epilogue::None,
             ],
+            biases: vec![false, false],
             dtype: DType::F16,
         }
+    }
+
+    /// Self-attention with an additive `[heads, m, n]` mask folded into
+    /// the softmax: `E = softmax((Q Kᵀ + M)/√K) V` — the mask is added
+    /// to the raw scores *before* the pre-softmax scale, matching the
+    /// graph pattern `Softmax{scale}(Add(scores, mask))`. For the usual
+    /// `0/−large` masks this coincides with the scale-then-mask
+    /// convention; relative-position-bias-style soft masks should be
+    /// pre-multiplied by `√K` if the other convention is intended.
+    pub fn masked_attention(
+        name: impl Into<String>,
+        heads: u64,
+        m: u64,
+        n: u64,
+        k: u64,
+        h: u64,
+    ) -> Self {
+        let mut c = Self::attention(name, heads, m, n, k, h);
+        c.epilogues[0] = Epilogue::MaskedSoftmax {
+            scale: 1.0 / (k as f64).sqrt() as f32,
+        };
+        c
     }
 
     /// A single matmul `C[m,n] = A[m,k]·B[k,n]` (used by Fig. 2 and by
@@ -115,6 +213,7 @@ impl ChainSpec {
             m,
             dims: vec![k, n],
             epilogues: vec![Epilogue::None],
+            biases: vec![false],
             dtype: DType::F16,
         }
     }
@@ -148,12 +247,46 @@ impl ChainSpec {
         }
     }
 
-    /// The input tensor shapes: `A` then each weight `Wᵢ`.
+    /// Auxiliary data inputs beyond `A` and the weights, in canonical
+    /// order: for each stage `i` (ascending), its bias (if any) then its
+    /// mask (if any).
+    pub fn aux_inputs(&self) -> Vec<AuxInput> {
+        let mut v = Vec::new();
+        for i in 0..self.num_ops() {
+            if self.biases.get(i).copied().unwrap_or(false) {
+                v.push(AuxInput::Bias { stage: i });
+            }
+            if self.epilogues[i].needs_mask() {
+                v.push(AuxInput::Mask { stage: i });
+            }
+        }
+        v
+    }
+
+    /// Shape of one auxiliary input.
+    pub fn aux_shape(&self, aux: AuxInput) -> Vec<u64> {
+        match aux {
+            AuxInput::Bias { stage } => vec![self.dims[stage + 1]],
+            AuxInput::Mask { stage } => vec![self.batch, self.m, self.dims[stage + 1]],
+        }
+    }
+
+    /// Total number of data inputs: `A`, `L` weights, plus auxiliaries.
+    pub fn num_inputs(&self) -> usize {
+        self.num_ops() + 1 + self.aux_inputs().len()
+    }
+
+    /// The input tensor shapes: `A`, each weight `Wᵢ`, then the
+    /// auxiliary inputs (biases/masks) in [`ChainSpec::aux_inputs`]
+    /// order.
     pub fn input_shapes(&self) -> Vec<Vec<u64>> {
-        let mut v = Vec::with_capacity(self.num_ops() + 1);
+        let mut v = Vec::with_capacity(self.num_inputs());
         v.push(vec![self.batch, self.m, self.dims[0]]);
         for i in 0..self.num_ops() {
             v.push(vec![self.batch, self.dims[i], self.dims[i + 1]]);
+        }
+        for aux in self.aux_inputs() {
+            v.push(self.aux_shape(aux));
         }
         v
     }
@@ -251,11 +384,21 @@ impl ChainSpec {
             .collect()
     }
 
+    /// Index of an auxiliary input within [`ChainSpec::input_shapes`]
+    /// (auxiliaries follow `A` and the `L` weights).
+    pub fn aux_index(&self, aux: AuxInput) -> Option<usize> {
+        self.aux_inputs()
+            .iter()
+            .position(|a| *a == aux)
+            .map(|p| self.num_ops() + 1 + p)
+    }
+
     /// CPU reference execution — the correctness oracle for fused kernels.
     ///
-    /// Computes every matmul naively in f32 with the declared epilogues.
+    /// Computes every matmul naively in f32 with the declared biases and
+    /// epilogues.
     pub fn reference(&self, inputs: &[HostTensor]) -> HostTensor {
-        assert_eq!(inputs.len(), self.num_ops() + 1);
+        assert_eq!(inputs.len(), self.num_inputs());
         let b = self.batch as usize;
         let m = self.m as usize;
         let mut cur: Vec<f32> = inputs[0].data.clone(); // [b, m, d0]
@@ -284,7 +427,18 @@ impl ChainSpec {
                     }
                 }
             }
-            apply_epilogue(self.epilogues[op], &mut out, b * m, nd);
+            if self.biases.get(op).copied().unwrap_or(false) {
+                let bias = &inputs[self.aux_index(AuxInput::Bias { stage: op }).unwrap()].data;
+                for (r, v) in out.iter_mut().enumerate() {
+                    *v += bias[r % nd];
+                }
+            }
+            if let Epilogue::MaskedSoftmax { scale } = self.epilogues[op] {
+                let mask = &inputs[self.aux_index(AuxInput::Mask { stage: op }).unwrap()].data;
+                apply_masked_softmax(&mut out, mask, b * m, nd, scale);
+            } else {
+                apply_epilogue(self.epilogues[op], &mut out, b * m, nd);
+            }
             cur = out;
             cur_cols = nd;
         }
@@ -293,6 +447,9 @@ impl ChainSpec {
 }
 
 /// Apply an epilogue in place over a `rows × cols` row-major matrix.
+/// [`Epilogue::MaskedSoftmax`] is applied as a plain softmax here (the
+/// mask is an auxiliary tensor this signature cannot carry — use
+/// [`apply_masked_softmax`] when the mask is at hand).
 pub fn apply_epilogue(e: Epilogue, data: &mut [f32], rows: usize, cols: usize) {
     match e {
         Epilogue::None => {}
@@ -301,12 +458,17 @@ pub fn apply_epilogue(e: Epilogue, data: &mut [f32], rows: usize, cols: usize) {
                 *v = v.max(0.0);
             }
         }
+        Epilogue::Gelu => {
+            for v in data.iter_mut() {
+                *v = crate::reference::gelu(*v);
+            }
+        }
         Epilogue::Scale(f) => {
             for v in data.iter_mut() {
                 *v *= f;
             }
         }
-        Epilogue::Softmax { scale } => {
+        Epilogue::Softmax { scale } | Epilogue::MaskedSoftmax { scale } => {
             for r in 0..rows {
                 let row = &mut data[r * cols..(r + 1) * cols];
                 let mx = row.iter().fold(f32::NEG_INFINITY, |a, &v| a.max(scale * v));
@@ -323,6 +485,48 @@ pub fn apply_epilogue(e: Epilogue, data: &mut [f32], rows: usize, cols: usize) {
             }
         }
     }
+}
+
+/// Row-wise softmax of `scale·(x + mask)` over a `rows × cols`
+/// row-major matrix (`mask` has the same layout).
+pub fn apply_masked_softmax(data: &mut [f32], mask: &[f32], rows: usize, cols: usize, scale: f32) {
+    for r in 0..rows {
+        let row = &mut data[r * cols..(r + 1) * cols];
+        let mrow = &mask[r * cols..(r + 1) * cols];
+        let mut mx = f32::NEG_INFINITY;
+        for (v, mk) in row.iter().zip(mrow) {
+            mx = mx.max(scale * (v + mk));
+        }
+        let mut sum = 0.0f32;
+        for (v, mk) in row.iter_mut().zip(mrow) {
+            *v = (scale * (*v + mk) - mx).exp();
+            sum += *v;
+        }
+        if sum > 0.0 {
+            for v in row.iter_mut() {
+                *v /= sum;
+            }
+        }
+    }
+}
+
+/// A finite additive causal mask `[heads, m, n]`: `0` on and below the
+/// diagonal, a large negative constant above it (finite so padded tiles
+/// never produce `inf − inf` NaNs).
+pub fn causal_mask(heads: u64, m: u64, n: u64) -> HostTensor {
+    const NEG: f32 = -1.0e9;
+    let (hh, mm, nn) = (heads as usize, m as usize, n as usize);
+    let mut data = vec![0.0f32; hh * mm * nn];
+    for h in 0..hh {
+        for r in 0..mm {
+            for c in 0..nn {
+                if c > r {
+                    data[h * mm * nn + r * nn + c] = NEG;
+                }
+            }
+        }
+    }
+    HostTensor::from_vec(&[heads, m, n], data)
 }
 
 impl std::fmt::Display for ChainSpec {
@@ -459,6 +663,102 @@ mod tests {
         let mut v = vec![1.0f32, -2.0, 3.0];
         apply_epilogue(Epilogue::Scale(0.5), &mut v, 1, 3);
         assert_eq!(v, vec![0.5, -1.0, 1.5]);
+    }
+
+    #[test]
+    fn aux_inputs_follow_weights_in_canonical_order() {
+        let mut c = ChainSpec::chain(
+            "c",
+            1,
+            64,
+            vec![32, 48, 32, 48],
+            vec![Epilogue::Relu, Epilogue::None, Epilogue::None],
+        );
+        c.biases = vec![true, false, true];
+        assert_eq!(
+            c.aux_inputs(),
+            vec![AuxInput::Bias { stage: 0 }, AuxInput::Bias { stage: 2 }]
+        );
+        assert_eq!(c.num_inputs(), 6);
+        assert_eq!(c.aux_index(AuxInput::Bias { stage: 0 }), Some(4));
+        assert_eq!(c.aux_index(AuxInput::Bias { stage: 2 }), Some(5));
+        assert_eq!(c.aux_index(AuxInput::Bias { stage: 1 }), None);
+        assert_eq!(c.input_shapes()[4], vec![48]);
+        assert_eq!(c.input_shapes()[5], vec![48]);
+    }
+
+    #[test]
+    fn masked_attention_aux_is_the_mask() {
+        let c = ChainSpec::masked_attention("s", 4, 64, 64, 32, 32);
+        assert_eq!(c.aux_inputs(), vec![AuxInput::Mask { stage: 0 }]);
+        assert_eq!(c.aux_shape(AuxInput::Mask { stage: 0 }), vec![4, 64, 64]);
+        assert_eq!(c.num_inputs(), 4);
+    }
+
+    #[test]
+    fn biased_reference_adds_bias() {
+        let mut c = ChainSpec::gemm_chain("g", 1, 4, 4, 4, 4);
+        c.biases = vec![true, false];
+        let mut inputs = c.random_inputs(5);
+        // Zero the bias: must equal the unbiased chain exactly.
+        let plain = {
+            let c2 = {
+                let mut c2 = c.clone();
+                c2.biases = vec![false, false];
+                c2
+            };
+            c2.reference(&inputs[..3])
+        };
+        inputs[3] = HostTensor::from_vec(&[4], vec![0.0; 4]);
+        let zeroed = c.reference(&inputs);
+        assert_eq!(zeroed.data, plain.data);
+        // A nonzero bias must change the output.
+        inputs[3] = HostTensor::from_vec(&[4], vec![1.0; 4]);
+        assert!(c.reference(&inputs).max_abs_diff(&plain) > 1e-6);
+    }
+
+    #[test]
+    fn causal_mask_reference_is_causal() {
+        let c = ChainSpec::masked_attention("s", 2, 8, 8, 4, 4);
+        let mut inputs = c.random_inputs(9);
+        inputs[3] = causal_mask(2, 8, 8);
+        let out = c.reference(&inputs);
+        // Row 0 attends only to position 0 → output row 0 == V row 0.
+        let v = &inputs[2];
+        for b in 0..2usize {
+            for j in 0..4usize {
+                let got = out.data[b * 8 * 4 + j];
+                let want = v.data[b * 8 * 4 + j];
+                assert!((got - want).abs() < 1e-5, "{got} vs {want}");
+            }
+        }
+        assert!(out.data.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn masked_softmax_rows_sum_to_one_where_unmasked() {
+        let mut scores = vec![1.0f32, 2.0, 3.0, 4.0];
+        let mask = vec![0.0f32, 0.0, -1.0e9, -1.0e9];
+        apply_masked_softmax(&mut scores, &mask, 1, 4, 0.5);
+        let s: f32 = scores.iter().sum();
+        assert!((s - 1.0).abs() < 1e-6);
+        assert!(scores[2] < 1e-12 && scores[3] < 1e-12);
+    }
+
+    #[test]
+    fn gelu_epilogue_matches_reference_gelu() {
+        let mut v = vec![-1.0f32, 0.0, 1.0, 2.5];
+        apply_epilogue(Epilogue::Gelu, &mut v, 1, 4);
+        for (a, x) in v.iter().zip([-1.0f32, 0.0, 1.0, 2.5]) {
+            assert_eq!(*a, crate::reference::gelu(x));
+        }
+    }
+
+    #[test]
+    fn chain_constructor_checks_lengths() {
+        let c = ChainSpec::chain("c", 2, 64, vec![32, 48, 32], vec![Epilogue::Relu; 2]);
+        assert_eq!(c.num_ops(), 2);
+        assert_eq!(c.biases, vec![false, false]);
     }
 
     #[test]

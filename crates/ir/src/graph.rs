@@ -213,6 +213,24 @@ impl GraphBuilder {
         self.push(name.to_string(), Op::Linear, inputs, shape)
     }
 
+    /// Dense layer reusing existing weight (and bias) nodes — for
+    /// weight sharing between towers/layers. `w` must be `[in, out]`;
+    /// `bias`, when given, `[out]`.
+    pub fn linear_shared(
+        &mut self,
+        name: &str,
+        x: NodeId,
+        w: NodeId,
+        bias: Option<NodeId>,
+    ) -> NodeId {
+        let out_features = self.graph.node(w).shape[1];
+        let mut inputs = vec![x, w];
+        inputs.extend(bias);
+        let mut shape = self.graph.node(x).shape.clone();
+        *shape.last_mut().unwrap() = out_features;
+        self.push(name.to_string(), Op::Linear, inputs, shape)
+    }
+
     /// Batched matmul `a × b` (or `a × bᵀ`).
     pub fn batch_matmul(&mut self, name: &str, a: NodeId, b: NodeId, transpose_b: bool) -> NodeId {
         let sa = self.graph.node(a).shape.clone();
@@ -254,6 +272,12 @@ impl GraphBuilder {
     pub fn gelu(&mut self, name: &str, x: NodeId) -> NodeId {
         let shape = self.graph.node(x).shape.clone();
         self.push(name.to_string(), Op::Gelu, vec![x], shape)
+    }
+
+    /// Multiply by a constant.
+    pub fn scale(&mut self, name: &str, x: NodeId, factor: f32) -> NodeId {
+        let shape = self.graph.node(x).shape.clone();
+        self.push(name.to_string(), Op::Scale(factor), vec![x], shape)
     }
 
     /// LayerNorm over the last dim.

@@ -3,13 +3,16 @@
 //! The front end of the MCFuser reproduction (the TVM-Relay analogue):
 //!
 //! * [`chain`] — the **MBCI operator chain** abstraction (`ChainSpec`):
-//!   straight-line matmul chains with fused memory-intensive epilogues,
-//!   the unit MCFuser tunes. Includes the paper's memory-bound
-//!   classification test and a CPU reference oracle.
+//!   straight-line matmul chains of *arbitrary length* with per-stage
+//!   epilogues (ReLU/GELU/scale/softmax/masked softmax) and per-stage
+//!   biases, the unit MCFuser tunes. Includes the paper's memory-bound
+//!   classification test and a CPU reference oracle; auxiliary inputs
+//!   (bias vectors, attention masks) ride behind `A` and the weights.
 //! * [`graph`] — a high-level operator graph for end-to-end models
 //!   (BERT/ViT/MLP-Mixer encoders) with shape inference.
-//! * [`partition`] — the MBCI partitioner that carves attention modules
-//!   and memory-bound GEMM chains out of a graph (§V-B).
+//! * [`partition`] — the greedy DAG-walking MBCI partitioner (§V-B):
+//!   N-operator Linear chains grown under the per-prefix memory-bound
+//!   gate, plus (masked) attention with full shape validation.
 //! * [`reference`] — naive CPU evaluation of whole graphs, the numerical
 //!   oracle for the end-to-end compiler.
 
@@ -20,7 +23,9 @@ pub mod graph;
 pub mod partition;
 pub mod reference;
 
-pub use chain::{apply_epilogue, ChainSpec, Epilogue, AXIS_NAMES};
+pub use chain::{
+    apply_epilogue, apply_masked_softmax, causal_mask, AuxInput, ChainSpec, Epilogue, AXIS_NAMES,
+};
 pub use graph::{Graph, GraphBuilder, GraphError, Node, NodeId, Op};
-pub use partition::{partition, FusedChain, Partition};
+pub use partition::{partition, FusedChain, Partition, CHAIN_MBCI_HEADROOM};
 pub use reference::{evaluate, evaluate_node, gelu, init_weight};

@@ -1,15 +1,28 @@
 //! Graph partitioner: carve MBCI sub-graphs out of an operator graph.
 //!
 //! Mirrors §V-B of the paper: "we employ a partitioner to segment the
-//! model into MBCI sub-graphs and other components". Two patterns are
-//! recognized:
+//! model into MBCI sub-graphs and other components". Two pattern
+//! families are recognized, both gated on the paper's memory-bound test
+//! (compute-bound chains gain nothing from fusion and are left to the
+//! per-operator backend — BERT's FFN is rejected, its attention
+//! accepted):
 //!
-//! 1. **Attention**: `BatchMatMul(Q, Kᵀ) → Softmax → BatchMatMul(·, V)`;
-//! 2. **GEMM chains**: `Linear → [elementwise] → Linear` (unbiased), kept
-//!    only when the fused chain is actually *memory bound* on the target
-//!    device — compute-bound chains gain nothing from fusion and are left
-//!    to the per-operator backend (this is the paper's MBCI test doing
-//!    real work: BERT's FFN block is rejected, its attention accepted).
+//! 1. **Attention**: `BatchMatMul(Q, Kᵀ) [→ +mask] → Softmax →
+//!    BatchMatMul(·, V)`, with full Q/K/V shape validation and an
+//!    optional additive-mask leaf (causal masks included) folded into a
+//!    [`Epilogue::MaskedSoftmax`];
+//! 2. **GEMM/Linear chains** of *arbitrary length*: `Linear → [ew] →
+//!    Linear → [ew] → Linear → …`, where each hop may carry one
+//!    element-wise epilogue (ReLU, GELU, scale) and each `Linear` may
+//!    carry a bias (fused as a per-stage bias-add). The matcher grows
+//!    chains greedily along single-consumer edges and re-checks the
+//!    per-prefix MBCI test at every extension, so a chain only grows
+//!    while fusion still pays.
+//!
+//! Every node is claimed by at most one chain (`in_chain` guards on
+//! every hop), and all shape constraints are validated before a pattern
+//! is accepted — a mismatched graph degrades to "leave it to the
+//! fallback backend", never to a miscompiled kernel.
 
 use serde::{Deserialize, Serialize};
 
@@ -25,7 +38,9 @@ pub struct FusedChain {
     pub chain: ChainSpec,
     /// Graph nodes replaced by the fused kernel (compute + epilogues).
     pub nodes: Vec<NodeId>,
-    /// Data inputs of the fused kernel in chain order: `A, W₀, W₁ …`.
+    /// Data inputs of the fused kernel in chain order: `A, W₀, W₁ …`,
+    /// then auxiliary inputs (biases, masks) in
+    /// [`ChainSpec::aux_inputs`] order.
     pub data_inputs: Vec<NodeId>,
     /// The node whose value the fused kernel produces.
     pub output: NodeId,
@@ -51,134 +66,21 @@ pub fn partition(graph: &Graph, dev: &DeviceSpec) -> Partition {
     let mut in_chain = vec![false; graph.nodes.len()];
     let mut chains = Vec::new();
 
-    // --- Pattern 1: attention -------------------------------------------
-    for (i, node) in graph.nodes.iter().enumerate() {
-        let Op::Softmax { scale } = node.op else {
-            continue;
-        };
-        let sm = NodeId(i);
-        // Producer: batched QKᵀ with a single consumer (the softmax).
-        let qk = node.inputs[0];
-        let Op::BatchMatMul { transpose_b: true } = graph.node(qk).op else {
-            continue;
-        };
-        if consumers[qk.0].len() != 1 {
-            continue;
+    for i in 0..graph.nodes.len() {
+        if let Some(fc) = match_attention(graph, dev, &consumers, &in_chain, NodeId(i)) {
+            for id in &fc.nodes {
+                in_chain[id.0] = true;
+            }
+            chains.push(fc);
         }
-        // Consumer: P·V.
-        if consumers[sm.0].len() != 1 {
-            continue;
-        }
-        let pv = consumers[sm.0][0];
-        let Op::BatchMatMul { transpose_b: false } = graph.node(pv).op else {
-            continue;
-        };
-        if graph.node(pv).inputs[0] != sm {
-            continue;
-        }
-        let q = graph.node(qk).inputs[0];
-        let k = graph.node(qk).inputs[1];
-        let v = graph.node(pv).inputs[1];
-        let qs = &graph.node(q).shape;
-        let ks = &graph.node(k).shape;
-        let vs = &graph.node(v).shape;
-        let rank = qs.len();
-        let batch: u64 = qs[..rank - 2].iter().product();
-        let chain = ChainSpec {
-            name: format!("{}::{}", graph.name, node.name),
-            batch,
-            m: qs[rank - 2],
-            dims: vec![qs[rank - 1], ks[ks.len() - 2], vs[vs.len() - 1]],
-            epilogues: vec![Epilogue::Softmax { scale }, Epilogue::None],
-            dtype: graph.dtype,
-        };
-        for id in [qk, sm, pv] {
-            in_chain[id.0] = true;
-        }
-        chains.push(FusedChain {
-            chain,
-            nodes: vec![qk, sm, pv],
-            data_inputs: vec![q, k, v],
-            output: pv,
-            transposed_inputs: vec![false, true, false],
-        });
     }
-
-    // --- Pattern 2: unbiased Linear → [elementwise] → Linear -------------
-    for (i, node) in graph.nodes.iter().enumerate() {
-        if in_chain[i] {
-            continue;
-        }
-        let Op::Linear = node.op else { continue };
-        if node.inputs.len() != 2 {
-            continue; // biased: leave to epilogue-fusion backends
-        }
-        let l2 = NodeId(i);
-        // Walk back through at most one element-wise op.
-        let (mid_epilogue, l1) = match graph.node(node.inputs[0]).op {
-            Op::Relu => {
-                let relu = node.inputs[0];
-                if consumers[relu.0].len() != 1 {
-                    continue;
-                }
-                (Some((relu, Epilogue::Relu)), graph.node(relu).inputs[0])
+    for i in 0..graph.nodes.len() {
+        if let Some(fc) = match_linear_chain(graph, dev, &consumers, &in_chain, NodeId(i)) {
+            for id in &fc.nodes {
+                in_chain[id.0] = true;
             }
-            Op::Scale(f) => {
-                let sc = node.inputs[0];
-                if consumers[sc.0].len() != 1 {
-                    continue;
-                }
-                (Some((sc, Epilogue::Scale(f))), graph.node(sc).inputs[0])
-            }
-            _ => (None, node.inputs[0]),
-        };
-        let Op::Linear = graph.node(l1).op else {
-            continue;
-        };
-        if graph.node(l1).inputs.len() != 2 || in_chain[l1.0] {
-            continue;
+            chains.push(fc);
         }
-        if consumers[l1.0].len() != 1 {
-            continue;
-        }
-        let x = graph.node(l1).inputs[0];
-        let w1 = graph.node(l1).inputs[1];
-        let w2 = node.inputs[1];
-        let xs = &graph.node(x).shape;
-        let k = *xs.last().unwrap();
-        let m: u64 = xs[..xs.len() - 1].iter().product();
-        let n = graph.node(w1).shape[1];
-        let h = graph.node(w2).shape[1];
-        let chain = ChainSpec {
-            name: format!("{}::{}", graph.name, node.name),
-            batch: 1,
-            m,
-            dims: vec![k, n, h],
-            epilogues: vec![
-                mid_epilogue.map(|(_, e)| e).unwrap_or(Epilogue::None),
-                Epilogue::None,
-            ],
-            dtype: graph.dtype,
-        };
-        // The MBCI test: only fuse if the chain is memory bound here.
-        if !chain.is_memory_bound(dev) {
-            continue;
-        }
-        let mut nodes = vec![l1];
-        if let Some((mid, _)) = mid_epilogue {
-            nodes.push(mid);
-        }
-        nodes.push(l2);
-        for id in &nodes {
-            in_chain[id.0] = true;
-        }
-        chains.push(FusedChain {
-            chain,
-            nodes,
-            data_inputs: vec![x, w1, w2],
-            output: l2,
-            transposed_inputs: vec![false; 3],
-        });
     }
 
     let rest = graph
@@ -192,11 +94,333 @@ pub fn partition(graph: &Graph, dev: &DeviceSpec) -> Partition {
     Partition { chains, rest }
 }
 
+/// The single consumer of `id`, if it has exactly one.
+fn sole_consumer(consumers: &[Vec<NodeId>], id: NodeId) -> Option<NodeId> {
+    match consumers[id.0].as_slice() {
+        [c] => Some(*c),
+        _ => None,
+    }
+}
+
+/// Map a single-input element-wise op onto its chain epilogue.
+fn elementwise_epilogue(op: &Op) -> Option<Epilogue> {
+    match op {
+        Op::Relu => Some(Epilogue::Relu),
+        Op::Gelu => Some(Epilogue::Gelu),
+        Op::Scale(f) => Some(Epilogue::Scale(*f)),
+        _ => None,
+    }
+}
+
+/// Try to match an (optionally masked) attention module anchored at a
+/// softmax node. Validates every Q/K/V shape constraint; any mismatch
+/// skips the pattern rather than emitting a broken chain.
+fn match_attention(
+    graph: &Graph,
+    dev: &DeviceSpec,
+    consumers: &[Vec<NodeId>],
+    in_chain: &[bool],
+    sm: NodeId,
+) -> Option<FusedChain> {
+    let node = graph.node(sm);
+    let Op::Softmax { scale } = node.op else {
+        return None;
+    };
+    if in_chain[sm.0] {
+        return None;
+    }
+
+    // Producer side: either `QKᵀ` directly, or `QKᵀ + mask` with the
+    // mask a graph leaf (Input/Weight) of the scores' exact shape.
+    let mut mask: Option<NodeId> = None;
+    let mut add: Option<NodeId> = None;
+    let mut qk = node.inputs[0];
+    if matches!(graph.node(qk).op, Op::Add) {
+        let a = qk;
+        if in_chain[a.0] || sole_consumer(consumers, a) != Some(sm) {
+            return None;
+        }
+        let (x, y) = (graph.node(a).inputs[0], graph.node(a).inputs[1]);
+        let is_qk = |n: NodeId| matches!(graph.node(n).op, Op::BatchMatMul { transpose_b: true });
+        let is_leaf = |n: NodeId| matches!(graph.node(n).op, Op::Input | Op::Weight);
+        let (bmm, mk) = if is_qk(x) && is_leaf(y) {
+            (x, y)
+        } else if is_qk(y) && is_leaf(x) {
+            (y, x)
+        } else {
+            return None;
+        };
+        // The mask must match the *scores* (the BatchMatMul output)
+        // exactly — no broadcast. Comparing against the Add node would
+        // be vacuous when the mask is the Add's first operand, since
+        // the builder copies the Add's shape from that operand.
+        if graph.node(mk).shape != graph.node(bmm).shape {
+            return None;
+        }
+        add = Some(a);
+        mask = Some(mk);
+        qk = bmm;
+    }
+    let Op::BatchMatMul { transpose_b: true } = graph.node(qk).op else {
+        return None;
+    };
+    if in_chain[qk.0] || sole_consumer(consumers, qk) != Some(add.unwrap_or(sm)) {
+        return None;
+    }
+
+    // Consumer side: the probabilities feed exactly one `P·V`.
+    let pv = sole_consumer(consumers, sm)?;
+    let Op::BatchMatMul { transpose_b: false } = graph.node(pv).op else {
+        return None;
+    };
+    if in_chain[pv.0] || graph.node(pv).inputs[0] != sm {
+        return None;
+    }
+
+    let q = graph.node(qk).inputs[0];
+    let k = graph.node(qk).inputs[1];
+    let v = graph.node(pv).inputs[1];
+    let qs = &graph.node(q).shape;
+    let ks = &graph.node(k).shape;
+    let vs = &graph.node(v).shape;
+
+    // Shape validation: equal ranks ≥ 2, identical batch dims, matching
+    // contraction dims for both matmuls (`QKᵀ` contracts the head dim,
+    // `P·V` contracts the sequence dim).
+    let rank = qs.len();
+    if rank < 2 || ks.len() != rank || vs.len() != rank {
+        return None;
+    }
+    if qs[..rank - 2] != ks[..rank - 2] || qs[..rank - 2] != vs[..rank - 2] {
+        return None;
+    }
+    if qs[rank - 1] != ks[rank - 1] || vs[rank - 2] != ks[rank - 2] {
+        return None;
+    }
+
+    let batch: u64 = qs[..rank - 2].iter().product();
+    let epilogue0 = if mask.is_some() {
+        Epilogue::MaskedSoftmax { scale }
+    } else {
+        Epilogue::Softmax { scale }
+    };
+    let chain = ChainSpec {
+        name: format!("{}::{}", graph.name, node.name),
+        batch,
+        m: qs[rank - 2],
+        dims: vec![qs[rank - 1], ks[rank - 2], vs[rank - 1]],
+        epilogues: vec![epilogue0, Epilogue::None],
+        biases: vec![false, false],
+        dtype: graph.dtype,
+    };
+    if !chain.is_memory_bound(dev) {
+        return None;
+    }
+
+    let mut nodes = vec![qk];
+    nodes.extend(add);
+    nodes.extend([sm, pv]);
+    let mut data_inputs = vec![q, k, v];
+    let mut transposed = vec![false, true, false];
+    if let Some(mk) = mask {
+        data_inputs.push(mk);
+        transposed.push(false);
+    }
+    Some(FusedChain {
+        chain,
+        nodes,
+        data_inputs,
+        output: pv,
+        transposed_inputs: transposed,
+    })
+}
+
+/// Headroom the Linear-chain growth gate applies to the device ridge
+/// point: a stage only joins a chain while its standalone intensity
+/// stays below `HEADROOM × ridge`. Borderline operators (within ~10 %
+/// of the ridge) are technically memory bound but gain nothing in
+/// practice — the marginal traffic saving is eaten by the fused
+/// kernel's reduced parallelism, so fusing them regresses end-to-end
+/// time (measured on the Fig. 9 BERT-Small FFN, φ ≈ 0.99 × ridge).
+/// Attention keeps the paper's plain test: its row-wise softmax makes
+/// fusion pay far from the ridge.
+pub const CHAIN_MBCI_HEADROOM: f64 = 0.9;
+
+/// One matched stage of a Linear chain.
+struct Stage {
+    /// The `Linear` node.
+    linear: NodeId,
+    /// Its weight operand.
+    weight: NodeId,
+    /// Its bias operand, if the layer is biased.
+    bias: Option<NodeId>,
+    /// Element-wise node fused after this stage (epilogue), if any.
+    ew: Option<NodeId>,
+    /// The fused epilogue.
+    epilogue: Epilogue,
+}
+
+/// Greedily grow a Linear chain forward from `start`, keeping a stage
+/// only while the whole prefix still classifies as memory bound.
+fn match_linear_chain(
+    graph: &Graph,
+    dev: &DeviceSpec,
+    consumers: &[Vec<NodeId>],
+    in_chain: &[bool],
+    start: NodeId,
+) -> Option<FusedChain> {
+    let linear_parts = |id: NodeId| -> Option<(NodeId, NodeId, Option<NodeId>, u64)> {
+        let n = graph.node(id);
+        let Op::Linear = n.op else {
+            return None;
+        };
+        if in_chain[id.0] || n.inputs.len() < 2 || n.inputs.len() > 3 {
+            return None;
+        }
+        let w = n.inputs[1];
+        let ws = &graph.node(w).shape;
+        if ws.len() != 2 {
+            return None;
+        }
+        let bias = n.inputs.get(2).copied();
+        if let Some(b) = bias {
+            // The bias must be a `[out_features]` vector; anything else
+            // stays with the fallback backend instead of miscompiling.
+            if graph.node(b).shape != [ws[1]] {
+                return None;
+            }
+        }
+        Some((n.inputs[0], w, bias, ws[1]))
+    };
+
+    let (x, w0, b0, first_out) = linear_parts(start)?;
+    let xs = &graph.node(x).shape;
+    let k = *xs.last()?;
+    let m: u64 = xs[..xs.len() - 1].iter().product();
+    if graph.node(w0).shape[0] != k {
+        return None;
+    }
+
+    // The per-prefix MBCI gate (see [`CHAIN_MBCI_HEADROOM`]). Each op's
+    // standalone intensity φ = 2mnk/((mk + kn + mn)·esz) depends only
+    // on its own (m, k, n), so extending a passing prefix only requires
+    // checking the newly appended op.
+    let gated_ridge = dev.ridge_flops_per_byte(graph.dtype) * CHAIN_MBCI_HEADROOM;
+    let esz = graph.dtype.size_bytes() as f64;
+    let op_is_mbci = |kd: u64, nd: u64| -> bool {
+        let (mf, kf, nf) = (m as f64, kd as f64, nd as f64);
+        let phi = 2.0 * mf * nf * kf / ((mf * kf + kf * nf + mf * nf) * esz);
+        phi < gated_ridge
+    };
+
+    let mut dims = vec![k, first_out];
+    if !op_is_mbci(k, first_out) {
+        return None;
+    }
+    let mut stages = vec![Stage {
+        linear: start,
+        weight: w0,
+        bias: b0,
+        ew: None,
+        epilogue: Epilogue::None,
+    }];
+    let mut tail = start;
+
+    // Grow forward one hop at a time: an optional single-consumer
+    // element-wise op, then another Linear of matching input width.
+    while let Some(hop) = sole_consumer(consumers, tail) {
+        let mut nxt = hop;
+        let mut ew: Option<(NodeId, Epilogue)> = None;
+        if let Some(e) = elementwise_epilogue(&graph.node(nxt).op) {
+            if in_chain[nxt.0] {
+                break;
+            }
+            let Some(after) = sole_consumer(consumers, nxt) else {
+                break;
+            };
+            ew = Some((nxt, e));
+            nxt = after;
+        }
+        let Some((lx, w, bias, n)) = linear_parts(nxt) else {
+            break;
+        };
+        // The linear must actually consume the chain tail (not use it as
+        // a weight) and agree on the contraction width.
+        let expected_input = ew.map(|(e, _)| e).unwrap_or(tail);
+        if lx != expected_input || graph.node(w).shape[0] != *dims.last().unwrap() {
+            break;
+        }
+        if !op_is_mbci(*dims.last().unwrap(), n) {
+            break; // fusion stops paying here
+        }
+        dims.push(n);
+        let last = stages.last_mut().unwrap();
+        if let Some((enode, e)) = ew {
+            last.ew = Some(enode);
+            last.epilogue = e;
+        }
+        stages.push(Stage {
+            linear: nxt,
+            weight: w,
+            bias,
+            ew: None,
+            epilogue: Epilogue::None,
+        });
+        tail = nxt;
+    }
+
+    if stages.len() < 2 {
+        return None;
+    }
+
+    // Absorb one trailing element-wise op as the final epilogue (its
+    // fan-out does not matter — it becomes the chain output).
+    let mut output = tail;
+    if let Some(enode) = sole_consumer(consumers, tail) {
+        if !in_chain[enode.0] {
+            if let Some(e) = elementwise_epilogue(&graph.node(enode).op) {
+                let last = stages.last_mut().unwrap();
+                last.ew = Some(enode);
+                last.epilogue = e;
+                output = enode;
+            }
+        }
+    }
+
+    let chain = ChainSpec {
+        name: format!("{}::{}", graph.name, graph.node(tail).name),
+        batch: 1,
+        m,
+        dims,
+        epilogues: stages.iter().map(|s| s.epilogue).collect(),
+        biases: stages.iter().map(|s| s.bias.is_some()).collect(),
+        dtype: graph.dtype,
+    };
+
+    let mut nodes = Vec::new();
+    for s in &stages {
+        nodes.push(s.linear);
+        nodes.extend(s.ew);
+    }
+    let mut data_inputs = vec![x];
+    data_inputs.extend(stages.iter().map(|s| s.weight));
+    // Aux inputs in `ChainSpec::aux_inputs` order (per-stage biases).
+    data_inputs.extend(stages.iter().filter_map(|s| s.bias));
+    let transposed = vec![false; data_inputs.len()];
+    Some(FusedChain {
+        chain,
+        nodes,
+        data_inputs,
+        output,
+        transposed_inputs: transposed,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::graph::GraphBuilder;
-    use mcfuser_sim::DType;
+    use mcfuser_sim::{DType, DeviceSpec};
 
     /// A bare attention sub-graph: Q,K,V inputs → QKᵀ → softmax → ·V.
     fn attention_graph(heads: u64, m: u64, k: u64) -> Graph {
@@ -224,6 +448,104 @@ mod tests {
     }
 
     #[test]
+    fn masked_attention_is_extracted() {
+        let mut gb = GraphBuilder::new("mattn", DType::F16);
+        let q = gb.input("q", vec![8, 512, 64]);
+        let k = gb.input("k", vec![8, 512, 64]);
+        let v = gb.input("v", vec![8, 512, 64]);
+        let mask = gb.input("mask", vec![8, 512, 512]);
+        let s = gb.batch_matmul("qk", q, k, true);
+        let ms = gb.add("masked", s, mask);
+        let p = gb.softmax("sm", ms, 1.0 / 8.0);
+        let o = gb.batch_matmul("pv", p, v, false);
+        let g = gb.finish(vec![o]);
+        let part = partition(&g, &DeviceSpec::a100());
+        assert_eq!(part.chains.len(), 1);
+        let fc = &part.chains[0];
+        assert!(matches!(
+            fc.chain.epilogues[0],
+            Epilogue::MaskedSoftmax { .. }
+        ));
+        assert_eq!(fc.nodes.len(), 4); // qk, add, softmax, pv
+        assert_eq!(fc.data_inputs.len(), 4); // q, k, v, mask
+        assert_eq!(fc.data_inputs[3], mask);
+        assert!(part.rest.is_empty(), "{:?}", part.rest);
+    }
+
+    #[test]
+    fn attention_mask_of_wrong_shape_is_not_fused() {
+        let mut gb = GraphBuilder::new("mattn", DType::F16);
+        let q = gb.input("q", vec![8, 512, 64]);
+        let k = gb.input("k", vec![8, 512, 64]);
+        let v = gb.input("v", vec![8, 512, 64]);
+        // A bogus mask shape (would need broadcast): not fusable.
+        let mask = gb.input("mask", vec![512, 512]);
+        let s = gb.batch_matmul("qk", q, k, true);
+        let ms = gb.add("masked", s, mask);
+        let p = gb.softmax("sm", ms, 1.0 / 8.0);
+        let o = gb.batch_matmul("pv", p, v, false);
+        let g = gb.finish(vec![o]);
+        let part = partition(&g, &DeviceSpec::a100());
+        assert!(part.chains.is_empty());
+
+        // Same, with the mask as the Add's FIRST operand — the builder
+        // copies the Add's shape from it, so a naive shape check against
+        // the Add node is vacuous in this order.
+        let mut gb = GraphBuilder::new("mattn2", DType::F16);
+        let q = gb.input("q", vec![8, 512, 64]);
+        let k = gb.input("k", vec![8, 512, 64]);
+        let v = gb.input("v", vec![8, 512, 64]);
+        let mask = gb.input("mask", vec![512, 512]);
+        let s = gb.batch_matmul("qk", q, k, true);
+        let ms = gb.add("masked", mask, s);
+        let p = gb.softmax("sm", ms, 1.0 / 8.0);
+        let o = gb.batch_matmul("pv", p, v, false);
+        let g = gb.finish(vec![o]);
+        let part = partition(&g, &DeviceSpec::a100());
+        assert!(part.chains.is_empty(), "mask-first operand order");
+    }
+
+    /// Regression (bugfix): the attention matcher used to accept Q/K/V
+    /// with mismatched batch or contraction dims without ever comparing
+    /// their shapes.
+    #[test]
+    fn attention_with_mismatched_shapes_is_rejected() {
+        let dev = DeviceSpec::a100();
+        // K contraction dim differs from Q's.
+        let mut gb = GraphBuilder::new("bad1", DType::F16);
+        let q = gb.input("q", vec![8, 512, 64]);
+        let k = gb.input("k", vec![8, 512, 32]);
+        let v = gb.input("v", vec![8, 512, 64]);
+        let s = gb.batch_matmul("qk", q, k, true);
+        let p = gb.softmax("sm", s, 1.0);
+        let o = gb.batch_matmul("pv", p, v, false);
+        let g = gb.finish(vec![o]);
+        assert!(partition(&g, &dev).chains.is_empty(), "k dim mismatch");
+
+        // V sequence dim does not match the scores' columns.
+        let mut gb = GraphBuilder::new("bad2", DType::F16);
+        let q = gb.input("q", vec![8, 512, 64]);
+        let k = gb.input("k", vec![8, 512, 64]);
+        let v = gb.input("v", vec![8, 256, 64]);
+        let s = gb.batch_matmul("qk", q, k, true);
+        let p = gb.softmax("sm", s, 1.0);
+        let o = gb.batch_matmul("pv", p, v, false);
+        let g = gb.finish(vec![o]);
+        assert!(partition(&g, &dev).chains.is_empty(), "v rows mismatch");
+
+        // Batch dims disagree.
+        let mut gb = GraphBuilder::new("bad3", DType::F16);
+        let q = gb.input("q", vec![8, 512, 64]);
+        let k = gb.input("k", vec![4, 512, 64]);
+        let v = gb.input("v", vec![8, 512, 64]);
+        let s = gb.batch_matmul("qk", q, k, true);
+        let p = gb.softmax("sm", s, 1.0);
+        let o = gb.batch_matmul("pv", p, v, false);
+        let g = gb.finish(vec![o]);
+        assert!(partition(&g, &dev).chains.is_empty(), "batch mismatch");
+    }
+
+    #[test]
     fn mbci_gemm_chain_is_extracted() {
         let mut gb = GraphBuilder::new("chain", DType::F16);
         let x = gb.input("x", vec![512, 64]);
@@ -235,6 +557,52 @@ mod tests {
         let c = &part.chains[0].chain;
         assert_eq!((c.m, c.dims.clone()), (512, vec![64, 256, 64]));
         assert!(part.rest.is_empty());
+    }
+
+    /// The tentpole: a 4-GEMM chain with mixed per-stage epilogues comes
+    /// out as ONE fused chain.
+    #[test]
+    fn long_chain_with_mixed_epilogues_is_extracted() {
+        let mut gb = GraphBuilder::new("mlp", DType::F16);
+        let x = gb.input("x", vec![512, 64]);
+        let a = gb.linear("fc1", x, 256, false);
+        let a = gb.gelu("g1", a);
+        let a = gb.linear("fc2", a, 128, false);
+        let a = gb.relu("r2", a);
+        let a = gb.linear("fc3", a, 256, false);
+        let a = gb.linear("fc4", a, 64, false);
+        let g = gb.finish(vec![a]);
+        let part = partition(&g, &DeviceSpec::a100());
+        assert_eq!(part.chains.len(), 1);
+        let c = &part.chains[0].chain;
+        assert_eq!(c.num_ops(), 4);
+        assert_eq!(c.dims, vec![64, 256, 128, 256, 64]);
+        assert_eq!(
+            c.epilogues,
+            vec![
+                Epilogue::Gelu,
+                Epilogue::Relu,
+                Epilogue::None,
+                Epilogue::None
+            ]
+        );
+        assert!(part.rest.is_empty(), "{:?}", part.rest);
+    }
+
+    #[test]
+    fn chain_growth_stops_at_compute_bound_stage() {
+        // fc1 and fc2 are memory bound; fc3's fat 2048×2048 reduction is
+        // compute bound, so the chain must stop before it.
+        let mut gb = GraphBuilder::new("chain", DType::F16);
+        let x = gb.input("x", vec![512, 64]);
+        let a = gb.linear("fc1", x, 256, false);
+        let b = gb.linear("fc2", a, 2048, false);
+        let c = gb.linear("fc3", b, 2048, false);
+        let g = gb.finish(vec![c]);
+        let part = partition(&g, &DeviceSpec::a100());
+        assert_eq!(part.chains.len(), 1);
+        assert_eq!(part.chains[0].chain.dims, vec![64, 256, 2048]);
+        assert_eq!(part.rest, vec![c]);
     }
 
     #[test]
@@ -253,6 +621,22 @@ mod tests {
     }
 
     #[test]
+    fn f32_ridge_rejects_what_f16_accepts() {
+        // The MBCI test depends on dtype: the f32 ridge is ~16× lower,
+        // so the same shape flips from fused to rejected.
+        let build = |dtype: DType| {
+            let mut gb = GraphBuilder::new("chain", dtype);
+            let x = gb.input("x", vec![512, 64]);
+            let y = gb.linear("fc1", x, 256, false);
+            let z = gb.linear("fc2", y, 64, false);
+            gb.finish(vec![z])
+        };
+        let dev = DeviceSpec::a100();
+        assert_eq!(partition(&build(DType::F16), &dev).chains.len(), 1);
+        assert!(partition(&build(DType::F32), &dev).chains.is_empty());
+    }
+
+    #[test]
     fn relu_between_linears_becomes_epilogue() {
         let mut gb = GraphBuilder::new("chain", DType::F16);
         let x = gb.input("x", vec![512, 64]);
@@ -267,11 +651,48 @@ mod tests {
     }
 
     #[test]
-    fn biased_linears_not_chain_fused() {
+    fn trailing_elementwise_becomes_final_epilogue() {
+        let mut gb = GraphBuilder::new("chain", DType::F16);
+        let x = gb.input("x", vec![512, 64]);
+        let y = gb.linear("fc1", x, 256, false);
+        let z = gb.linear("fc2", y, 64, false);
+        let r = gb.relu("out_act", z);
+        let g = gb.finish(vec![r]);
+        let part = partition(&g, &DeviceSpec::a100());
+        assert_eq!(part.chains.len(), 1);
+        let fc = &part.chains[0];
+        assert_eq!(fc.chain.epilogues, vec![Epilogue::None, Epilogue::Relu]);
+        assert_eq!(fc.output, r);
+        assert!(part.rest.is_empty());
+    }
+
+    #[test]
+    fn biased_linears_fuse_with_bias_stages() {
         let mut gb = GraphBuilder::new("chain", DType::F16);
         let x = gb.input("x", vec![512, 64]);
         let y = gb.linear("fc1", x, 256, true);
         let z = gb.linear("fc2", y, 64, true);
+        let g = gb.finish(vec![z]);
+        let part = partition(&g, &DeviceSpec::a100());
+        assert_eq!(part.chains.len(), 1);
+        let fc = &part.chains[0];
+        assert_eq!(fc.chain.biases, vec![true, true]);
+        // data inputs: x, w1, w2, b1, b2.
+        assert_eq!(fc.data_inputs.len(), 5);
+        assert_eq!(fc.chain.num_inputs(), 5);
+        assert!(part.rest.is_empty());
+    }
+
+    #[test]
+    fn malformed_bias_shape_is_not_fused() {
+        // A bias that is not `[out_features]` must leave the chain to
+        // the fallback backend, not reach lowering.
+        let mut gb = GraphBuilder::new("badbias", DType::F16);
+        let x = gb.input("x", vec![512, 64]);
+        let w1 = gb.weight("w1", vec![64, 256]);
+        let bad = gb.weight("b1", vec![32]); // wrong: should be [256]
+        let y = gb.linear_shared("fc1", x, w1, Some(bad));
+        let z = gb.linear("fc2", y, 64, false);
         let g = gb.finish(vec![z]);
         let part = partition(&g, &DeviceSpec::a100());
         assert!(part.chains.is_empty());
@@ -287,6 +708,81 @@ mod tests {
         let g = gb.finish(vec![z, w]);
         let part = partition(&g, &DeviceSpec::a100());
         assert!(part.chains.is_empty());
+    }
+
+    #[test]
+    fn fanout_inside_long_chain_splits_it() {
+        // fc2's output feeds both fc3 and a side branch: the chain must
+        // stop at fc2; fc3→fc4 forms its own chain.
+        let mut gb = GraphBuilder::new("chain", DType::F16);
+        let x = gb.input("x", vec![512, 64]);
+        let a = gb.linear("fc1", x, 256, false);
+        let b = gb.linear("fc2", a, 128, false);
+        let c = gb.linear("fc3", b, 256, false);
+        let d = gb.linear("fc4", c, 64, false);
+        let side = gb.relu("side", b);
+        let g = gb.finish(vec![d, side]);
+        let part = partition(&g, &DeviceSpec::a100());
+        assert_eq!(part.chains.len(), 2);
+        assert_eq!(part.chains[0].chain.dims, vec![64, 256, 128]);
+        assert_eq!(part.chains[1].chain.dims, vec![128, 256, 64]);
+        assert_eq!(part.rest, vec![side]);
+    }
+
+    /// Regression (bugfix): a graph node must be claimed by at most one
+    /// chain even when patterns overlap (the seed matcher consumed
+    /// pattern-2's mid elementwise node without an `in_chain` guard).
+    #[test]
+    fn overlapping_patterns_claim_each_node_once() {
+        let mut gb = GraphBuilder::new("overlap", DType::F16);
+        // Attention whose output feeds a scale then a linear chain.
+        let q = gb.input("q", vec![8, 512, 64]);
+        let k = gb.input("k", vec![8, 512, 64]);
+        let v = gb.input("v", vec![8, 512, 64]);
+        let s = gb.batch_matmul("qk", q, k, true);
+        let p = gb.softmax("sm", s, 0.125);
+        let o = gb.batch_matmul("pv", p, v, false);
+        let sc = gb.scale("sc", o, 0.5);
+        let a = gb.linear("fc1", sc, 256, false);
+        let b = gb.linear("fc2", a, 64, false);
+        let g = gb.finish(vec![b]);
+        let part = partition(&g, &DeviceSpec::a100());
+        assert_eq!(part.chains.len(), 2);
+        let mut seen = std::collections::HashSet::new();
+        for fc in &part.chains {
+            for n in &fc.nodes {
+                assert!(seen.insert(*n), "node {n:?} claimed twice");
+            }
+        }
+        // The scale between the patterns belongs to exactly one chain
+        // (absorbed as the attention chain's final epilogue) or to rest,
+        // never to both.
+        let claimed = seen.contains(&sc);
+        let in_rest = part.rest.contains(&sc);
+        assert!(claimed != in_rest, "sc must be claimed exactly once");
+    }
+
+    #[test]
+    fn shared_weights_between_chains() {
+        // Two towers reuse the same weight tensors; both fuse, and the
+        // shared weight nodes appear in both chains' data inputs.
+        let mut gb = GraphBuilder::new("shared", DType::F16);
+        let wa = gb.weight("wa", vec![64, 256]);
+        let wb = gb.weight("wb", vec![256, 64]);
+        let x1 = gb.input("x1", vec![512, 64]);
+        let x2 = gb.input("x2", vec![512, 64]);
+        let a1 = gb.linear_shared("t1.fc1", x1, wa, None);
+        let o1 = gb.linear_shared("t1.fc2", a1, wb, None);
+        let a2 = gb.linear_shared("t2.fc1", x2, wa, None);
+        let o2 = gb.linear_shared("t2.fc2", a2, wb, None);
+        let g = gb.finish(vec![o1, o2]);
+        let part = partition(&g, &DeviceSpec::a100());
+        assert_eq!(part.chains.len(), 2);
+        for fc in &part.chains {
+            assert!(fc.data_inputs.contains(&wa));
+            assert!(fc.data_inputs.contains(&wb));
+        }
+        assert!(part.rest.is_empty());
     }
 
     #[test]

@@ -139,9 +139,11 @@ fn value(values: &[Option<HostTensor>], id: NodeId) -> &HostTensor {
     values[id.0].as_ref().expect("topological order violated")
 }
 
-/// tanh-approximation GELU (matches common framework implementations).
+/// tanh-approximation GELU — delegates to the simulator's kernel
+/// (`mcfuser_sim::gelu`) so the reference oracle and the functional
+/// interpreter share one bit-identical implementation.
 pub fn gelu(x: f32) -> f32 {
-    0.5 * x * (1.0 + ((0.797_884_6 * (x + 0.044715 * x * x * x)) as f64).tanh() as f32)
+    mcfuser_sim::gelu(x)
 }
 
 fn eval_linear(

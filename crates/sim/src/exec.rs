@@ -350,6 +350,30 @@ fn run_stmts(
                     *v = v.max(0.0);
                 }
             }
+            BlockStmt::Gelu { target } => {
+                for v in smem.bufs[target.0].iter_mut() {
+                    *v = gelu(*v);
+                }
+            }
+            BlockStmt::AddTile { target, other } => {
+                let (t, o) = (target.0, other.0);
+                if t == o {
+                    for v in smem.bufs[t].iter_mut() {
+                        *v += *v;
+                    }
+                } else {
+                    // Disjoint split borrow — no per-trip allocation.
+                    let (lo, hi) = smem.bufs.split_at_mut(t.max(o));
+                    let (dst, src) = if t < o {
+                        (&mut lo[t], &hi[0])
+                    } else {
+                        (&mut hi[0], &lo[o])
+                    };
+                    for (v, s) in dst.iter_mut().zip(src.iter()) {
+                        *v += s;
+                    }
+                }
+            }
             BlockStmt::Scale { target, factor } => {
                 for v in smem.bufs[target.0].iter_mut() {
                     *v *= factor;
@@ -373,6 +397,14 @@ fn run_stmts(
             }
         }
     }
+}
+
+/// tanh-approximation GELU (matches common framework implementations).
+/// The single source of truth for the epilogue's numerics — the CPU
+/// reference oracle in `mcfuser-ir` delegates here, so the interpreter
+/// and the oracle can never drift apart.
+pub fn gelu(x: f32) -> f32 {
+    0.5 * x * (1.0 + ((0.797_884_6 * (x + 0.044715 * x * x * x)) as f64).tanh() as f32)
 }
 
 /// Copy a (possibly clipped) `rows × cols` region at `origin` into a dense

@@ -184,8 +184,13 @@ pub enum BlockStmt {
     RowDiv { target: SmemId, denom: SmemId },
     /// Element-wise ReLU.
     Relu { target: SmemId },
+    /// Element-wise GELU (tanh approximation).
+    Gelu { target: SmemId },
     /// Element-wise scale by a constant.
     Scale { target: SmemId, factor: f32 },
+    /// Element-wise addition of a same-shaped tile: `target += other`
+    /// (additive attention masks).
+    AddTile { target: SmemId, other: SmemId },
     /// Add a row vector (`bias`, a `1 × cols` buffer) to each row of
     /// `target`.
     AddBias { target: SmemId, bias: SmemId },
@@ -410,7 +415,19 @@ impl TileProgram {
                         });
                     }
                 }
+                BlockStmt::AddTile { target, other } => {
+                    let dt = self.smem_decl(*target)?;
+                    let d2 = self.smem_decl(*other)?;
+                    if dt.rows != d2.rows || dt.cols != d2.cols {
+                        return Err(ProgramError::GemmShapeMismatch {
+                            a: *target,
+                            b: *other,
+                            acc: *other,
+                        });
+                    }
+                }
                 BlockStmt::Relu { target }
+                | BlockStmt::Gelu { target }
                 | BlockStmt::Scale { target, .. }
                 | BlockStmt::Exp { target } => {
                     self.smem_decl(*target)?;

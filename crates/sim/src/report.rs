@@ -59,6 +59,15 @@ fn render_stmts(p: &TileProgram, stmts: &[BlockStmt], indent: usize, out: &mut S
             BlockStmt::Relu { target } => {
                 out.push_str(&format!("{pad}relu {}\n", p.smem[target.0].name));
             }
+            BlockStmt::Gelu { target } => {
+                out.push_str(&format!("{pad}gelu {}\n", p.smem[target.0].name));
+            }
+            BlockStmt::AddTile { target, other } => {
+                out.push_str(&format!(
+                    "{pad}add {} += {}\n",
+                    p.smem[target.0].name, p.smem[other.0].name
+                ));
+            }
             BlockStmt::Scale { target, factor } => {
                 out.push_str(&format!(
                     "{pad}scale {} *= {factor}\n",

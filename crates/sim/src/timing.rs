@@ -160,11 +160,17 @@ fn walk(p: &TileProgram, stmts: &[BlockStmt], trips: f64, st: &mut BlockStats) {
                 let d = &p.smem[scores.0];
                 st.misc_flops += 6.0 * (d.rows * d.cols) as f64 * trips;
             }
+            BlockStmt::Gelu { target } => {
+                // tanh + polynomial: markedly heavier than a ReLU.
+                let d = &p.smem[target.0];
+                st.misc_flops += 8.0 * (d.rows * d.cols) as f64 * trips;
+            }
             BlockStmt::RowDiv { target, .. }
             | BlockStmt::Relu { target }
             | BlockStmt::Scale { target, .. }
             | BlockStmt::Exp { target }
-            | BlockStmt::AddBias { target, .. } => {
+            | BlockStmt::AddBias { target, .. }
+            | BlockStmt::AddTile { target, .. } => {
                 let d = &p.smem[target.0];
                 st.misc_flops += (d.rows * d.cols) as f64 * trips;
             }

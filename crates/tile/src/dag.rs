@@ -623,6 +623,7 @@ mod tests {
             m: 256,
             dims: vec![64, 128, 128, 64],
             epilogues: vec![Default::default(); 3],
+            biases: vec![false; 3],
             dtype: mcfuser_sim::DType::F16,
         };
         // Deep expr over m,k,n,h,p — use identity order.

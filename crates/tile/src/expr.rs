@@ -389,6 +389,7 @@ mod tests {
             m: 256,
             dims: vec![64, 128, 128, 64],
             epilogues: vec![Default::default(); 3],
+            biases: vec![false; 3],
             dtype: mcfuser_sim::DType::F16,
         };
         assert_eq!(enumerate_deep(&c).len(), 120);

@@ -17,7 +17,7 @@
 //! * a softmax epilogue requires completed score tiles and a streaming
 //!   (online) update for the downstream accumulator.
 
-use mcfuser_ir::{ChainSpec, Epilogue};
+use mcfuser_ir::{AuxInput, ChainSpec, Epilogue};
 use mcfuser_sim::{
     BlockStmt, BufferRole, DType, LoopHandle, ProgramBuilder, SmemId, TileAccess, TileIndex,
     TileProgram, VarRef,
@@ -183,15 +183,31 @@ pub fn lower(
     // ---- Declarations ----------------------------------------------------
     let esz = chain.dtype;
     let mut b = ProgramBuilder::new(format!("{}::{}", chain.name, cand.describe(chain)), esz);
-    // Global buffers: A, W_i, out.
-    let mut input_bufs = Vec::with_capacity(num_ops + 1);
-    for (i, shape) in chain.input_shapes().into_iter().enumerate() {
+    // Global buffers: A, W_i, then aux inputs (biases/masks), out. The
+    // order mirrors `ChainSpec::input_shapes` so callers can feed the
+    // program positionally.
+    let shapes = chain.input_shapes();
+    let num_data = num_ops + 1;
+    let mut input_bufs = Vec::with_capacity(num_data);
+    for (i, shape) in shapes.iter().take(num_data).enumerate() {
         let name = if i == 0 {
             "A".to_string()
         } else {
             format!("W{}", i - 1)
         };
-        input_bufs.push(b.buffer(name, shape, esz, BufferRole::Input));
+        input_bufs.push(b.buffer(name, shape.clone(), esz, BufferRole::Input));
+    }
+    let aux_list = chain.aux_inputs();
+    let mut aux_bufs = Vec::with_capacity(aux_list.len());
+    for (j, aux) in aux_list.iter().enumerate() {
+        let name = match aux {
+            AuxInput::Bias { stage } => format!("b{stage}"),
+            AuxInput::Mask { stage } => format!("mask{stage}"),
+        };
+        aux_bufs.push((
+            *aux,
+            b.buffer(name, shapes[num_data + j].clone(), esz, BufferRole::Input),
+        ));
     }
     let out_buf = b.buffer("out", chain.output_shape(), esz, BufferRole::Output);
 
@@ -273,6 +289,19 @@ pub fn lower(
         let sm = b.smem_with("row_sum", tm, 1, DType::F32, 0, false);
         (mx, sm)
     });
+    // Aux tiles: a bias strip `1 × t_cols` per biased stage, a mask tile
+    // `t_m × t_cols` per masked softmax.
+    let aux_tiles: Vec<(AuxInput, SmemId, mcfuser_sim::BufId)> = aux_bufs
+        .iter()
+        .map(|&(aux, buf)| {
+            let (name, rows, stage) = match aux {
+                AuxInput::Bias { stage } => (format!("bias_{stage}"), 1, stage),
+                AuxInput::Mask { stage } => (format!("mask_{stage}"), cand.tile(LoopId(0)), stage),
+            };
+            let cols = cand.tile(LoopId(stage + 2));
+            (aux, b.smem_with(name, rows, cols, esz, 0, false), buf)
+        })
+        .collect();
 
     // ---- Fill anchoring ---------------------------------------------------
     // acc_i is zeroed at the body start of the deepest live loop on C_i's
@@ -324,6 +353,7 @@ pub fn lower(
         load_tiles: &load_tiles,
         accs: &accs,
         stats,
+        aux_tiles: &aux_tiles,
         out_buf,
         softmax_pos,
         fills_at: &fills_at,
@@ -365,6 +395,7 @@ struct EmitCtx<'a> {
     load_tiles: &'a [(SmemId, mcfuser_sim::BufId, TensorRef)],
     accs: &'a [SmemId],
     stats: Option<(SmemId, SmemId)>,
+    aux_tiles: &'a [(AuxInput, SmemId, mcfuser_sim::BufId)],
     out_buf: mcfuser_sim::BufId,
     softmax_pos: Option<usize>,
     fills_at: &'a [(Option<LoopId>, BlockStmt)],
@@ -464,11 +495,28 @@ fn emit_stmt(s: Stmt, ctx: &EmitCtx<'_>, out: &mut Vec<BlockStmt>) {
     }
 }
 
-/// Apply `chain.epilogues[i]` to `acc_i`.
+/// Apply stage `i`'s bias (if any) and `chain.epilogues[i]` to `acc_i`.
+/// Runs exactly once per completed `acc_i` tile (the legality checks
+/// guarantee a consumer never re-reads a producer tile), so even
+/// non-idempotent epilogues (scale, bias, masked softmax) are safe.
 fn emit_epilogue(i: usize, ctx: &EmitCtx<'_>, out: &mut Vec<BlockStmt>) {
+    if ctx.chain.biases.get(i).copied().unwrap_or(false) {
+        let (tile, buf) = aux_tile(ctx, AuxInput::Bias { stage: i });
+        out.push(BlockStmt::Load {
+            src: aux_access(ctx, AuxInput::Bias { stage: i }, buf),
+            dst: tile,
+        });
+        out.push(BlockStmt::AddBias {
+            target: ctx.accs[i],
+            bias: tile,
+        });
+    }
     match ctx.chain.epilogues[i] {
         Epilogue::None => {}
         Epilogue::Relu => out.push(BlockStmt::Relu {
+            target: ctx.accs[i],
+        }),
+        Epilogue::Gelu => out.push(BlockStmt::Gelu {
             target: ctx.accs[i],
         }),
         Epilogue::Scale(f) => out.push(BlockStmt::Scale {
@@ -476,17 +524,82 @@ fn emit_epilogue(i: usize, ctx: &EmitCtx<'_>, out: &mut Vec<BlockStmt>) {
             factor: f,
         }),
         Epilogue::Softmax { scale } => {
-            let (mx, sm) = ctx.stats.expect("stats allocated");
-            // Rescale every *downstream* accumulator (there is exactly one:
-            // the final output, by the legality check).
-            let rescale: Vec<SmemId> = ctx.accs[i + 1..].to_vec();
-            out.push(BlockStmt::OnlineSoftmax {
-                scores: ctx.accs[i],
-                row_max: mx,
-                row_sum: sm,
-                rescale,
-                scale,
+            emit_online_softmax(i, scale, ctx, out);
+        }
+        Epilogue::MaskedSoftmax { scale } => {
+            // softmax(scale·(s + mask)): add the mask tile to the
+            // completed scores, then stream with the usual pre-scale.
+            let (tile, buf) = aux_tile(ctx, AuxInput::Mask { stage: i });
+            out.push(BlockStmt::Load {
+                src: aux_access(ctx, AuxInput::Mask { stage: i }, buf),
+                dst: tile,
             });
+            out.push(BlockStmt::AddTile {
+                target: ctx.accs[i],
+                other: tile,
+            });
+            emit_online_softmax(i, scale, ctx, out);
+        }
+    }
+}
+
+/// The streaming softmax update for stage `i`'s scores.
+fn emit_online_softmax(i: usize, scale: f32, ctx: &EmitCtx<'_>, out: &mut Vec<BlockStmt>) {
+    let (mx, sm) = ctx.stats.expect("stats allocated");
+    // Rescale every *downstream* accumulator (there is exactly one:
+    // the final output, by the legality check).
+    let rescale: Vec<SmemId> = ctx.accs[i + 1..].to_vec();
+    out.push(BlockStmt::OnlineSoftmax {
+        scores: ctx.accs[i],
+        row_max: mx,
+        row_sum: sm,
+        rescale,
+        scale,
+    });
+}
+
+/// Shared-memory tile and global buffer of an aux input.
+fn aux_tile(ctx: &EmitCtx<'_>, aux: AuxInput) -> (SmemId, mcfuser_sim::BufId) {
+    ctx.aux_tiles
+        .iter()
+        .find(|(a, _, _)| *a == aux)
+        .map(|(_, t, b)| (*t, *b))
+        .expect("aux tile declared")
+}
+
+/// Tile access for an aux input: biases are rank-1 `[d]` strips indexed
+/// by the stage's column axis; masks are rank-3 `[batch, m, d]` tiles.
+fn aux_access(ctx: &EmitCtx<'_>, aux: AuxInput, buf: mcfuser_sim::BufId) -> TileAccess {
+    match aux {
+        AuxInput::Bias { stage } => {
+            let col = LoopId(stage + 2);
+            TileAccess {
+                buf,
+                indices: vec![TileIndex {
+                    var: (ctx.var_of)(col),
+                    tile: ctx.cand.tile(col),
+                }],
+            }
+        }
+        AuxInput::Mask { stage } => {
+            let col = LoopId(stage + 2);
+            TileAccess {
+                buf,
+                indices: vec![
+                    TileIndex {
+                        var: ctx.g_batch,
+                        tile: 1,
+                    },
+                    TileIndex {
+                        var: (ctx.var_of)(LoopId(0)),
+                        tile: ctx.cand.tile(LoopId(0)),
+                    },
+                    TileIndex {
+                        var: (ctx.var_of)(col),
+                        tile: ctx.cand.tile(col),
+                    },
+                ],
+            }
         }
     }
 }
@@ -623,6 +736,86 @@ mod tests {
         let mut c = ChainSpec::single_matmul("mm", 1, 64, 64, 32);
         c.epilogues[0] = Epilogue::Scale(0.5);
         check_numerics(&c, &cand_for(&c, "mkn", vec![32, 16, 32]), 10);
+    }
+
+    #[test]
+    fn gelu_epilogue_correct() {
+        let mut c = gemm_chain();
+        c.epilogues[0] = Epilogue::Gelu;
+        check_numerics(&c, &cand_for(&c, "mhnk", vec![32, 32, 32, 16]), 11);
+    }
+
+    #[test]
+    fn biased_stages_correct() {
+        let mut c = gemm_chain();
+        c.biases = vec![true, true];
+        assert_eq!(c.num_inputs(), 5);
+        check_numerics(&c, &cand_for(&c, "mhnk", vec![32, 32, 32, 16]), 12);
+    }
+
+    #[test]
+    fn bias_plus_relu_stage_correct() {
+        let mut c = gemm_chain();
+        c.biases = vec![true, false];
+        c.epilogues[0] = Epilogue::Relu;
+        check_numerics(&c, &cand_for(&c, "mhnk", vec![32, 32, 32, 16]), 13);
+    }
+
+    #[test]
+    fn masked_attention_correct() {
+        let c = ChainSpec::masked_attention("ms", 2, 64, 64, 32, 32);
+        assert_eq!(c.num_inputs(), 4); // Q, K, V, mask
+        check_numerics(&c, &cand_for(&c, "mhnk", vec![32, 32, 16, 32]), 14);
+    }
+
+    #[test]
+    fn masked_attention_with_causal_mask_is_causal() {
+        let c = ChainSpec::masked_attention("ms", 2, 64, 64, 32, 32);
+        let cd = cand_for(&c, "mhnk", vec![32, 32, 16, 32]);
+        let k = lower(&c, &cd, &LoweringOptions::default()).unwrap();
+        let mut inputs = c.random_inputs(15);
+        inputs[3] = mcfuser_ir::causal_mask(2, 64, 64);
+        let mut st = TensorStorage::for_program(&k.program);
+        for (i, t) in inputs.iter().enumerate() {
+            st.tensors[i] = t.clone();
+        }
+        execute(&k.program, &mut st).unwrap();
+        let expect = c.reference(&inputs);
+        let got = st.tensors.last().unwrap();
+        assert!(got.rel_l2_error(&expect) < 2e-2);
+        // Row 0 can only attend to position 0: its output must equal
+        // V[batch, 0, :] exactly (softmax over one unmasked score = 1).
+        let v = &inputs[2];
+        for b in 0..2usize {
+            for j in 0..32usize {
+                let o = got.data[b * 64 * 32 + j];
+                let vv = v.data[b * 64 * 32 + j];
+                assert!((o - vv).abs() < 1e-2, "b{b} j{j}: {o} vs {vv}");
+            }
+        }
+    }
+
+    #[test]
+    fn four_gemm_chain_with_mixed_epilogues_correct() {
+        let mut c = ChainSpec::chain(
+            "mlp4",
+            1,
+            128,
+            vec![64, 96, 64, 96, 64],
+            vec![
+                Epilogue::Gelu,
+                Epilogue::Relu,
+                Epilogue::Scale(0.5),
+                Epilogue::None,
+            ],
+        );
+        c.biases = vec![true, false, false, true];
+        // Deep "mqphnk" nest: reductions innermost-first, the legal
+        // generalization of the 2-GEMM "mhnk".
+        let mut perm = vec![crate::loops::LoopId(0)];
+        perm.extend((1..c.num_axes()).rev().map(crate::loops::LoopId));
+        let cd = Candidate::new(TilingExpr::deep(&perm), vec![32, 32, 32, 32, 32, 32]);
+        check_numerics(&c, &cd, 16);
     }
 
     #[test]

@@ -1,6 +1,8 @@
-//! Table III — the self-attention module configurations S1–S9.
+//! Table III — the self-attention module configurations S1–S9, plus
+//! masked (decoder-style) attention variants.
 
-use mcfuser_ir::ChainSpec;
+use mcfuser_ir::{ChainSpec, Graph, GraphBuilder, NodeId};
+use mcfuser_sim::DType;
 
 /// All (name, heads, M, N, K, H, network) rows of Table III.
 pub const TABLE_III: [(&str, u64, u64, u64, u64, u64, &str); 9] = [
@@ -36,6 +38,35 @@ pub fn attention_network(name: &str) -> Option<&'static str> {
     TABLE_III.iter().find(|(n, ..)| *n == name).map(|r| r.6)
 }
 
+/// The masked (decoder-style) variant of a Table III module: same
+/// shapes, with an additive `[heads, m, n]` mask folded into the
+/// softmax.
+pub fn masked_attention_workload(name: &str) -> Option<ChainSpec> {
+    TABLE_III
+        .iter()
+        .find(|(n, ..)| *n == name)
+        .map(|&(n, heads, m, nn, k, h, _)| {
+            ChainSpec::masked_attention(format!("{n}-masked"), heads, m, nn, k, h)
+        })
+}
+
+/// A masked-attention operator *graph*: `softmax(Q Kᵀ/√k + mask) V`,
+/// the mask an `[heads, m, m]` activation input (feed
+/// [`mcfuser_ir::causal_mask`] for decoder-style attention). Returns
+/// the graph and the mask's input node.
+pub fn masked_attention_graph(heads: u64, m: u64, k: u64) -> (Graph, NodeId) {
+    let mut gb = GraphBuilder::new("masked-attn", DType::F16);
+    let q = gb.input("q", vec![heads, m, k]);
+    let kk = gb.input("k", vec![heads, m, k]);
+    let v = gb.input("v", vec![heads, m, k]);
+    let mask = gb.input("mask", vec![heads, m, m]);
+    let s = gb.batch_matmul("qk", q, kk, true);
+    let ms = gb.add("masked", s, mask);
+    let p = gb.softmax("sm", ms, 1.0 / (k as f32).sqrt());
+    let o = gb.batch_matmul("pv", p, v, false);
+    (gb.finish(vec![o]), mask)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -67,6 +98,27 @@ mod tests {
         for c in attention_suite() {
             assert!(c.is_memory_bound(&dev), "{} not memory bound", c.name);
         }
+    }
+
+    #[test]
+    fn masked_variant_has_masked_softmax() {
+        let c = masked_attention_workload("S2").unwrap();
+        assert!(c.has_softmax());
+        assert!(c.epilogues[0].needs_mask());
+        assert_eq!(c.num_inputs(), 4);
+        assert!(masked_attention_workload("S0").is_none());
+    }
+
+    #[test]
+    fn masked_attention_graph_partitions_as_one_chain() {
+        use mcfuser_ir::partition;
+        let (g, mask) = masked_attention_graph(8, 512, 64);
+        let part = partition(&g, &DeviceSpec::a100());
+        assert_eq!(part.chains.len(), 1);
+        let fc = &part.chains[0];
+        assert!(fc.chain.epilogues[0].needs_mask());
+        assert_eq!(*fc.data_inputs.last().unwrap(), mask);
+        assert!(part.rest.is_empty());
     }
 
     #[test]

@@ -168,9 +168,13 @@ mod tests {
 
     #[test]
     fn partitioner_finds_all_attention_chains() {
+        // Every layer's attention fuses. BERT-Small's 512→2048 FFN sits
+        // *just* under the A100 ridge (φ ≈ 0.99 × ridge) — inside the
+        // chain gate's headroom band, where fusion does not pay — so it
+        // stays with the fallback backend.
         let g = bert_small(512);
         let part = partition(&g, &DeviceSpec::a100());
-        assert_eq!(part.chains.len(), 4, "one chain per layer");
+        assert_eq!(part.chains.len(), 4, "one attention chain per layer");
         for fc in &part.chains {
             assert!(fc.chain.has_softmax());
             assert_eq!(fc.chain.batch, 8);
@@ -180,10 +184,12 @@ mod tests {
 
     #[test]
     fn ffn_stays_unfused_in_bert() {
-        // Sanity: the FFN linears have biases and fat reductions; none of
-        // the extracted chains should be a plain (non-softmax) GEMM chain.
+        // The MBCI gate doing real work: BERT-Base's 768→3072 FFN has
+        // fat, compute-bound reductions; none of the extracted chains may
+        // be a plain (non-softmax) GEMM chain.
         let g = bert_base(512);
         let part = partition(&g, &DeviceSpec::a100());
+        assert_eq!(part.chains.len(), 12, "attention only");
         assert!(part.chains.iter().all(|c| c.chain.has_softmax()));
     }
 

@@ -1,9 +1,11 @@
-//! Table II — the batch GEMM chain configurations G1–G12.
+//! Table II — the batch GEMM chain configurations G1–G12 — plus deeper
+//! chains exercising the generalized N-operator partitioner.
 //!
 //! `(batch, M, K) × (batch, K, N)` is the first GEMM,
 //! `(batch, M, N) × (batch, N, H)` the second.
 
-use mcfuser_ir::ChainSpec;
+use mcfuser_ir::{ChainSpec, Epilogue, Graph, GraphBuilder};
+use mcfuser_sim::DType;
 
 /// All (name, batch, M, N, K, H) rows of Table II.
 pub const TABLE_II: [(&str, u64, u64, u64, u64, u64); 12] = [
@@ -37,9 +39,45 @@ pub fn gemm_chain_suite() -> Vec<ChainSpec> {
         .collect()
 }
 
+/// The 4-GEMM MLP chain spec behind [`mlp4_graph`]: skinny reductions
+/// end to end, so every prefix stays memory bound and the whole chain
+/// fuses into one kernel.
+pub fn mlp4_chain() -> ChainSpec {
+    let mut c = ChainSpec::chain(
+        "MLP4",
+        1,
+        512,
+        vec![64, 256, 128, 256, 64],
+        vec![
+            Epilogue::Gelu,
+            Epilogue::Relu,
+            Epilogue::None,
+            Epilogue::None,
+        ],
+    );
+    c.biases = vec![true, false, false, false];
+    c
+}
+
+/// A 4-layer MLP as an operator *graph* (`x → Linear+GELU → Linear+ReLU
+/// → Linear → Linear`, first layer biased) — the partitioner must carve
+/// the whole thing out as a single length-4 MBCI chain.
+pub fn mlp4_graph() -> Graph {
+    let mut gb = GraphBuilder::new("mlp4", DType::F16);
+    let x = gb.input("x", vec![512, 64]);
+    let a = gb.linear("fc1", x, 256, true);
+    let a = gb.gelu("act1", a);
+    let a = gb.linear("fc2", a, 128, false);
+    let a = gb.relu("act2", a);
+    let a = gb.linear("fc3", a, 256, false);
+    let a = gb.linear("fc4", a, 64, false);
+    gb.finish(vec![a])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mcfuser_ir::partition;
     use mcfuser_sim::DeviceSpec;
 
     #[test]
@@ -64,6 +102,24 @@ mod tests {
             .filter(|c| c.is_memory_bound(&dev))
             .count();
         assert!(mbci >= 9, "{mbci}/12 memory bound");
+    }
+
+    #[test]
+    fn mlp4_graph_partitions_into_one_length_4_chain() {
+        let g = mlp4_graph();
+        let part = partition(&g, &DeviceSpec::a100());
+        assert_eq!(part.chains.len(), 1);
+        let c = &part.chains[0].chain;
+        assert_eq!(c.num_ops(), 4);
+        assert_eq!(c.dims, mlp4_chain().dims);
+        assert_eq!(c.epilogues, mlp4_chain().epilogues);
+        assert_eq!(c.biases, mlp4_chain().biases);
+        assert!(part.rest.is_empty(), "{:?}", part.rest);
+    }
+
+    #[test]
+    fn mlp4_chain_is_mbci() {
+        assert!(mlp4_chain().is_memory_bound(&DeviceSpec::a100()));
     }
 
     #[test]

@@ -1,8 +1,11 @@
 //! # mcfuser-workloads — the paper's evaluation workloads
 //!
-//! * [`gemm_chains`] — the batch GEMM chains G1–G12 of **Table II**;
+//! * [`gemm_chains`] — the batch GEMM chains G1–G12 of **Table II**,
+//!   plus the 4-GEMM MLP chain/graph exercising the N-operator
+//!   partitioner;
 //! * [`attention`] — the self-attention modules S1–S9 of **Table III**
-//!   (BERT, ViT, MLP-Mixer shapes);
+//!   (BERT, ViT, MLP-Mixer shapes) and their masked (decoder-style)
+//!   variants;
 //! * [`bert`] — end-to-end BERT encoder graphs (Fig. 9) plus ViT and
 //!   MLP-Mixer blocks.
 
@@ -12,6 +15,9 @@ pub mod attention;
 pub mod bert;
 pub mod gemm_chains;
 
-pub use attention::{attention_network, attention_suite, attention_workload, TABLE_III};
+pub use attention::{
+    attention_network, attention_suite, attention_workload, masked_attention_graph,
+    masked_attention_workload, TABLE_III,
+};
 pub use bert::{bert_base, bert_graph, bert_large, bert_small, mixer_block, vit_block, BertConfig};
-pub use gemm_chains::{gemm_chain_suite, gemm_chain_workload, TABLE_II};
+pub use gemm_chains::{gemm_chain_suite, gemm_chain_workload, mlp4_chain, mlp4_graph, TABLE_II};

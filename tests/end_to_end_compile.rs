@@ -6,9 +6,9 @@
 use rustc_hash::FxHashMap;
 
 use mcfuser::baselines::{Ansor, Relay};
-use mcfuser::ir::{evaluate, partition, NodeId, Op};
+use mcfuser::ir::{causal_mask, evaluate, partition, NodeId, Op};
 use mcfuser::prelude::*;
-use mcfuser::workloads::{bert_graph, mixer_block, BertConfig};
+use mcfuser::workloads::{bert_graph, masked_attention_graph, mixer_block, mlp4_graph, BertConfig};
 
 use mcfuser::core::OpCostModel as _;
 
@@ -49,11 +49,22 @@ fn engine_with_relay() -> FusionEngine {
 }
 
 #[test]
-fn bert_partition_finds_attention_per_layer() {
+fn bert_partition_finds_attention_and_ffn_per_layer() {
+    // At this mini scale (hidden 128, seq 64) the FFN's reductions are
+    // skinny enough to classify as memory bound, so the generalized
+    // partitioner fuses it alongside the attention module: per layer,
+    // one softmax chain and one biased GELU Linear chain.
     let g = mini_bert();
     let part = partition(&g, &DeviceSpec::a100());
-    assert_eq!(part.chains.len(), 2);
-    assert!(part.chains.iter().all(|c| c.chain.has_softmax()));
+    assert_eq!(part.chains.len(), 4);
+    let attention = part.chains.iter().filter(|c| c.chain.has_softmax()).count();
+    let ffn = part
+        .chains
+        .iter()
+        .filter(|c| c.chain.biases.iter().any(|&b| b))
+        .count();
+    assert_eq!(attention, 2);
+    assert_eq!(ffn, 2);
 }
 
 #[test]
@@ -104,13 +115,18 @@ fn identical_layers_share_one_tuning_session() {
     let g = mini_bert();
     let engine = engine_with_relay();
     let model = engine.compile(&g).unwrap();
-    assert_eq!(model.chains.len(), 2);
+    assert_eq!(model.chains.len(), 4);
+    // Attention chains come first (both layers), then the FFN chains.
     assert_eq!(
         model.chains[0].tuned.candidate, model.chains[1].tuned.candidate,
-        "layer chains are identical and must share tuning"
+        "layer attention chains are identical and must share tuning"
     );
-    // The engine records exactly one fresh tuning for both layers.
-    assert_eq!(engine.stats().cache_misses, 1);
+    assert_eq!(
+        model.chains[2].tuned.candidate, model.chains[3].tuned.candidate,
+        "layer FFN chains are identical and must share tuning"
+    );
+    // Exactly two fresh tunings: one attention, one FFN shape.
+    assert_eq!(engine.stats().cache_misses, 2);
 }
 
 #[test]
@@ -136,8 +152,40 @@ fn fallbacks_can_share_one_engines_chain_cache() {
         .compile_with_fallback(&g, &Ansor::with_trials(30))
         .unwrap();
     assert_eq!(with_relay.chain_time, with_ansor.chain_time);
-    assert_eq!(engine.stats().cache_misses, 1, "chains tuned exactly once");
+    assert_eq!(engine.stats().cache_misses, 2, "chains tuned exactly once");
     assert!(with_ansor.chains.iter().all(|c| c.cache_hit));
+}
+
+#[test]
+fn mlp4_compiles_into_one_fused_kernel_and_matches_reference() {
+    let g = mlp4_graph();
+    let engine = engine_with_relay();
+    let model = engine.compile(&g).unwrap();
+    assert_eq!(model.chains.len(), 1, "whole MLP fuses into one chain");
+    assert_eq!(model.chains[0].chain.num_ops(), 4);
+    assert!(model.rest_times.is_empty());
+    let inputs = inputs_for(&g);
+    let fused = engine.execute(&g, &model, &inputs, 13).unwrap();
+    let reference = evaluate(&g, &inputs, 13).unwrap();
+    let out = g.outputs[0];
+    let err = fused[out.0].rel_l2_error(&reference[out.0]);
+    assert!(err < 5e-2, "mlp4 error {err}");
+}
+
+#[test]
+fn masked_attention_compiles_and_matches_reference() {
+    let (g, mask) = masked_attention_graph(4, 64, 32);
+    let engine = engine_with_relay();
+    let model = engine.compile(&g).unwrap();
+    assert_eq!(model.chains.len(), 1);
+    assert!(model.chains[0].chain.epilogues[0].needs_mask());
+    let mut inputs = inputs_for(&g);
+    inputs.insert(mask, causal_mask(4, 64, 64));
+    let fused = engine.execute(&g, &model, &inputs, 17).unwrap();
+    let reference = evaluate(&g, &inputs, 17).unwrap();
+    let out = g.outputs[0];
+    let err = fused[out.0].rel_l2_error(&reference[out.0]);
+    assert!(err < 5e-2, "masked attention error {err}");
 }
 
 #[test]

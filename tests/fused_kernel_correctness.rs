@@ -80,14 +80,13 @@ fn single_matmul_chain() {
 
 #[test]
 fn three_op_chain() {
-    let chain = ChainSpec {
-        name: "cc-3op".into(),
-        batch: 1,
-        m: 96,
-        dims: vec![32, 64, 64, 32],
-        epilogues: vec![Epilogue::None; 3],
-        dtype: DType::F16,
-    };
+    let chain = ChainSpec::chain(
+        "cc-3op",
+        1,
+        96,
+        vec![32, 64, 64, 32],
+        vec![Epilogue::None; 3],
+    );
     tune_and_verify(&chain, 9);
 }
 
