@@ -1,8 +1,13 @@
 //! Criterion bench: the Rule 1–4 pruning cascade (§III-C) on the paper's
-//! running example (1.09e8 candidates in, ~1e3 out).
+//! running example (1.09e8 candidates in, ~1e3 out), plus the lazy
+//! [`CandidateSpace`] paths that replaced the eager materialization —
+//! the Rule-4 survivor-index build (filter on), the `-rule4` ablation
+//! (filter off: O(1), nothing scanned), and indexed candidate decoding.
+//!
+//! [`CandidateSpace`]: mcfuser_core::CandidateSpace
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use mcfuser_core::{prune, SearchSpace};
+use mcfuser_core::{build_candidate_space, prune, SearchSpace, SpacePolicy};
 use mcfuser_ir::ChainSpec;
 use mcfuser_sim::DeviceSpec;
 use std::hint::black_box;
@@ -20,6 +25,33 @@ fn bench(c: &mut Criterion) {
     });
     g.bench_function("attention_s2", |b| {
         b.iter(|| prune(black_box(&attn), &dev, &attn_space))
+    });
+    // The -rule4 ablation path: the same lazy space with the filter
+    // disabled — no scan, no materialization, O(1) regardless of size.
+    let no_rule4 = SpacePolicy {
+        shared_memory_pruning: false,
+        ..Default::default()
+    };
+    g.bench_function("lazy_rule4_disabled", |b| {
+        b.iter(|| build_candidate_space(black_box(&big), &dev, &no_rule4))
+    });
+    // Indexed decoding: the hot operation of sampling-based search.
+    let pruned = prune(&big, &dev, &big_space);
+    let stride = (pruned.len() / 251).max(1);
+    g.bench_function("candidate_indexing", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            let mut i = 0u64;
+            while i < pruned.len() {
+                acc ^= black_box(pruned.candidate(i)).tiles[0];
+                i += stride;
+            }
+            acc
+        })
+    });
+    // Streaming enumeration: the full-ranking seed path of Algorithm 1.
+    g.bench_function("candidate_streaming", |b| {
+        b.iter(|| black_box(&pruned).iter().map(|c| c.tiles[0]).sum::<u64>())
     });
     g.finish();
 }

@@ -17,7 +17,7 @@ use rand::prelude::*;
 use mcfuser_bench::{fast_mode, write_json, TextTable};
 use mcfuser_core::{prune, SearchSpace};
 use mcfuser_sim::DeviceSpec;
-use mcfuser_tile::{estimate_shmem_bytes, lower, Candidate, LoweringOptions};
+use mcfuser_tile::{estimate_shmem_bytes, lower, LoweringOptions};
 use mcfuser_workloads::{attention_workload, gemm_chain_workload};
 
 fn main() {
@@ -41,13 +41,7 @@ fn main() {
         // the pruning boundary.
         let pruned = prune(chain, &dev, &space);
         for _ in 0..per_workload {
-            let expr = pruned.exprs[rng.gen_range(0..pruned.exprs.len())].clone();
-            let tiles: Vec<u64> = pruned
-                .tile_domains
-                .iter()
-                .map(|d| d[rng.gen_range(0..d.len())])
-                .collect();
-            let cand = Candidate::new(expr, tiles);
+            let cand = pruned.sample_rule3(&mut rng);
             let est = estimate_shmem_bytes(chain, &cand) as f64;
             let Ok(lk) = lower(chain, &cand, &LoweringOptions::for_device(&dev)) else {
                 continue;

@@ -28,7 +28,7 @@ fn main() {
         let mut tried = 0;
         while ests.len() < samples && tried < samples * 10 {
             tried += 1;
-            let cand = pruned.candidates[rng.gen_range(0..pruned.candidates.len())].clone();
+            let cand = pruned.candidate(rng.gen_range(0..pruned.len()));
             let Ok(e) = estimate(&chain, &cand, &dev) else {
                 continue;
             };

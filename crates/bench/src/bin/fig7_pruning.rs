@@ -69,6 +69,14 @@ fn main() {
         s.original / s.after_rule4.max(1)
     );
     println!(
+        "Lazy space: {} candidates reachable by index ({} exprs x {} of {} tile combos; \
+         no materialization cap)",
+        pruned.len(),
+        pruned.exprs.len(),
+        pruned.surviving_combos(),
+        pruned.grid_combos(),
+    );
+    println!(
         "Surviving per-block classes: {:?}",
         pruned
             .exprs

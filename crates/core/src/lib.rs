@@ -3,8 +3,13 @@
 //! The paper's primary contribution, reproduced end to end:
 //!
 //! * [`space`] — comprehensive search-space generation from tiling
-//!   expressions (§III-A);
+//!   expressions (§III-A), and the lazy O(1)-indexed
+//!   [`CandidateSpace`] the tuner explores — no candidate `Vec`, no
+//!   materialization cap, every pruning survivor reachable by index;
 //! * [`prune`] — pruning Rules 1–4 with the Fig. 7 waterfall (§III-C);
+//!   Rule 4 is a parallel scan that becomes the space's survivor index,
+//!   so [`PruneStats::after_rule4`](prune::PruneStats::after_rule4) is
+//!   exact at any scale;
 //! * [`perf_model`] — the analytical performance model, Eqs. 2–5 (§IV-A);
 //! * [`search`] — the heuristic evolutionary search with automatic
 //!   convergence, Algorithm 1 (§IV-B);
@@ -60,7 +65,9 @@ pub use perf_model::{
     estimate, estimate_or_inf, estimate_or_inf_with, estimate_with, matmul_tile_intensity,
     ModelOptions, PerfEstimate,
 };
-pub use prune::{prune, prune_with_cap, rule2_ok, rule3_tiles, PruneStats, PrunedSpace};
+pub use prune::{prune, rule2_ok, rule3_tiles, PruneStats};
 pub use search::{heuristic_search, SearchOutcome, SearchParams};
-pub use space::SearchSpace;
-pub use tuner::{build_pruned_space, McFuser, SpacePolicy, TuneError, TunedKernel};
+pub use space::{CandidateSpace, SearchSpace};
+pub use tuner::{
+    build_candidate_space, McFuser, Rule4Rejection, SpacePolicy, TuneError, TunedKernel,
+};

@@ -18,17 +18,22 @@
 //! paper's (see DESIGN.md): we find 2 equivalence classes where the paper
 //! reports 5 → 3, because we canonicalize flat and deep expressions that
 //! lower to identical per-block programs.
+//!
+//! Rules 1–3 shrink the *factors* of the space (expressions and per-axis
+//! tile domains); Rule 4 is evaluated as a parallel scan over the Rule-3
+//! tile grid and becomes the survivor index of the returned
+//! [`CandidateSpace`]. No candidate `Vec` is ever materialized and there
+//! is no cap: `PruneStats::after_rule4` is the exact count of candidates
+//! reachable by index.
 
 use rustc_hash::FxHashMap;
 use serde::{Deserialize, Serialize};
 
 use mcfuser_ir::ChainSpec;
 use mcfuser_sim::DeviceSpec;
-use mcfuser_tile::{
-    accumulator_instances, estimate_shmem_bytes, rule4_fits, Candidate, TilingExpr,
-};
+use mcfuser_tile::{accumulator_instances, Candidate, TilingExpr};
 
-use crate::space::SearchSpace;
+use crate::space::{CandidateSpace, SearchSpace};
 
 /// Candidate counts after each pruning rule (the Fig. 7 waterfall).
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -41,7 +46,8 @@ pub struct PruneStats {
     pub after_rule2: u128,
     /// After Rule 3 (padding filter on tile sizes).
     pub after_rule3: u128,
-    /// After Rule 4 (shared-memory estimate filter).
+    /// After Rule 4 (shared-memory estimate filter). Exactly the number
+    /// of candidates the pruned space can address by index.
     pub after_rule4: u128,
     /// Expression counts along the way.
     pub exprs_original: usize,
@@ -49,21 +55,6 @@ pub struct PruneStats {
     pub exprs_rule1: usize,
     /// Classes surviving Rule 2.
     pub exprs_rule2: usize,
-}
-
-/// The pruned, materialized search space Algorithm 1 explores.
-#[derive(Debug, Clone)]
-pub struct PrunedSpace {
-    /// The chain.
-    pub chain: ChainSpec,
-    /// Representative expression per surviving equivalence class.
-    pub exprs: Vec<TilingExpr>,
-    /// Rule-3-filtered tile options per axis.
-    pub tile_domains: Vec<Vec<u64>>,
-    /// Materialized candidates passing all rules (expr × tiles ≤ cap).
-    pub candidates: Vec<Candidate>,
-    /// The pruning waterfall.
-    pub stats: PruneStats,
 }
 
 /// Maximum padding overhead Rule 3 tolerates for non-power-of-two dims.
@@ -127,18 +118,13 @@ pub fn rule2_ok(chain: &ChainSpec, expr: &TilingExpr) -> bool {
     (0..chain.num_ops()).all(|op| accumulator_instances(chain, &cand, op) == 1)
 }
 
-/// Run the full pruning cascade.
-pub fn prune(chain: &ChainSpec, dev: &DeviceSpec, space: &SearchSpace) -> PrunedSpace {
-    prune_with_cap(chain, dev, space, 200_000)
-}
-
-/// Pruning with an explicit cap on materialized candidates.
-pub fn prune_with_cap(
+/// Apply Rules 1–3 (the factor-shrinking rules): representative
+/// expressions per equivalence class and the filtered per-axis tile
+/// domains, plus the waterfall up to `after_rule3`.
+pub(crate) fn rules123(
     chain: &ChainSpec,
-    dev: &DeviceSpec,
     space: &SearchSpace,
-    cap: usize,
-) -> PrunedSpace {
+) -> (Vec<TilingExpr>, Vec<Vec<u64>>, PruneStats) {
     let mut stats = PruneStats {
         original: space.count(),
         exprs_original: space.exprs.len(),
@@ -175,81 +161,20 @@ pub fn prune_with_cap(
     let combos_r3: u128 = tile_domains.iter().map(|d| d.len() as u128).product();
     stats.after_rule3 = reps.len() as u128 * combos_r3;
 
-    // ---- Rule 4: shared-memory estimate ----------------------------------
-    // Tile combinations are expression-independent for Eq. 1; filter once.
-    let mut combos: Vec<Vec<u64>> = Vec::new();
-    let mut idx = vec![0usize; tile_domains.len()];
-    let total = combos_r3.min(10_000_000) as usize;
-    let mut fits = 0u128;
-    let probe = Candidate::new(
-        reps.first().cloned().unwrap_or(TilingExpr::Unit),
-        vec![16; chain.num_axes()],
-    );
-    let _ = probe;
-    'outer: for _ in 0..total {
-        let tiles: Vec<u64> = idx
-            .iter()
-            .enumerate()
-            .map(|(a, &i)| tile_domains[a][i])
-            .collect();
-        let cand = Candidate::new(TilingExpr::Unit, tiles.clone());
-        if rule4_fits(chain, &cand, dev.smem_per_block) {
-            fits += 1;
-            if combos.len() * reps.len() < cap {
-                combos.push(tiles);
-            }
-        }
-        // Odometer increment.
-        let mut a = 0;
-        loop {
-            if a == idx.len() {
-                break 'outer;
-            }
-            idx[a] += 1;
-            if idx[a] < tile_domains[a].len() {
-                break;
-            }
-            idx[a] = 0;
-            a += 1;
-        }
-    }
-    stats.after_rule4 = reps.len() as u128 * fits;
-
-    // ---- Materialize ------------------------------------------------------
-    let mut candidates = Vec::with_capacity((reps.len() * combos.len()).min(cap));
-    'mat: for e in &reps {
-        for tiles in &combos {
-            if candidates.len() >= cap {
-                break 'mat;
-            }
-            candidates.push(Candidate::new(e.clone(), tiles.clone()));
-        }
-    }
-
-    PrunedSpace {
-        chain: chain.clone(),
-        exprs: reps,
-        tile_domains,
-        candidates,
-        stats,
-    }
+    (reps, tile_domains, stats)
 }
 
-/// Mean estimated shared memory across a set of candidates (diagnostics).
-pub fn mean_estimated_shmem(chain: &ChainSpec, cands: &[Candidate]) -> f64 {
-    if cands.is_empty() {
-        return 0.0;
-    }
-    cands
-        .iter()
-        .map(|c| estimate_shmem_bytes(chain, c) as f64)
-        .sum::<f64>()
-        / cands.len() as f64
+/// Run the full pruning cascade. Rule 4 becomes the lazy survivor index
+/// of the returned [`CandidateSpace`] — exact, parallel, uncapped.
+pub fn prune(chain: &ChainSpec, dev: &DeviceSpec, space: &SearchSpace) -> CandidateSpace {
+    let (reps, tile_domains, stats) = rules123(chain, space);
+    CandidateSpace::build(chain, reps, tile_domains, Some(dev.smem_per_block), stats)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mcfuser_tile::rule4_fits;
 
     fn paper_chain() -> ChainSpec {
         ChainSpec::gemm_chain("g", 1, 1024, 1024, 512, 512)
@@ -326,9 +251,9 @@ mod tests {
         let dev = DeviceSpec::a100();
         let space = SearchSpace::generate(&chain);
         let pruned = prune(&chain, &dev, &space);
-        assert!(!pruned.candidates.is_empty());
-        for c in &pruned.candidates {
-            assert!(rule4_fits(&chain, c, dev.smem_per_block));
+        assert!(!pruned.is_empty());
+        for c in pruned.iter() {
+            assert!(rule4_fits(&chain, &c, dev.smem_per_block));
         }
     }
 
@@ -346,14 +271,18 @@ mod tests {
         let chain = ChainSpec::attention("s", 12, 512, 512, 64, 64);
         let space = SearchSpace::generate(&chain);
         let pruned = prune(&chain, &DeviceSpec::a100(), &space);
-        assert!(!pruned.candidates.is_empty());
+        assert!(!pruned.is_empty());
     }
 
     #[test]
-    fn cap_limits_materialization() {
+    fn no_cap_every_candidate_reachable() {
+        // The old materialization silently clipped at a cap; the lazy
+        // space must address its full extent.
         let chain = paper_chain();
         let space = SearchSpace::generate(&chain);
-        let pruned = prune_with_cap(&chain, &DeviceSpec::a100(), &space, 50);
-        assert!(pruned.candidates.len() <= 50);
+        let pruned = prune(&chain, &DeviceSpec::a100(), &space);
+        assert_eq!(pruned.len() as u128, pruned.stats.after_rule4);
+        let last = pruned.candidate(pruned.len() - 1);
+        assert!(rule4_fits(&chain, &last, DeviceSpec::a100().smem_per_block));
     }
 }

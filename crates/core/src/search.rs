@@ -12,6 +12,12 @@
 //! Per round: estimate the whole population analytically, measure only the
 //! top-n on the (simulated) device, then breed the next population by
 //! mutation with selection probability ∝ 1/estimated-time.
+//!
+//! The search addresses the pruned space through [`CandidateSpace`]
+//! indices: sampling draws an index and decodes it, the full-ranking
+//! seed path streams candidates instead of cloning a materialized `Vec`,
+//! and every candidate the space admits — however large the space — is
+//! reachable.
 
 use rand::distributions::WeightedIndex;
 use rand::prelude::*;
@@ -23,7 +29,7 @@ use mcfuser_ir::ChainSpec;
 use mcfuser_sim::{measure_noisy, CostProfile, DeviceSpec, KernelProfile, TuningClock};
 use mcfuser_tile::{lower, Candidate, LoweredKernel, LoweringOptions};
 
-use crate::prune::PrunedSpace;
+use crate::space::CandidateSpace;
 
 /// Parameters of Algorithm 1.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -102,6 +108,21 @@ pub struct SearchOutcome {
     pub history: Vec<f64>,
 }
 
+/// Full-space ranking is attempted when the pruned space has at most
+/// this many candidates (analytical estimates are free; the candidates
+/// stream through the scorer without being materialized).
+const FULL_RANKING_LIMIT: u64 = 20_000;
+
+/// What one device measurement produced: the lowered kernel and its
+/// profile, or `None` for candidates that fail lowering / exceed launch
+/// limits. Cached per candidate so round winners are never re-lowered or
+/// re-measured.
+type Measurement = Option<(LoweredKernel, KernelProfile)>;
+
+fn measured_time(m: &Measurement) -> f64 {
+    m.as_ref().map(|(_, p)| p.time).unwrap_or(f64::INFINITY)
+}
+
 /// Measure one candidate on the device, charging the tuning clock.
 /// Returns `None` for candidates that fail lowering or exceed the
 /// device's shared memory (unlaunchable).
@@ -113,7 +134,7 @@ fn measure_candidate(
     clock: &TuningClock,
     seed: u64,
     lower_opts: &LoweringOptions,
-) -> Option<(LoweredKernel, KernelProfile)> {
+) -> Measurement {
     let lk = lower(chain, cand, lower_opts).ok()?;
     clock.charge_compile(cost);
     if lk.smem_bytes > dev.smem_per_block {
@@ -125,16 +146,53 @@ fn measure_candidate(
     Some((lk, prof))
 }
 
+/// Score one candidate for ranking: the analytical estimate, or the
+/// deterministic pseudo-random stand-in under `random_ranking`.
+fn rank_score(chain: &ChainSpec, cand: &Candidate, dev: &DeviceSpec, params: &SearchParams) -> f64 {
+    let e = crate::perf_model::estimate_or_inf_with(chain, cand, dev, &params.model);
+    if params.random_ranking && e.is_finite() {
+        use std::hash::{Hash, Hasher};
+        let mut h = rustc_hash::FxHasher::default();
+        cand.hash(&mut h);
+        mcfuser_sim::noise::unit_sample(params.seed, h.finish())
+    } else {
+        e
+    }
+}
+
+/// Breed the next population: selection probability ∝ weight, one
+/// tile-size mutation per child. Returns `None` when the weights defeat
+/// [`WeightedIndex`] (all-zero after masking, or non-finite) — the
+/// caller must treat that as "search exhausted", *not* as failure of the
+/// whole search.
+fn breed_population(
+    population: &[Candidate],
+    weights: &[f64],
+    space: &CandidateSpace,
+    rng: &mut StdRng,
+    size: usize,
+) -> Option<Vec<Candidate>> {
+    let dist = WeightedIndex::new(weights).ok()?;
+    Some(
+        (0..size)
+            .map(|_| {
+                let parent = &population[dist.sample(rng)];
+                mutate(parent, space, rng)
+            })
+            .collect(),
+    )
+}
+
 /// Run Algorithm 1 over a pruned space. Returns `None` only when no
 /// candidate in the space is lowerable/launchable.
 pub fn heuristic_search(
     chain: &ChainSpec,
     dev: &DeviceSpec,
-    space: &PrunedSpace,
+    space: &CandidateSpace,
     params: &SearchParams,
     clock: &TuningClock,
 ) -> Option<SearchOutcome> {
-    if space.candidates.is_empty() {
+    if space.is_empty() {
         return None;
     }
     let cost = CostProfile::triton();
@@ -144,51 +202,47 @@ pub fn heuristic_search(
     } else {
         LoweringOptions::for_device(dev).without_dead_loop_elimination()
     };
+    let sample_idx =
+        |rng: &mut StdRng| -> Candidate { space.candidate(rng.gen_range(0..space.len())) };
 
     // Line 1: initial population. Analytical estimates are free, so when
     // the pruned space is small enough we rank *all* of it and seed half
     // the population with the model's best picks (the other half stays
     // random for diversity); otherwise fall back to uniform sampling.
-    let mut population: Vec<Candidate> = if space.candidates.len() <= 20_000 {
-        let scored: Vec<(usize, f64)> = space
-            .candidates
-            .par_iter()
+    // Ranking streams candidates straight out of the index decoder — the
+    // space is never materialized, only (index, score) pairs are kept.
+    let mut population: Vec<Candidate> = if space.len() <= FULL_RANKING_LIMIT {
+        let mut scored: Vec<(u64, f64)> = space
+            .iter()
             .enumerate()
-            .map(|(i, c)| {
-                let e = crate::perf_model::estimate_or_inf_with(chain, c, dev, &params.model);
-                if params.random_ranking && e.is_finite() {
-                    use std::hash::{Hash, Hasher};
-                    let mut h = rustc_hash::FxHasher::default();
-                    c.hash(&mut h);
-                    (i, mcfuser_sim::noise::unit_sample(params.seed, h.finish()))
-                } else {
-                    (i, e)
-                }
-            })
+            .par_bridge()
+            .map(|(i, c)| (i as u64, rank_score(chain, &c, dev, params)))
             .collect();
+        // Sort by (score, index): the index tie-break keeps the ranking
+        // deterministic even though par_bridge does not guarantee
+        // arrival order.
+        scored.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
         for _ in &scored {
             clock.note_estimate();
         }
-        let mut order: Vec<usize> = (0..scored.len()).collect();
-        order.sort_by(|&a, &b| scored[a].1.total_cmp(&scored[b].1));
         let seeded = params.population / 2;
-        let mut pop: Vec<Candidate> = order
+        let mut pop: Vec<Candidate> = scored
             .iter()
             .take(seeded)
-            .map(|&i| space.candidates[i].clone())
+            .map(|&(i, _)| space.candidate(i))
             .collect();
         while pop.len() < params.population {
-            pop.push(space.candidates[rng.gen_range(0..space.candidates.len())].clone());
+            pop.push(sample_idx(&mut rng));
         }
         pop
     } else {
         (0..params.population)
-            .map(|_| space.candidates[rng.gen_range(0..space.candidates.len())].clone())
+            .map(|_| sample_idx(&mut rng))
             .collect()
     };
 
     let mut best: Option<(Candidate, f64, LoweredKernel, KernelProfile)> = None;
-    let mut measured_cache: FxHashMap<Candidate, f64> = FxHashMap::default();
+    let mut measured_cache: FxHashMap<Candidate, Measurement> = FxHashMap::default();
     let mut history = Vec::new();
     let mut rounds = 0usize;
 
@@ -197,18 +251,7 @@ pub fn heuristic_search(
         // Line 5: analytical estimates (free, parallel).
         let estimates: Vec<f64> = population
             .par_iter()
-            .map(|c| {
-                let e = crate::perf_model::estimate_or_inf_with(chain, c, dev, &params.model);
-                if params.random_ranking && e.is_finite() {
-                    // Deterministic pseudo-random score per candidate.
-                    use std::hash::{Hash, Hasher};
-                    let mut h = rustc_hash::FxHasher::default();
-                    c.hash(&mut h);
-                    mcfuser_sim::noise::unit_sample(params.seed, h.finish())
-                } else {
-                    e
-                }
-            })
+            .map(|c| rank_score(chain, c, dev, params))
             .collect();
         for _ in &estimates {
             clock.note_estimate();
@@ -234,7 +277,8 @@ pub fn heuristic_search(
         // top-k are always new candidates), used for the convergence test.
         let mut fresh_best: Option<f64> = None;
         for (i, cand) in population.iter().enumerate() {
-            if let Some(&t) = measured_cache.get(cand) {
+            if let Some(m) = measured_cache.get(cand) {
+                let t = measured_time(m);
                 if t.is_finite() && round_best.map(|(_, bt)| t < bt).unwrap_or(true) {
                     round_best = Some((i, t));
                 }
@@ -249,10 +293,9 @@ pub fn heuristic_search(
                 continue;
             }
             let cand = population[i].clone();
-            let t = measure_candidate(chain, &cand, dev, &cost, clock, params.seed, &lower_opts)
-                .map(|(_, p)| p.time)
-                .unwrap_or(f64::INFINITY);
-            measured_cache.insert(cand, t);
+            let m = measure_candidate(chain, &cand, dev, &cost, clock, params.seed, &lower_opts);
+            let t = measured_time(&m);
+            measured_cache.insert(cand, m);
             if t.is_finite() {
                 fresh += 1;
                 if fresh_best.map(|b| t < b).unwrap_or(true) {
@@ -267,15 +310,18 @@ pub fn heuristic_search(
         let Some((top1_idx, top1_t)) = round_best else {
             // Nothing measurable this round: resample and retry.
             population = (0..params.population)
-                .map(|_| space.candidates[rng.gen_range(0..space.candidates.len())].clone())
+                .map(|_| sample_idx(&mut rng))
                 .collect();
             continue;
         };
         let top1_cand = population[top1_idx].clone();
-        // Recover the winner's kernel + profile (re-lowering is free; the
-        // measurement was already charged above).
-        let top1_lk = lower(chain, &top1_cand, &lower_opts).expect("measured candidate lowers");
-        let top1_prof = measure_noisy(&top1_lk.program, dev, params.seed);
+        // The winner's kernel + profile come straight from the
+        // measurement cache — a finite round-best time implies a
+        // successful measurement, so no re-lowering and no panic path.
+        let (top1_lk, top1_prof) = measured_cache
+            .get(&top1_cand)
+            .and_then(|m| m.clone())
+            .expect("round-best candidate has a cached measurement");
 
         // Lines 10-12: convergence test against the incumbent, on freshly
         // measured candidates only (re-reading the cache is not evidence
@@ -308,17 +354,18 @@ pub fn heuristic_search(
             .collect();
         if weights.iter().sum::<f64>() <= 0.0 {
             population = (0..params.population)
-                .map(|_| space.candidates[rng.gen_range(0..space.candidates.len())].clone())
+                .map(|_| sample_idx(&mut rng))
                 .collect();
             continue;
         }
-        let dist = WeightedIndex::new(&weights).ok()?;
-        population = (0..params.population)
-            .map(|_| {
-                let parent = &population[dist.sample(&mut rng)];
-                mutate(parent, space, &mut rng)
-            })
-            .collect();
+        match breed_population(&population, &weights, space, &mut rng, params.population) {
+            Some(next) => population = next,
+            // Degenerate weights (e.g. an estimate so small its inverse
+            // overflows to infinity): the selection distribution cannot
+            // be built, but an incumbent found in earlier rounds is still
+            // a perfectly good answer — stop breeding, keep the best.
+            None => break,
+        }
     }
 
     let (best_cand, best_time, kernel, profile) = best?;
@@ -335,7 +382,7 @@ pub fn heuristic_search(
 
 /// Mutate one loop's tile size to a neighboring option (the paper's
 /// mutation operator: "one loop is chosen to mutate the tile size").
-fn mutate(parent: &Candidate, space: &PrunedSpace, rng: &mut StdRng) -> Candidate {
+fn mutate(parent: &Candidate, space: &CandidateSpace, rng: &mut StdRng) -> Candidate {
     let mut child = parent.clone();
     let axis = rng.gen_range(0..child.tiles.len());
     let domain = &space.tile_domains[axis];
@@ -361,9 +408,13 @@ mod tests {
     use crate::prune::prune;
     use crate::space::SearchSpace;
 
-    fn search_chain(chain: &ChainSpec, dev: &DeviceSpec) -> SearchOutcome {
+    fn pruned_space(chain: &ChainSpec, dev: &DeviceSpec) -> CandidateSpace {
         let space = SearchSpace::generate(chain);
-        let pruned = prune(chain, dev, &space);
+        prune(chain, dev, &space)
+    }
+
+    fn search_chain(chain: &ChainSpec, dev: &DeviceSpec) -> SearchOutcome {
+        let pruned = pruned_space(chain, dev);
         let clock = TuningClock::new();
         heuristic_search(chain, dev, &pruned, &SearchParams::default(), &clock)
             .expect("search finds a kernel")
@@ -409,28 +460,24 @@ mod tests {
     fn beats_the_worst_candidate_clearly() {
         let chain = ChainSpec::gemm_chain("g", 1, 1024, 1024, 128, 128);
         let dev = DeviceSpec::a100();
-        let space = SearchSpace::generate(&chain);
-        let pruned = prune(&chain, &dev, &space);
+        let pruned = pruned_space(&chain, &dev);
         let clock = TuningClock::new();
         let out =
             heuristic_search(&chain, &dev, &pruned, &SearchParams::default(), &clock).unwrap();
         // Measure a deliberately bad candidate (tiny tiles).
         let bad = pruned
-            .candidates
             .iter()
             .find(|c| c.tiles.iter().all(|&t| t == 16))
             .expect("tiny-tile candidate survives pruning");
-        let bad_t = measure_candidate(
+        let bad_t = measured_time(&measure_candidate(
             &chain,
-            bad,
+            &bad,
             &dev,
             &CostProfile::triton(),
             &clock,
             0,
             &LoweringOptions::for_device(&dev),
-        )
-        .map(|(_, p)| p.time)
-        .unwrap();
+        ));
         assert!(
             out.best_time < 0.8 * bad_t,
             "best {} vs bad {}",
@@ -454,8 +501,7 @@ mod tests {
     fn tuning_clock_is_charged() {
         let chain = ChainSpec::gemm_chain("g", 1, 512, 256, 64, 64);
         let dev = DeviceSpec::a100();
-        let space = SearchSpace::generate(&chain);
-        let pruned = prune(&chain, &dev, &space);
+        let pruned = pruned_space(&chain, &dev);
         let clock = TuningClock::new();
         let _ = heuristic_search(&chain, &dev, &pruned, &SearchParams::default(), &clock);
         let rep = clock.report();
@@ -463,5 +509,62 @@ mod tests {
         assert!(rep.estimates as usize >= SearchParams::default().population);
         assert_eq!(rep.train_rounds, 0, "the analytical model never trains");
         assert!(rep.virtual_seconds > 0.0);
+    }
+
+    #[test]
+    fn degenerate_weights_defeat_weighted_index_but_not_the_search() {
+        // Regression for the `WeightedIndex::new(..).ok()?` bug: a weight
+        // vector with an infinity (1/estimate overflow) makes the
+        // distribution unbuildable. Previously the whole search returned
+        // `None`, discarding an incumbent it had already measured; now
+        // breeding reports failure and the search keeps the incumbent.
+        let chain = ChainSpec::gemm_chain("g", 1, 512, 256, 64, 64);
+        let dev = DeviceSpec::a100();
+        let pruned = pruned_space(&chain, &dev);
+        let mut rng = StdRng::seed_from_u64(9);
+        let population: Vec<Candidate> =
+            (0..4).map(|i| pruned.candidate(i % pruned.len())).collect();
+        for weights in [
+            vec![f64::INFINITY, 1.0, 1.0, 1.0],
+            vec![f64::NAN, 1.0, 1.0, 1.0],
+            vec![-1.0, 1.0, 1.0, 1.0],
+        ] {
+            assert!(
+                breed_population(&population, &weights, &pruned, &mut rng, 4).is_none(),
+                "weights {weights:?} must defeat WeightedIndex"
+            );
+        }
+        // Sane weights breed a full population.
+        let next = breed_population(&population, &[1.0, 2.0, 3.0, 4.0], &pruned, &mut rng, 8)
+            .expect("finite weights breed");
+        assert_eq!(next.len(), 8);
+    }
+
+    #[test]
+    fn round_winner_measurement_is_cached_not_repeated() {
+        // The winner's kernel/profile must come from the measurement
+        // cache: searching charges exactly one compile per *distinct*
+        // measured candidate (re-lowering the winner each round used to
+        // add extra uncharged work and a panic path).
+        let chain = ChainSpec::gemm_chain("g", 1, 512, 256, 64, 64);
+        let dev = DeviceSpec::a100();
+        let pruned = pruned_space(&chain, &dev);
+        let clock = TuningClock::new();
+        let out =
+            heuristic_search(&chain, &dev, &pruned, &SearchParams::default(), &clock).unwrap();
+        // The returned kernel is exactly what measuring `best` produces.
+        let fresh = TuningClock::new();
+        let (lk, prof) = measure_candidate(
+            &chain,
+            &out.best,
+            &dev,
+            &CostProfile::triton(),
+            &fresh,
+            SearchParams::default().seed,
+            &LoweringOptions::for_device(&dev),
+        )
+        .expect("winner measures");
+        assert_eq!(lk.smem_bytes, out.kernel.smem_bytes);
+        assert_eq!(prof.time, out.best_time);
     }
 }

@@ -12,9 +12,21 @@ use mcfuser_ir::ChainSpec;
 use mcfuser_sim::{DeviceSpec, KernelProfile, TuningClock, TuningReport};
 use mcfuser_tile::{Candidate, LoweredKernel};
 
-use crate::prune::{prune, PruneStats};
+use crate::prune::PruneStats;
 use crate::search::{heuristic_search, SearchOutcome, SearchParams};
-use crate::space::SearchSpace;
+use crate::space::{CandidateSpace, SearchSpace};
+
+/// Why Rule 4 emptied a search space: even the smallest tile
+/// combination's Eq. 1 estimate exceeds the device's budget (with the
+/// 1.2× margin). Carried by [`TuneError::EmptySearchSpace`] so the
+/// failure names the responsible rule and the numbers behind it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Rule4Rejection {
+    /// Smallest Eq. 1 shared-memory estimate across the Rule-3 grid.
+    pub min_estimated_smem: u64,
+    /// The device budget (`Shm_max`) the estimate must fit 1.2× of.
+    pub smem_per_block: u64,
+}
 
 /// Tuning failure, carrying enough context to identify which task of a
 /// multi-chain session failed and where.
@@ -30,6 +42,9 @@ pub enum TuneError {
         /// Rule 3 filtered every option away), its name and extent —
         /// the context that used to be silently lost.
         axis: Option<String>,
+        /// When Rule 4 rejected every tile combination of a non-empty
+        /// Rule-3 grid: the smallest estimate vs. the device budget.
+        rule4: Option<Rule4Rejection>,
     },
     /// Candidates existed but every one failed lowering or exceeded the
     /// device's launch limits.
@@ -48,11 +63,17 @@ pub enum TuneError {
 }
 
 impl TuneError {
-    pub(crate) fn empty_space(chain: &ChainSpec, dev: &DeviceSpec, axis: Option<String>) -> Self {
+    pub(crate) fn empty_space(
+        chain: &ChainSpec,
+        dev: &DeviceSpec,
+        axis: Option<String>,
+        rule4: Option<Rule4Rejection>,
+    ) -> Self {
         TuneError::EmptySearchSpace {
             chain: chain.name.clone(),
             device: dev.name.clone(),
             axis,
+            rule4,
         }
     }
 
@@ -71,10 +92,19 @@ impl std::fmt::Display for TuneError {
                 chain,
                 device,
                 axis,
+                rule4,
             } => {
                 write!(f, "search space of chain '{chain}' is empty on {device}")?;
                 if let Some(a) = axis {
                     write!(f, " (axis {a} has no admissible tile sizes)")?;
+                }
+                if let Some(r) = rule4 {
+                    write!(
+                        f,
+                        " (Rule 4 rejected every tile combination: smallest estimated \
+                         shared memory {} B exceeds 1.2 x the device's {} B per block)",
+                        r.min_estimated_smem, r.smem_per_block
+                    )?;
                 }
                 Ok(())
             }
@@ -115,51 +145,22 @@ impl Default for SpacePolicy {
     }
 }
 
-/// Materialize the pruned space a policy admits for a chain on a device.
-pub fn build_pruned_space(
+/// Build the lazy pruned space a policy admits for a chain on a device.
+/// With `shared_memory_pruning` disabled (the `-rule4` ablation) the
+/// same space is built with the Rule-4 filter off: every Rule-3 tile
+/// combination is addressable — no re-materialization and no cap.
+pub fn build_candidate_space(
     chain: &ChainSpec,
     dev: &DeviceSpec,
     policy: &SpacePolicy,
-) -> crate::prune::PrunedSpace {
+) -> CandidateSpace {
     let mut space = SearchSpace::generate(chain);
     if policy.deep_tiling_only {
         space.exprs = mcfuser_tile::enumerate_deep(chain);
     }
-    let mut pruned = prune(chain, dev, &space);
-    if !policy.shared_memory_pruning {
-        // Re-materialize without the shared-memory filter: every Rule-3
-        // tile combination is admitted (capped like the pruner's own
-        // materialization to keep memory bounded).
-        let mut cands = Vec::new();
-        let mut idx = vec![0usize; pruned.tile_domains.len()];
-        'outer: loop {
-            let tiles: Vec<u64> = idx
-                .iter()
-                .enumerate()
-                .map(|(a, &i)| pruned.tile_domains[a][i])
-                .collect();
-            for e in &pruned.exprs {
-                cands.push(Candidate::new(e.clone(), tiles.clone()));
-            }
-            let mut a = 0;
-            loop {
-                if a == idx.len() {
-                    break 'outer;
-                }
-                idx[a] += 1;
-                if idx[a] < pruned.tile_domains[a].len() {
-                    break;
-                }
-                idx[a] = 0;
-                a += 1;
-            }
-            if cands.len() > 150_000 {
-                break;
-            }
-        }
-        pruned.candidates = cands;
-    }
-    pruned
+    let (reps, tile_domains, stats) = crate::prune::rules123(chain, &space);
+    let smem_limit = policy.shared_memory_pruning.then_some(dev.smem_per_block);
+    CandidateSpace::build(chain, reps, tile_domains, smem_limit, stats)
 }
 
 /// Locate the first axis whose Rule-3 tile domain came back empty and
@@ -171,6 +172,25 @@ pub(crate) fn empty_axis_context(chain: &ChainSpec, tile_domains: &[Vec<u64>]) -
         .iter()
         .position(Vec::is_empty)
         .map(|a| format!("{} (extent {})", chain.axis_name(a), chain.axis_extent(a)))
+}
+
+/// Diagnose why Rule 4 emptied a space whose Rule-3 grid was non-empty:
+/// report the smallest Eq. 1 estimate against the device budget. `None`
+/// when Rule 4 is not the culprit (empty grid, filter disabled, or
+/// survivors exist).
+pub(crate) fn rule4_rejection_context(
+    space: &CandidateSpace,
+    dev: &DeviceSpec,
+) -> Option<Rule4Rejection> {
+    if space.surviving_combos() > 0 || space.grid_combos() == 0 {
+        return None;
+    }
+    space
+        .min_estimated_smem()
+        .map(|min_estimated_smem| Rule4Rejection {
+            min_estimated_smem,
+            smem_per_block: dev.smem_per_block,
+        })
 }
 
 /// A tuned fused kernel with full provenance.
@@ -233,12 +253,13 @@ impl McFuser {
         clock: &TuningClock,
         policy: &SpacePolicy,
     ) -> Result<TunedKernel, TuneError> {
-        let pruned = build_pruned_space(chain, dev, policy);
-        if pruned.candidates.is_empty() {
+        let pruned = build_candidate_space(chain, dev, policy);
+        if pruned.is_empty() {
             return Err(TuneError::empty_space(
                 chain,
                 dev,
                 empty_axis_context(chain, &pruned.tile_domains),
+                rule4_rejection_context(&pruned, dev),
             ));
         }
         let outcome: SearchOutcome = heuristic_search(chain, dev, &pruned, &self.params, clock)
@@ -318,7 +339,7 @@ mod tests {
         let ctx = super::empty_axis_context(&chain, &domains).unwrap();
         assert!(ctx.starts_with('k'), "{ctx}");
         assert!(ctx.contains("64"), "{ctx}");
-        let err = TuneError::empty_space(&chain, &DeviceSpec::a100(), Some(ctx));
+        let err = TuneError::empty_space(&chain, &DeviceSpec::a100(), Some(ctx), None);
         let msg = err.to_string();
         assert!(msg.contains("no admissible tile sizes"), "{msg}");
         assert!(msg.contains('g'), "{msg}");
@@ -329,6 +350,64 @@ mod tests {
         let chain = ChainSpec::gemm_chain("g", 1, 512, 256, 64, 64);
         let domains = vec![vec![16]; 4];
         assert!(super::empty_axis_context(&chain, &domains).is_none());
+    }
+
+    #[test]
+    fn rule4_rejecting_everything_yields_structured_context() {
+        // A device whose shared memory cannot hold even the smallest
+        // tile combination: the Rule-3 grid is non-empty but Rule 4
+        // rejects all of it. The error must name Rule 4 and quote the
+        // smallest estimate against the budget — previously this case
+        // surfaced as a context-free EmptySearchSpace.
+        let chain = ChainSpec::gemm_chain("g", 1, 512, 256, 64, 64);
+        let mut dev = DeviceSpec::a100();
+        dev.smem_per_block = 256; // 256 B: nothing fits.
+        let err = McFuser::new().tune(&chain, &dev).unwrap_err();
+        let TuneError::EmptySearchSpace { axis, rule4, .. } = &err else {
+            panic!("expected EmptySearchSpace, got {err:?}");
+        };
+        assert!(axis.is_none(), "no axis is empty here");
+        let r = rule4.expect("rule 4 context present");
+        assert_eq!(r.smem_per_block, 256);
+        assert!(r.min_estimated_smem as f64 > 1.2 * 256.0);
+        let msg = err.to_string();
+        assert!(msg.contains("Rule 4"), "{msg}");
+        assert!(msg.contains("256"), "{msg}");
+    }
+
+    #[test]
+    fn rule4_context_absent_when_survivors_exist() {
+        let chain = ChainSpec::gemm_chain("g", 1, 512, 256, 64, 64);
+        let dev = DeviceSpec::a100();
+        let space = build_candidate_space(&chain, &dev, &SpacePolicy::default());
+        assert!(super::rule4_rejection_context(&space, &dev).is_none());
+    }
+
+    #[test]
+    fn rule4_disabled_space_admits_full_rule3_grid() {
+        // The -rule4 ablation reuses the same lazy space with the filter
+        // off: every Rule-3 combination is reachable, uncapped.
+        let chain = ChainSpec::gemm_chain("g", 1, 1024, 1024, 512, 512);
+        let dev = DeviceSpec::a100();
+        let on = build_candidate_space(&chain, &dev, &SpacePolicy::default());
+        let off = build_candidate_space(
+            &chain,
+            &dev,
+            &SpacePolicy {
+                shared_memory_pruning: false,
+                ..Default::default()
+            },
+        );
+        assert_eq!(off.surviving_combos(), off.grid_combos());
+        assert_eq!(off.stats.after_rule4, off.stats.after_rule3);
+        assert!(off.len() > on.len());
+        // Unlaunchable candidates are now reachable (that is the point
+        // of the ablation: they reach measurement and cost compiles).
+        let over = (0..off.len())
+            .step_by((off.len() / 509).max(1) as usize)
+            .map(|i| off.candidate(i))
+            .any(|c| !mcfuser_tile::rule4_fits(&chain, &c, dev.smem_per_block));
+        assert!(over, "expected some over-budget candidates with -rule4");
     }
 
     #[test]

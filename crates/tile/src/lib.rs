@@ -39,7 +39,9 @@ pub use loops::{
     LoopId,
 };
 pub use lower::{lower, LoweredKernel, LoweringError, LoweringOptions};
-pub use shmem::{chain_tensors, estimate_shmem_bytes, rule4_fits};
+pub use shmem::{
+    chain_tensors, estimate_shmem_bytes, estimate_shmem_bytes_for_tiles, rule4_fits, RULE4_MARGIN,
+};
 pub use stmt::{
     all_statements, compute_column_axis, compute_output, compute_reduction_axis, order_deps,
     related_axes, tensor_axes, tile_shape, Stmt, TensorRef,

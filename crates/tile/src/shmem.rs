@@ -25,23 +25,36 @@ pub fn chain_tensors(chain: &ChainSpec) -> Vec<TensorRef> {
     v
 }
 
-/// Eq. (1): estimated shared-memory bytes per thread block for a
-/// candidate (tile footprints at the chain's storage precision).
-pub fn estimate_shmem_bytes(chain: &ChainSpec, cand: &Candidate) -> u64 {
+/// The Rule-4 pruning margin over `Shm_max`: candidates are kept while
+/// the Eq. 1 estimate stays within `RULE4_MARGIN × Shm_max` (the margin
+/// absorbs estimation error, §III-C). Single source of truth — the lazy
+/// candidate space's survivor index uses the same constant.
+pub const RULE4_MARGIN: f64 = 1.2;
+
+/// Eq. (1) from a bare tile vector (`tiles[a]` = tile size of axis `a`).
+/// The estimate is expression-independent, so pruning can evaluate it
+/// without constructing a `Candidate`.
+pub fn estimate_shmem_bytes_for_tiles(chain: &ChainSpec, tiles: &[u64]) -> u64 {
     let esz = chain.dtype.size_bytes();
     chain_tensors(chain)
         .iter()
         .map(|&t| {
             let ax = tensor_axes(chain, t);
-            cand.tile(ax[0]) * cand.tile(ax[1]) * esz
+            tiles[ax[0].0] * tiles[ax[1].0] * esz
         })
         .sum()
 }
 
+/// Eq. (1): estimated shared-memory bytes per thread block for a
+/// candidate (tile footprints at the chain's storage precision).
+pub fn estimate_shmem_bytes(chain: &ChainSpec, cand: &Candidate) -> u64 {
+    estimate_shmem_bytes_for_tiles(chain, &cand.tiles)
+}
+
 /// The paper's Rule-4 test: prune candidates whose *estimate* exceeds
-/// `1.2 × Shm_max` (the margin absorbs estimation error).
+/// [`RULE4_MARGIN`]` × Shm_max`.
 pub fn rule4_fits(chain: &ChainSpec, cand: &Candidate, shm_max: u64) -> bool {
-    estimate_shmem_bytes(chain, cand) as f64 <= 1.2 * shm_max as f64
+    estimate_shmem_bytes(chain, cand) as f64 <= RULE4_MARGIN * shm_max as f64
 }
 
 #[cfg(test)]

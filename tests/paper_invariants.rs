@@ -79,13 +79,8 @@ fn fig10_shmem_estimate_accuracy() {
     let mut rng = StdRng::seed_from_u64(99);
     let (mut agree, mut total) = (0, 0);
     for _ in 0..150 {
-        let expr = pruned.exprs[rng.gen_range(0..pruned.exprs.len())].clone();
-        let tiles: Vec<u64> = pruned
-            .tile_domains
-            .iter()
-            .map(|d| d[rng.gen_range(0..d.len())])
-            .collect();
-        let cand = mcfuser::tile::Candidate::new(expr, tiles);
+        // Rules 1–3 only, deliberately spanning the Rule-4 boundary.
+        let cand = pruned.sample_rule3(&mut rng);
         let est = estimate_shmem_bytes(&chain, &cand) as f64;
         let Ok(lk) = lower(&chain, &cand, &LoweringOptions::for_device(&dev)) else {
             continue;
@@ -111,7 +106,7 @@ fn fig11_model_correlates_with_measurement() {
     let mut rng = StdRng::seed_from_u64(7);
     let (mut ests, mut meas) = (Vec::new(), Vec::new());
     while ests.len() < 60 {
-        let cand = pruned.candidates[rng.gen_range(0..pruned.candidates.len())].clone();
+        let cand = pruned.candidate(rng.gen_range(0..pruned.len()));
         let Ok(e) = estimate(&chain, &cand, &dev) else {
             continue;
         };

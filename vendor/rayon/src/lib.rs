@@ -57,9 +57,28 @@ impl IntoParallelIterator for std::ops::Range<usize> {
     }
 }
 
+/// Bridge an ordinary iterator into "parallel" iteration — sequential
+/// fallback. Real rayon's `par_bridge()` does NOT preserve arrival
+/// order, so (unlike the indexed `par_iter()` above) consumers must not
+/// rely on ordering; the workspace's only user re-sorts by index after
+/// collecting.
+pub trait ParallelBridge: Iterator + Sized {
+    /// Treat this iterator as a parallel one (sequentially here).
+    fn par_bridge(self) -> Self;
+}
+
+impl<I: Iterator + Send> ParallelBridge for I
+where
+    I::Item: Send,
+{
+    fn par_bridge(self) -> Self {
+        self
+    }
+}
+
 /// The common imports, mirroring `rayon::prelude`.
 pub mod prelude {
-    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelBridge};
 }
 
 #[cfg(test)]
