@@ -1,0 +1,204 @@
+//! Serving-throughput smoke test: compile two models through one
+//! `FusionEngine` session, freeze them into `ExecutablePlan`s, and push
+//! a batch of concurrent requests through a shared `ModelRuntime`.
+//!
+//! Prints requests/second (wall clock) and p50/p95 per-request latency
+//! (virtual device clock), and asserts the invariants CI cares about:
+//! nonzero tuning-cache reuse at compile time, every request served and
+//! counted, and bit-identical outputs per `(model, seed)` under
+//! concurrency.
+//!
+//! ```sh
+//! cargo run --release -p mcfuser-bench --bin serve_smoke
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use mcfuser_baselines::Relay;
+use mcfuser_core::{FusionEngine, InputSet, ModelRuntime, RunOptions};
+use mcfuser_ir::GraphBuilder;
+use mcfuser_sim::{DType, DeviceSpec, HostTensor};
+use mcfuser_workloads::{bert_graph, BertConfig};
+
+const THREADS: usize = 8;
+const REQUESTS_PER_THREAD: usize = 6;
+
+fn ramp(shape: &[u64], phase: u64) -> HostTensor {
+    let len: u64 = shape.iter().product();
+    HostTensor::from_vec(
+        shape,
+        (0..len)
+            .map(|x| (((x + phase) % 29) as f32 - 14.0) / 29.0)
+            .collect(),
+    )
+}
+
+fn main() {
+    let device = DeviceSpec::a100();
+    let engine = FusionEngine::builder(device)
+        .fallback(Relay::new())
+        .parallelism(0)
+        .build();
+
+    // Model 1: a 2-layer mini BERT — its identical layers force
+    // tuning-cache reuse inside one compile.
+    let bert = bert_graph(
+        "bert-mini",
+        &BertConfig {
+            layers: 2,
+            hidden: 128,
+            heads: 4,
+            seq: 64,
+            intermediate: 512,
+        },
+    );
+    // Model 2: a small MLP.
+    let mlp = {
+        let mut gb = GraphBuilder::new("mlp", DType::F16);
+        let x = gb.input("x", vec![128, 64]);
+        let y = gb.linear("fc1", x, 128, false);
+        let z = gb.linear("fc2", y, 64, false);
+        gb.finish(vec![z])
+    };
+
+    let compile_start = Instant::now();
+    let runtime = Arc::new(ModelRuntime::new());
+    let mut reused_chains = 0usize;
+    for graph in [&bert, &mlp] {
+        let model = engine.compile(graph).expect("compiles");
+        // Identical chains (BERT's two layers) tune once and are fanned
+        // back out flagged as reuse.
+        reused_chains += model.chains.iter().filter(|c| c.cache_hit).count();
+        let plan = model.plan(graph).expect("plan freezes");
+        println!(
+            "compiled {:>9}: {} steps, {} fused kernels, peak live {}/{} nodes, {:.1} us/request",
+            graph.name,
+            plan.steps().len(),
+            plan.fused_kernels(),
+            plan.buffer_plan().peak_live(),
+            plan.buffer_plan().total_nodes(),
+            plan.virtual_time_per_request() * 1e6,
+        );
+        runtime.register(graph.name.clone(), plan);
+    }
+    if let Some(cache) = engine.cache_handle() {
+        runtime.attach_cache(cache);
+    }
+    // A recompile (rolling restart of a serving replica) is pure cache.
+    let recompiled = engine.compile(&bert).expect("recompiles");
+    reused_chains += recompiled.chains.iter().filter(|c| c.cache_hit).count();
+    let stats = engine.stats();
+    println!(
+        "compile wall time : {:.1} s ({} reused chains, cache hits {}, misses {})",
+        compile_start.elapsed().as_secs_f64(),
+        reused_chains,
+        stats.cache_hits,
+        stats.cache_misses,
+    );
+    assert!(
+        reused_chains > 0 && stats.cache_hits > 0,
+        "identical BERT layers / recompiles must reuse the tuning cache"
+    );
+
+    // Per-model inputs and serial reference outputs per seed.
+    let models = ["bert-mini", "mlp"];
+    let seeds: Vec<u64> = (0..4).collect();
+    let inputs: Vec<InputSet> = models
+        .iter()
+        .map(|m| {
+            let plan = runtime.plan(m).expect("registered");
+            let mut set = InputSet::new();
+            for (i, b) in plan.inputs().iter().enumerate() {
+                set.insert(b.name.clone(), ramp(&b.shape, i as u64));
+            }
+            set
+        })
+        .collect();
+    let expected: Vec<Vec<Vec<f32>>> = models
+        .iter()
+        .zip(&inputs)
+        .map(|(m, set)| {
+            seeds
+                .iter()
+                .map(|&s| {
+                    runtime
+                        .infer(m, set, RunOptions::seeded(s))
+                        .expect("serial request")
+                        .primary()
+                        .data
+                        .clone()
+                })
+                .collect()
+        })
+        .collect();
+    let warmup = (models.len() * seeds.len()) as u64;
+
+    // The smoke load: THREADS × REQUESTS_PER_THREAD interleaved requests.
+    let serve_start = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let runtime = runtime.clone();
+            let inputs = &inputs;
+            let seeds = &seeds;
+            let expected = &expected;
+            scope.spawn(move || {
+                for r in 0..REQUESTS_PER_THREAD {
+                    let m = (t + r) % models.len();
+                    let s = (t * REQUESTS_PER_THREAD + r) % seeds.len();
+                    let out = runtime
+                        .infer(models[m], &inputs[m], RunOptions::seeded(seeds[s]))
+                        .expect("request served");
+                    assert_eq!(
+                        out.primary().data,
+                        expected[m][s],
+                        "non-deterministic output under concurrency"
+                    );
+                }
+            });
+        }
+    });
+    let wall = serve_start.elapsed().as_secs_f64();
+    let issued = (THREADS * REQUESTS_PER_THREAD) as u64;
+
+    let stats = runtime.stats();
+    assert_eq!(stats.requests, warmup + issued, "every request counted");
+    assert_eq!(stats.failed, 0);
+    println!(
+        "\nserved {issued} concurrent requests in {:.2} s wall ({:.0} req/s)",
+        wall,
+        issued as f64 / wall
+    );
+    let mut report = Vec::new();
+    for p in &stats.plans {
+        println!(
+            "  {:>9}: {} requests, p50 {:.1} us, p95 {:.1} us, {:.2} MB moved",
+            p.model,
+            p.requests,
+            p.p50_latency * 1e6,
+            p.p95_latency * 1e6,
+            p.bytes_moved / 1e6,
+        );
+        assert!(p.p95_latency >= p.p50_latency && p.p50_latency > 0.0);
+        report.push(serde_json::json!({
+            "model": p.model,
+            "requests": p.requests,
+            "p50_latency_s": p.p50_latency,
+            "p95_latency_s": p.p95_latency,
+            "bytes_moved": p.bytes_moved,
+        }));
+    }
+    mcfuser_bench::write_json(
+        "serve_smoke",
+        &serde_json::json!({
+            "threads": THREADS,
+            "requests": issued,
+            "wall_seconds": wall,
+            "req_per_s": issued as f64 / wall,
+            "cache_hits": engine.stats().cache_hits,
+            "plans": report,
+        }),
+    );
+    runtime.shutdown().expect("caches flush cleanly");
+    println!("OK — serve_smoke invariants hold.");
+}

@@ -20,6 +20,7 @@
 //! [`FusionEngine`]: crate::engine::FusionEngine
 
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use parking_lot::Mutex;
 use rustc_hash::FxHashMap;
@@ -243,6 +244,20 @@ pub trait TuningCache: Send + Sync {
     fn is_empty(&self) -> bool {
         self.len() == 0
     }
+    /// Force pending state to durable storage and report failure —
+    /// write-through `put`s deliberately swallow I/O errors to keep
+    /// tuning alive, so shutdown paths (e.g.
+    /// [`ModelRuntime::shutdown`](crate::ModelRuntime::shutdown)) call
+    /// this to learn whether anything was actually lost. Purely
+    /// in-memory caches have nothing to persist and return `Ok(())`.
+    fn flush(&self) -> std::io::Result<()> {
+        Ok(())
+    }
+    /// How many write-through persistence attempts have failed so far
+    /// (surfaced in [`EngineStats`](crate::EngineStats)).
+    fn persist_errors(&self) -> u64 {
+        0
+    }
 }
 
 /// In-memory cache: reuse within one engine session (and across sessions
@@ -287,6 +302,11 @@ pub struct JsonDiskCache {
     /// Serializes writers without making readers (or tuning workers
     /// inserting into `entries`) wait on disk I/O.
     io: Mutex<()>,
+    /// Persistence attempts that failed (write-through keeps going, but
+    /// the failures are counted and reported by `persist_errors`/`flush`).
+    write_errors: AtomicU64,
+    /// Whether the warn-once message has been printed.
+    warned: AtomicBool,
 }
 
 /// Parse the on-disk document into an entry map. A missing file yields
@@ -321,6 +341,8 @@ impl JsonDiskCache {
             path,
             entries: Mutex::new(entries),
             io: Mutex::new(()),
+            write_errors: AtomicU64::new(0),
+            warned: AtomicBool::new(false),
         }
     }
 
@@ -333,7 +355,7 @@ impl JsonDiskCache {
     /// conflict), atomically rewrite it, and fold anything another
     /// writer contributed back into memory. Caller must NOT hold the
     /// `entries` lock — only the `io` lock serializes this.
-    fn persist(&self, mut entries: FxHashMap<String, CachedTuning>) {
+    fn persist(&self, mut entries: FxHashMap<String, CachedTuning>) -> std::io::Result<()> {
         if let Some(on_disk) = read_entries(&self.path) {
             let mut foreign: Vec<(String, CachedTuning)> = Vec::new();
             for (k, v) in on_disk {
@@ -357,15 +379,20 @@ impl JsonDiskCache {
         let text = serde_json::to_string(&doc).expect("serializable cache");
         // Write-then-rename keeps readers from ever seeing a torn file.
         let tmp = self.path.with_extension("json.tmp");
-        let ok = std::fs::write(&tmp, text)
-            .and_then(|()| std::fs::rename(&tmp, &self.path))
-            .is_ok();
-        if !ok {
-            eprintln!(
-                "[mcfuser] warning: could not persist tuning cache to {}",
-                self.path.display()
-            );
+        let result = std::fs::write(&tmp, text).and_then(|()| std::fs::rename(&tmp, &self.path));
+        if let Err(e) = &result {
+            self.write_errors.fetch_add(1, Ordering::Relaxed);
+            // Warn once — a persistently unwritable path would otherwise
+            // spam one line per tuned chain. The count keeps climbing and
+            // is surfaced via `persist_errors`/`flush`.
+            if !self.warned.swap(true, Ordering::Relaxed) {
+                eprintln!(
+                    "[mcfuser] warning: could not persist tuning cache to {}: {e}",
+                    self.path.display()
+                );
+            }
         }
+        result
     }
 }
 
@@ -381,13 +408,28 @@ impl TuningCache for JsonDiskCache {
             g.clone()
         };
         // Disk I/O happens outside the entries lock so concurrent
-        // tuning workers never stall on a file write.
+        // tuning workers never stall on a file write. Write-through is
+        // best-effort: a failure is counted (and warned about once) but
+        // never fails the tuning that produced the entry.
         let _writer = self.io.lock();
-        self.persist(snapshot);
+        let _ = self.persist(snapshot);
     }
 
     fn len(&self) -> usize {
         self.entries.lock().len()
+    }
+
+    fn flush(&self) -> std::io::Result<()> {
+        let snapshot = self.entries.lock().clone();
+        let _writer = self.io.lock();
+        // Name the file in the error: a shutdown report aggregating
+        // several caches must say WHICH one lost its entries.
+        self.persist(snapshot)
+            .map_err(|e| std::io::Error::new(e.kind(), format!("{}: {e}", self.path.display())))
+    }
+
+    fn persist_errors(&self) -> u64 {
+        self.write_errors.load(Ordering::Relaxed)
     }
 }
 
@@ -511,6 +553,44 @@ mod tests {
         let reopened = JsonDiskCache::open(&path);
         assert!(reopened.get(&key_for(&chain_a)).is_some(), "a survived");
         assert!(reopened.get(&key_for(&chain_b)).is_some(), "b survived");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unwritable_path_counts_errors_and_flush_reports_them() {
+        // A path whose parent directory does not exist: every persist
+        // attempt fails. Write-through puts must keep working (the entry
+        // stays queryable in memory), the failure must be counted, and
+        // flush() must surface it as an Err.
+        let path = std::env::temp_dir()
+            .join(format!("mcfuser-no-such-dir-{}", std::process::id()))
+            .join("tuning.json");
+        let cache = JsonDiskCache::open(&path);
+        let chain = ChainSpec::gemm_chain("g", 1, 256, 128, 64, 64);
+        let key = key_for(&chain);
+        cache.put(&key, sample_entry());
+        assert_eq!(cache.get(&key).unwrap(), sample_entry(), "put still serves");
+        assert_eq!(cache.persist_errors(), 1);
+        assert!(cache.flush().is_err(), "flush reports the lost persistence");
+        assert_eq!(cache.persist_errors(), 2);
+    }
+
+    #[test]
+    fn healthy_disk_cache_flushes_cleanly() {
+        let dir = std::env::temp_dir().join(format!(
+            "mcfuser-cache-flush-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let cache = JsonDiskCache::open(dir.join("tuning.json"));
+        let chain = ChainSpec::gemm_chain("g", 1, 256, 128, 64, 64);
+        cache.put(&key_for(&chain), sample_entry());
+        assert!(cache.flush().is_ok());
+        assert_eq!(cache.persist_errors(), 0);
+        // And the memory-only cache trivially flushes.
+        assert!(MemoryCache::new().flush().is_ok());
+        assert_eq!(MemoryCache::new().persist_errors(), 0);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

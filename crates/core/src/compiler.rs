@@ -81,7 +81,9 @@ mod tests {
         );
     }
 
-    /// Migrated from the removed `execute_compiled` shim test.
+    /// Migrated from the removed `execute_compiled` shim test: the
+    /// deprecated `FusionEngine::execute` shim and the plan path it
+    /// wraps must agree on every node value.
     #[test]
     fn engine_execute_runs_compiled_model() {
         let g = tiny_attention_graph();
@@ -102,8 +104,19 @@ mod tests {
                 );
             }
         }
+        #[allow(deprecated)]
         let values = engine.execute(&g, &model, &inputs, 7).unwrap();
         assert_eq!(values.len(), g.nodes.len());
         assert!(values.iter().all(|t| t.data.iter().all(|v| v.is_finite())));
+
+        // The plan path serves the same outputs.
+        let plan = engine.compile_plan(&g).unwrap();
+        let mut set = crate::InputSet::new();
+        for (&n, t) in &inputs {
+            set.insert_node(n, t.clone());
+        }
+        let outputs = plan.execute(&set, crate::RunOptions::seeded(7)).unwrap();
+        let out = g.outputs[0];
+        assert_eq!(outputs.primary().data, values[out.0].data);
     }
 }

@@ -44,13 +44,12 @@ use parking_lot::Mutex;
 use rustc_hash::FxHashMap;
 
 use mcfuser_ir::{partition, ChainSpec, Graph, NodeId};
-use mcfuser_sim::{
-    execute, measure_noisy, DeviceSpec, HostTensor, TensorStorage, TuningClock, TuningReport,
-};
+use mcfuser_sim::{measure_noisy, DeviceSpec, HostTensor, TuningClock, TuningReport};
 use mcfuser_tile::{lower, Candidate, LoweringOptions, TilingExpr};
 
 use crate::cache::{CacheKey, CachedTuning, JsonDiskCache, MemoryCache, TuningCache};
 use crate::compiler::OpCostModel;
+use crate::plan::{ExecError, ExecutablePlan, InputSet};
 use crate::search::SearchParams;
 use crate::tuner::{McFuser, SpacePolicy, TuneError, TunedKernel};
 
@@ -93,6 +92,20 @@ pub struct CompiledModel {
     /// Virtual tuning time this compile actually spent (cache hits cost
     /// nothing) plus the fallback's preparation cost.
     pub tuning_seconds: f64,
+    /// Structural fingerprint of the source graph, captured at compile
+    /// time. [`CompiledModel::plan`] verifies the graph it is handed
+    /// matches — a same-named but structurally different graph is
+    /// rejected instead of silently producing wrong outputs.
+    pub graph_fingerprint: u64,
+}
+
+/// Structural fingerprint of a graph (nodes, shapes, ops, outputs,
+/// dtype — everything `Debug` renders), via the deterministic Fx hash.
+pub fn graph_fingerprint(graph: &Graph) -> u64 {
+    use std::hash::Hasher;
+    let mut h = rustc_hash::FxHasher::default();
+    h.write(format!("{graph:?}").as_bytes());
+    h.finish()
 }
 
 /// Where the engine keeps tuning results.
@@ -118,6 +131,13 @@ pub struct EngineStats {
     pub cache_misses: u64,
     /// Graphs compiled.
     pub graphs_compiled: u64,
+    /// Write-through cache persistence attempts that failed (disk
+    /// caches only; the entries stayed live in memory). A non-zero count
+    /// means schedules will be re-tuned by the next process — call
+    /// [`TuningCache::flush`] (e.g. via
+    /// [`ModelRuntime::shutdown`](crate::ModelRuntime::shutdown)) to get
+    /// the failure as a `Result`.
+    pub cache_persist_errors: u64,
 }
 
 /// Configures and constructs a [`FusionEngine`].
@@ -201,11 +221,11 @@ impl EngineBuilder {
 
     /// Construct the engine.
     pub fn build(self) -> FusionEngine {
-        let cache: Option<Box<dyn TuningCache>> = match (self.custom_cache, &self.cache) {
-            (Some(c), _) => Some(c),
+        let cache: Option<Arc<dyn TuningCache>> = match (self.custom_cache, &self.cache) {
+            (Some(c), _) => Some(Arc::from(c)),
             (None, CachePolicy::Disabled) => None,
-            (None, CachePolicy::InMemory) => Some(Box::new(MemoryCache::new())),
-            (None, CachePolicy::DiskJson(path)) => Some(Box::new(JsonDiskCache::open(path))),
+            (None, CachePolicy::InMemory) => Some(Arc::new(MemoryCache::new())),
+            (None, CachePolicy::DiskJson(path)) => Some(Arc::new(JsonDiskCache::open(path))),
         };
         FusionEngine {
             device: self.device,
@@ -230,7 +250,7 @@ pub struct FusionEngine {
     tuner: McFuser,
     policy: SpacePolicy,
     fallback: Option<Arc<dyn OpCostModel + Send + Sync>>,
-    cache: Option<Box<dyn TuningCache>>,
+    cache: Option<Arc<dyn TuningCache>>,
     parallelism: usize,
     clock: TuningClock,
     stats: Mutex<EngineStats>,
@@ -263,9 +283,20 @@ impl FusionEngine {
         &self.tuner.params
     }
 
-    /// Session counters (cache hits/misses, graphs compiled).
+    /// Session counters (cache hits/misses, graphs compiled, cache
+    /// persistence failures).
     pub fn stats(&self) -> EngineStats {
-        self.stats.lock().clone()
+        let mut stats = self.stats.lock().clone();
+        stats.cache_persist_errors = self.cache.as_ref().map(|c| c.persist_errors()).unwrap_or(0);
+        stats
+    }
+
+    /// The session's tuning cache, shareable with a serving layer —
+    /// [`ModelRuntime::attach_cache`](crate::ModelRuntime::attach_cache)
+    /// flushes it at shutdown so persistence failures become a
+    /// `Result` instead of a warning.
+    pub fn cache_handle(&self) -> Option<Arc<dyn TuningCache>> {
+        self.cache.clone()
     }
 
     /// Aggregate virtual tuning cost of everything this session tuned
@@ -432,22 +463,43 @@ impl FusionEngine {
             total_time: chain_time + rest_total,
             chain_time,
             tuning_seconds,
+            graph_fingerprint: graph_fingerprint(graph),
         })
     }
 
-    /// Execute a compiled model *for value*: fused chains run on the
-    /// simulator's functional interpreter, every other operator on the
-    /// CPU reference, and fused outputs flow into downstream operators.
-    /// Returns the value of every graph node (like
-    /// [`mcfuser_ir::evaluate`]).
+    /// Compile a graph and freeze the result straight into a serving
+    /// [`ExecutablePlan`] — the usual path when the compiled model's
+    /// tuning provenance is not needed:
+    /// `engine.compile_plan(&g)? → runtime.register(name, plan)`.
+    pub fn compile_plan(&self, graph: &Graph) -> Result<ExecutablePlan, TuneError> {
+        let model = self.compile(graph)?;
+        model.plan(graph).map_err(|e| TuneError::Plan {
+            graph: graph.name.clone(),
+            detail: e.to_string(),
+        })
+    }
+
+    /// Execute a compiled model *for value*, returning every graph
+    /// node's value (like [`mcfuser_ir::evaluate`]).
+    ///
+    /// Deprecated: this re-packages the model into a one-shot
+    /// [`ExecutablePlan`] on every call. Build the plan once via
+    /// [`FusionEngine::compile_plan`] (or [`CompiledModel::plan`]) and
+    /// serve it through a [`ModelRuntime`](crate::ModelRuntime); this
+    /// shim will be removed in the next release.
+    #[deprecated(
+        note = "build an ExecutablePlan once (FusionEngine::compile_plan / CompiledModel::plan) \
+                and serve it through ModelRuntime::infer"
+    )]
     pub fn execute(
         &self,
         graph: &Graph,
         model: &CompiledModel,
         inputs: &FxHashMap<NodeId, HostTensor>,
         seed: u64,
-    ) -> Result<Vec<HostTensor>, Box<dyn std::error::Error>> {
-        execute_model(graph, model, inputs, seed)
+    ) -> Result<Vec<HostTensor>, ExecError> {
+        let plan = model.plan(graph)?;
+        plan.execute_all_values(&InputSet::from_node_values(inputs), seed)
     }
 
     fn key_for(&self, chain: &ChainSpec, transposed_inputs: &[bool]) -> CacheKey {
@@ -558,54 +610,6 @@ impl FusionEngine {
     }
 }
 
-/// Shared implementation of model execution.
-pub(crate) fn execute_model(
-    graph: &Graph,
-    model: &CompiledModel,
-    inputs: &FxHashMap<NodeId, HostTensor>,
-    seed: u64,
-) -> Result<Vec<HostTensor>, Box<dyn std::error::Error>> {
-    // Which nodes are produced by a fused kernel.
-    let mut chain_output: FxHashMap<NodeId, usize> = FxHashMap::default();
-    for (ci, cc) in model.chains.iter().enumerate() {
-        chain_output.insert(cc.output, ci);
-    }
-
-    let mut values: Vec<Option<HostTensor>> = vec![None; graph.nodes.len()];
-    for i in 0..graph.nodes.len() {
-        let id = NodeId(i);
-        let v = if let Some(&ci) = chain_output.get(&id) {
-            let cc = &model.chains[ci];
-            let program = &cc.tuned.kernel.program;
-            let mut st = TensorStorage::for_program(program);
-            for (j, &node) in cc.data_inputs.iter().enumerate() {
-                let src = values[node.0].as_ref().expect("topological order");
-                let v = if cc.transposed_inputs.get(j).copied().unwrap_or(false) {
-                    src.transpose_last2()
-                } else {
-                    src.clone()
-                };
-                // Chain buffers are [batch, rows, cols]; graph tensors may
-                // be flat 2-D (batch = 1) — reshape by element count.
-                let want = &program.buffers[j].shape;
-                let elems: u64 = want.iter().product();
-                assert_eq!(elems as usize, v.data.len(), "chain input shape mismatch");
-                st.tensors[j] = HostTensor::from_vec(want, v.data);
-            }
-            execute(program, &mut st)?;
-            let out = st.tensors.last().unwrap();
-            let out_shape = graph.node(id).shape.clone();
-            HostTensor::from_vec(&out_shape, out.data.clone())
-        } else {
-            // Interior chain nodes are evaluated too (cheap, keeps the
-            // value table total); everything else is plain reference.
-            mcfuser_ir::evaluate_node(graph, id, &values, inputs, seed)?
-        };
-        values[i] = Some(v);
-    }
-    Ok(values.into_iter().map(Option::unwrap).collect())
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -657,7 +661,8 @@ mod tests {
             EngineStats {
                 cache_hits: 1,
                 cache_misses: 1,
-                graphs_compiled: 0
+                graphs_compiled: 0,
+                cache_persist_errors: 0,
             }
         );
     }

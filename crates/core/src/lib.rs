@@ -6,7 +6,7 @@
 //!   expressions (§III-A), and the lazy O(1)-indexed
 //!   [`CandidateSpace`] the tuner explores — no candidate `Vec`, no
 //!   materialization cap, every pruning survivor reachable by index;
-//! * [`prune`] — pruning Rules 1–4 with the Fig. 7 waterfall (§III-C);
+//! * [`prune`](mod@prune) — pruning Rules 1–4 with the Fig. 7 waterfall (§III-C);
 //!   Rule 4 is a parallel scan that becomes the space's survivor index,
 //!   so [`PruneStats::after_rule4`](prune::PruneStats::after_rule4) is
 //!   exact at any scale;
@@ -16,10 +16,18 @@
 //! * [`tuner`] — the per-chain pipeline ([`McFuser`]) and structured
 //!   [`TuneError`];
 //! * [`engine`] — the [`FusionEngine`] session API: one configured
-//!   object for tuning, end-to-end graph compilation with MBCI
-//!   partitioning and fallback backends (§V-B), and execution;
+//!   object for tuning and end-to-end graph compilation with MBCI
+//!   partitioning and fallback backends (§V-B);
+//! * [`plan`] — the compile-time / run-time boundary: a
+//!   [`CompiledModel`] freezes into an immutable [`ExecutablePlan`]
+//!   (topological steps, name-keyed input bindings, buffer plan with
+//!   last-use liveness) with structured [`ExecError`]s;
+//! * [`runtime`] — the [`ModelRuntime`] serving registry: many plans,
+//!   concurrent `infer` from `&self`, [`RuntimeStats`] with virtual
+//!   p50/p95 latency;
 //! * [`cache`] — the content-addressed [`TuningCache`] behind the
-//!   engine (in-memory and JSON-on-disk);
+//!   engine (in-memory and JSON-on-disk, with flush-on-shutdown error
+//!   reporting);
 //! * [`compiler`] — the [`OpCostModel`] fallback interface.
 //!
 //! Sessions are built once with explicit knobs, then reused:
@@ -44,6 +52,11 @@
 //! assert_eq!(again.candidate, tuned.candidate);
 //! assert_eq!(engine.stats().cache_hits, 1);
 //! ```
+//!
+//! Serving splits from compilation: freeze a compiled graph into an
+//! [`ExecutablePlan`] once, register it in a [`ModelRuntime`], and
+//! serve concurrent requests by input name — see the [`runtime`]
+//! module docs for the end-to-end example.
 
 #![warn(missing_docs)]
 
@@ -51,7 +64,9 @@ pub mod cache;
 pub mod compiler;
 pub mod engine;
 pub mod perf_model;
+pub mod plan;
 pub mod prune;
+pub mod runtime;
 pub mod search;
 pub mod space;
 pub mod tuner;
@@ -65,8 +80,12 @@ pub use perf_model::{
     estimate, estimate_or_inf, estimate_or_inf_with, estimate_with, matmul_tile_intensity,
     ModelOptions, PerfEstimate,
 };
+pub use plan::{
+    BufferPlan, ExecError, ExecutablePlan, InputBinding, InputSet, Outputs, RunOptions, Step,
+};
 pub use prune::{prune, rule2_ok, rule3_tiles, PruneStats};
-pub use search::{heuristic_search, SearchOutcome, SearchParams};
+pub use runtime::{ModelRuntime, PlanStats, RuntimeStats, ShutdownError};
+pub use search::{heuristic_search, CandidateRef, MeasuredSet, SearchOutcome, SearchParams};
 pub use space::{CandidateSpace, SearchSpace};
 pub use tuner::{
     build_candidate_space, McFuser, Rule4Rejection, SpacePolicy, TuneError, TunedKernel,

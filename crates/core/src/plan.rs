@@ -1,0 +1,897 @@
+//! The compile-time / run-time boundary: [`ExecutablePlan`].
+//!
+//! A [`CompiledModel`] is a *tuning* artifact — it remembers how each
+//! fused chain was found and what it cost. Serving wants none of that
+//! history; it wants a frozen, immutable recipe that executes a request
+//! without re-deriving anything. [`CompiledModel::plan`] performs that
+//! packaging once:
+//!
+//! * the **step list** — the topological execution order with every
+//!   fused kernel's program, input bindings, and transpose flags
+//!   resolved ([`Step::Fused`]), and every remaining operator pinned to
+//!   the reference interpreter ([`Step::Reference`]);
+//! * the **input binding table** — activation inputs addressable by
+//!   *name* as well as [`NodeId`], with expected shapes and storage
+//!   dtype for up-front validation;
+//! * the **buffer plan** — per-node slot sizes and last-use liveness,
+//!   so a request recycles intermediate buffers the moment their last
+//!   consumer has run instead of keeping every node's value alive.
+//!
+//! Execution failures are structured [`ExecError`]s (mirroring the
+//! [`TuneError`](crate::TuneError) redesign): a serving layer can match
+//! on `MissingInput` vs `ShapeMismatch` instead of string-matching a
+//! `Box<dyn Error>`.
+
+use std::sync::Arc;
+
+use rustc_hash::{FxHashMap, FxHashSet};
+
+use mcfuser_ir::{Graph, GraphError, NodeId, Op};
+use mcfuser_sim::{
+    execute_with_arena, BufferArena, BufferRole, DType, HostTensor, TensorStorage, TileProgram,
+};
+
+use crate::engine::CompiledModel;
+
+/// Structured execution failure of a plan or runtime request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// The runtime has no plan registered under this name.
+    UnknownModel {
+        /// Requested model name.
+        name: String,
+    },
+    /// A declared activation input was not supplied.
+    MissingInput {
+        /// Model name.
+        model: String,
+        /// The missing input's name.
+        name: String,
+    },
+    /// The caller supplied an input the model does not declare.
+    UnknownInput {
+        /// Model name.
+        model: String,
+        /// The unrecognized input name (or node id, rendered).
+        name: String,
+    },
+    /// A supplied tensor does not match the declared input shape.
+    ShapeMismatch {
+        /// Model name.
+        model: String,
+        /// The input (node) name.
+        node: String,
+        /// Declared shape.
+        expected: Vec<u64>,
+        /// Supplied shape.
+        got: Vec<u64>,
+    },
+    /// A supplied tensor was tagged with the wrong storage precision.
+    DTypeMismatch {
+        /// Model name.
+        model: String,
+        /// The input (node) name.
+        node: String,
+        /// The model's storage precision.
+        expected: DType,
+        /// The tag the caller attached.
+        got: DType,
+    },
+    /// The graph handed to [`CompiledModel::plan`] is not the graph the
+    /// model was compiled from (or the pair is internally inconsistent).
+    ModelGraphMismatch {
+        /// Model name.
+        model: String,
+        /// Graph name.
+        graph: String,
+        /// What did not line up.
+        detail: String,
+    },
+    /// A fused kernel failed inside the functional interpreter.
+    Kernel {
+        /// Model name.
+        model: String,
+        /// The fused chain's name.
+        chain: String,
+        /// Interpreter error.
+        detail: String,
+    },
+    /// A reference-executed operator failed.
+    Reference {
+        /// Model name.
+        model: String,
+        /// The failing node's name.
+        node: String,
+        /// Reference-evaluator error.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::UnknownModel { name } => {
+                write!(f, "no model named '{name}' is registered")
+            }
+            ExecError::MissingInput { model, name } => {
+                write!(f, "model '{model}': input '{name}' was not supplied")
+            }
+            ExecError::UnknownInput { model, name } => {
+                write!(f, "model '{model}' declares no input '{name}'")
+            }
+            ExecError::ShapeMismatch {
+                model,
+                node,
+                expected,
+                got,
+            } => write!(
+                f,
+                "model '{model}': input '{node}' expects shape {expected:?}, got {got:?}"
+            ),
+            ExecError::DTypeMismatch {
+                model,
+                node,
+                expected,
+                got,
+            } => write!(
+                f,
+                "model '{model}': input '{node}' expects dtype {expected:?}, got {got:?}"
+            ),
+            ExecError::ModelGraphMismatch {
+                model,
+                graph,
+                detail,
+            } => write!(
+                f,
+                "compiled model '{model}' does not fit graph '{graph}': {detail}"
+            ),
+            ExecError::Kernel {
+                model,
+                chain,
+                detail,
+            } => write!(f, "model '{model}': fused chain '{chain}' failed: {detail}"),
+            ExecError::Reference {
+                model,
+                node,
+                detail,
+            } => write!(f, "model '{model}': operator '{node}' failed: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Options of one inference request.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunOptions {
+    /// Seed materializing the model's weights (deterministic per seed).
+    pub seed: u64,
+}
+
+impl RunOptions {
+    /// Options with an explicit weight seed.
+    pub fn seeded(seed: u64) -> Self {
+        RunOptions { seed }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct TaggedTensor {
+    tensor: HostTensor,
+    dtype: Option<DType>,
+}
+
+/// The tensors of one inference request, addressable by input *name*
+/// (preferred) or raw [`NodeId`] (compatibility with graph-level code).
+///
+/// ```
+/// use mcfuser_core::InputSet;
+/// use mcfuser_sim::HostTensor;
+///
+/// let inputs = InputSet::new()
+///     .with("x", HostTensor::zeros(&[1, 64, 32]));
+/// assert_eq!(inputs.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct InputSet {
+    by_name: FxHashMap<String, TaggedTensor>,
+    by_node: FxHashMap<NodeId, TaggedTensor>,
+}
+
+impl InputSet {
+    /// An empty input set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder-style insert by name.
+    pub fn with(mut self, name: impl Into<String>, tensor: HostTensor) -> Self {
+        self.insert(name, tensor);
+        self
+    }
+
+    /// Bind a tensor to a named input.
+    pub fn insert(&mut self, name: impl Into<String>, tensor: HostTensor) {
+        self.by_name.insert(
+            name.into(),
+            TaggedTensor {
+                tensor,
+                dtype: None,
+            },
+        );
+    }
+
+    /// Bind a tensor and declare the storage precision it was produced
+    /// in. A tag differing from the model's precision is rejected with
+    /// [`ExecError::DTypeMismatch`] instead of silently quantizing.
+    pub fn insert_typed(&mut self, name: impl Into<String>, tensor: HostTensor, dtype: DType) {
+        self.by_name.insert(
+            name.into(),
+            TaggedTensor {
+                tensor,
+                dtype: Some(dtype),
+            },
+        );
+    }
+
+    /// Bind a tensor to an input by graph node id.
+    pub fn insert_node(&mut self, node: NodeId, tensor: HostTensor) {
+        self.by_node.insert(
+            node,
+            TaggedTensor {
+                tensor,
+                dtype: None,
+            },
+        );
+    }
+
+    /// Build a set from a `NodeId → tensor` map (the pre-plan calling
+    /// convention; used by the deprecated `FusionEngine::execute` shim).
+    pub fn from_node_values(map: &FxHashMap<NodeId, HostTensor>) -> Self {
+        InputSet {
+            by_name: FxHashMap::default(),
+            by_node: map
+                .iter()
+                .map(|(&n, t)| {
+                    (
+                        n,
+                        TaggedTensor {
+                            tensor: t.clone(),
+                            dtype: None,
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of bound tensors.
+    pub fn len(&self) -> usize {
+        self.by_name.len() + self.by_node.len()
+    }
+
+    /// Whether nothing is bound.
+    pub fn is_empty(&self) -> bool {
+        self.by_name.is_empty() && self.by_node.is_empty()
+    }
+
+    fn lookup(&self, name: &str, node: NodeId) -> Option<&TaggedTensor> {
+        self.by_name.get(name).or_else(|| self.by_node.get(&node))
+    }
+}
+
+/// The named output tensors of one inference request, in graph output
+/// declaration order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Outputs {
+    entries: Vec<(String, NodeId, HostTensor)>,
+}
+
+impl Outputs {
+    /// Look up an output by node name.
+    pub fn get(&self, name: &str) -> Option<&HostTensor> {
+        self.entries
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .map(|(_, _, t)| t)
+    }
+
+    /// The first declared output.
+    pub fn primary(&self) -> &HostTensor {
+        &self.entries[0].2
+    }
+
+    /// Iterate `(name, tensor)` pairs in declaration order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &HostTensor)> {
+        self.entries.iter().map(|(n, _, t)| (n.as_str(), t))
+    }
+
+    /// Number of outputs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the model declared no outputs.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// One declared activation input of a plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InputBinding {
+    /// Input name (the graph node's name).
+    pub name: String,
+    /// Graph node id (the compatibility key).
+    pub node: NodeId,
+    /// Expected tensor shape.
+    pub shape: Vec<u64>,
+}
+
+/// One frozen execution step of a plan, in topological order.
+#[derive(Debug, Clone)]
+pub enum Step {
+    /// Run a fused kernel on the functional interpreter.
+    Fused {
+        /// The fused chain's name (diagnostics).
+        chain: String,
+        /// The lowered tile program.
+        program: Arc<TileProgram>,
+        /// Graph nodes feeding the kernel, in program-buffer order.
+        data_inputs: Vec<NodeId>,
+        /// Per data input: stored transposed relative to chain layout.
+        transposed: Vec<bool>,
+        /// The node whose value the kernel produces.
+        output: NodeId,
+        /// The produced tensor's graph shape.
+        out_shape: Vec<u64>,
+        /// The kernel's measured device time (virtual seconds).
+        kernel_time: f64,
+        /// Global-memory bytes the kernel moves per launch.
+        bytes: f64,
+    },
+    /// Evaluate one operator on the CPU reference (weights, and the
+    /// non-fused remainder priced by the fallback backend).
+    Reference {
+        /// The node to evaluate.
+        node: NodeId,
+        /// The fallback backend's device time for this operator
+        /// (0 for weight materialization).
+        time: f64,
+        /// Approximate bytes moved (inputs read + output written).
+        bytes: f64,
+    },
+}
+
+/// Per-node buffer sizing and liveness, computed once at plan time.
+///
+/// `release_after[s]` lists the nodes whose values have no consumer
+/// after step `s` — execution recycles those buffers into the request's
+/// arena immediately, so the peak number of live intermediates is
+/// [`BufferPlan::peak_live`], not the node count.
+#[derive(Debug, Clone)]
+pub struct BufferPlan {
+    slot_elems: Vec<u64>,
+    release_after: Vec<Vec<NodeId>>,
+    peak_live: usize,
+    total_nodes: usize,
+}
+
+impl BufferPlan {
+    /// Element count of a node's value slot.
+    pub fn slot_elems(&self, node: NodeId) -> u64 {
+        self.slot_elems[node.0]
+    }
+
+    /// Peak number of simultaneously materialized node values during one
+    /// request (inputs, weights, and intermediates combined).
+    pub fn peak_live(&self) -> usize {
+        self.peak_live
+    }
+
+    /// Total graph nodes (for comparison against [`BufferPlan::peak_live`]).
+    pub fn total_nodes(&self) -> usize {
+        self.total_nodes
+    }
+}
+
+/// A self-contained, immutable serving artifact: everything per-request
+/// execution needs, frozen at plan time.
+///
+/// Produced by [`CompiledModel::plan`] (or
+/// [`FusionEngine::compile_plan`](crate::FusionEngine::compile_plan)).
+/// The plan is `Send + Sync`; requests execute from `&self` and are
+/// deterministic per [`RunOptions::seed`].
+#[derive(Debug, Clone)]
+pub struct ExecutablePlan {
+    name: String,
+    graph: Graph,
+    dtype: DType,
+    inputs: Vec<InputBinding>,
+    steps: Vec<Step>,
+    fused_of: FxHashMap<NodeId, usize>,
+    outputs: Vec<(String, NodeId)>,
+    buffers: BufferPlan,
+    virtual_time: f64,
+    bytes_per_request: f64,
+}
+
+impl ExecutablePlan {
+    /// The model name (the compiled graph's name).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The model's storage precision; typed inputs must match it.
+    pub fn model_dtype(&self) -> DType {
+        self.dtype
+    }
+
+    /// The declared activation inputs.
+    pub fn inputs(&self) -> &[InputBinding] {
+        &self.inputs
+    }
+
+    /// The declared outputs as `(name, shape)` pairs.
+    pub fn output_specs(&self) -> Vec<(String, Vec<u64>)> {
+        self.outputs
+            .iter()
+            .map(|(n, id)| (n.clone(), self.graph.node(*id).shape.clone()))
+            .collect()
+    }
+
+    /// The frozen step list.
+    pub fn steps(&self) -> &[Step] {
+        &self.steps
+    }
+
+    /// Number of fused-kernel steps.
+    pub fn fused_kernels(&self) -> usize {
+        self.fused_of.len()
+    }
+
+    /// The buffer plan (slot sizes + liveness).
+    pub fn buffer_plan(&self) -> &BufferPlan {
+        &self.buffers
+    }
+
+    /// The request's deterministic virtual latency: fused kernel times
+    /// plus the fallback backend's per-operator times.
+    pub fn virtual_time_per_request(&self) -> f64 {
+        self.virtual_time
+    }
+
+    /// Approximate bytes one request moves through global memory.
+    pub fn bytes_per_request(&self) -> f64 {
+        self.bytes_per_request
+    }
+
+    /// Execute one request. Equivalent to
+    /// [`ExecutablePlan::execute_in`] with a throwaway arena.
+    pub fn execute(&self, inputs: &InputSet, opts: RunOptions) -> Result<Outputs, ExecError> {
+        let mut arena = BufferArena::new();
+        self.execute_in(inputs, opts, &mut arena)
+    }
+
+    /// Execute one request, drawing and recycling intermediate buffers
+    /// through a caller-provided arena (the hot path under a serving
+    /// loop — see [`ModelRuntime`](crate::ModelRuntime)).
+    pub fn execute_in(
+        &self,
+        inputs: &InputSet,
+        opts: RunOptions,
+        arena: &mut BufferArena,
+    ) -> Result<Outputs, ExecError> {
+        let mut values = self.bind_inputs(inputs, true)?;
+        let empty: FxHashMap<NodeId, HostTensor> = FxHashMap::default();
+        for (s, step) in self.steps.iter().enumerate() {
+            match step {
+                Step::Reference { node, .. } => {
+                    let v =
+                        mcfuser_ir::evaluate_node(&self.graph, *node, &values, &empty, opts.seed)
+                            .map_err(|e| self.reference_error(*node, e))?;
+                    values[node.0] = Some(v);
+                }
+                Step::Fused { .. } => self.run_fused_step(s, &mut values, arena)?,
+            }
+            for node in &self.buffers.release_after[s] {
+                if let Some(t) = values[node.0].take() {
+                    arena.put(t.data);
+                }
+            }
+        }
+        // Move outputs out of the value table (it is dropped right
+        // after); clone only when the same node is declared again later.
+        let mut entries = Vec::with_capacity(self.outputs.len());
+        for (k, (name, id)) in self.outputs.iter().enumerate() {
+            let declared_again = self.outputs[k + 1..].iter().any(|(_, id2)| id2 == id);
+            let t = if declared_again {
+                values[id.0].clone().expect("outputs are never released")
+            } else {
+                values[id.0].take().expect("outputs are never released")
+            };
+            entries.push((name.clone(), *id, t));
+        }
+        Ok(Outputs { entries })
+    }
+
+    /// Run the fused step `steps[s]`: stage its data inputs into an
+    /// arena-backed storage, execute the kernel, publish the output into
+    /// the value table. Shared by [`ExecutablePlan::execute_in`] and the
+    /// deprecated-shim path so the two can never drift.
+    fn run_fused_step(
+        &self,
+        s: usize,
+        values: &mut [Option<HostTensor>],
+        arena: &mut BufferArena,
+    ) -> Result<(), ExecError> {
+        let Step::Fused {
+            chain,
+            program,
+            data_inputs,
+            transposed,
+            output,
+            out_shape,
+            ..
+        } = &self.steps[s]
+        else {
+            unreachable!("run_fused_step is only called on fused steps");
+        };
+        let mut st = TensorStorage::for_program_in(program, arena);
+        for (j, &node) in data_inputs.iter().enumerate() {
+            let src = values[node.0].as_ref().expect("topological order");
+            // Transposition materializes a temporary; the common
+            // non-transposed case copies straight into the arena buffer.
+            // (Chain buffers are [batch, rows, cols]; graph tensors may
+            // be flat 2-D with batch = 1 — staging is by element count.)
+            let flipped;
+            let data: &[f32] = if transposed.get(j).copied().unwrap_or(false) {
+                flipped = src.transpose_last2();
+                &flipped.data
+            } else {
+                &src.data
+            };
+            let dst = &mut st.tensors[j];
+            if dst.data.len() != data.len() {
+                return Err(ExecError::Kernel {
+                    model: self.name.clone(),
+                    chain: chain.clone(),
+                    detail: format!(
+                        "input {j} holds {} elements, kernel expects {}",
+                        data.len(),
+                        dst.data.len()
+                    ),
+                });
+            }
+            dst.data.copy_from_slice(data);
+        }
+        execute_with_arena(program, &mut st, arena).map_err(|e| ExecError::Kernel {
+            model: self.name.clone(),
+            chain: chain.clone(),
+            detail: e.to_string(),
+        })?;
+        let out_data = std::mem::take(&mut st.tensors.last_mut().expect("output buffer").data);
+        st.recycle(arena);
+        values[output.0] = Some(HostTensor::from_vec(out_shape, out_data));
+        Ok(())
+    }
+
+    /// Compatibility execution returning *every* node's value (fused
+    /// chains run on the simulator, interior chain nodes are re-derived
+    /// on the reference path, nothing is released) — the behavior of the
+    /// pre-plan `FusionEngine::execute`, including its tolerance of
+    /// extra entries in the input map (non-strict binding).
+    pub(crate) fn execute_all_values(
+        &self,
+        inputs: &InputSet,
+        seed: u64,
+    ) -> Result<Vec<HostTensor>, ExecError> {
+        let mut values = self.bind_inputs(inputs, false)?;
+        let empty: FxHashMap<NodeId, HostTensor> = FxHashMap::default();
+        let mut arena = BufferArena::new();
+        for i in 0..self.graph.nodes.len() {
+            let id = NodeId(i);
+            if values[i].is_some() {
+                continue; // bound input
+            }
+            if let Some(&s) = self.fused_of.get(&id) {
+                self.run_fused_step(s, &mut values, &mut arena)?;
+            } else {
+                let v = mcfuser_ir::evaluate_node(&self.graph, id, &values, &empty, seed)
+                    .map_err(|e| self.reference_error(id, e))?;
+                values[i] = Some(v);
+            }
+        }
+        Ok(values.into_iter().map(Option::unwrap).collect())
+    }
+
+    /// Validate the request's inputs against the binding table and seed
+    /// the value slots. Missing inputs and wrong dtype tags are always
+    /// structured errors; `strict` (the serving API's contract)
+    /// additionally rejects undeclared inputs and declared-shape
+    /// mismatches, while the deprecated shim keeps the old executor's
+    /// tolerance of both.
+    fn bind_inputs(
+        &self,
+        inputs: &InputSet,
+        strict: bool,
+    ) -> Result<Vec<Option<HostTensor>>, ExecError> {
+        if strict {
+            for name in inputs.by_name.keys() {
+                if !self.inputs.iter().any(|b| &b.name == name) {
+                    return Err(ExecError::UnknownInput {
+                        model: self.name.clone(),
+                        name: name.clone(),
+                    });
+                }
+            }
+            for node in inputs.by_node.keys() {
+                if !self.inputs.iter().any(|b| b.node == *node) {
+                    return Err(ExecError::UnknownInput {
+                        model: self.name.clone(),
+                        name: format!("node #{}", node.0),
+                    });
+                }
+            }
+        }
+        let mut values: Vec<Option<HostTensor>> = vec![None; self.graph.nodes.len()];
+        for binding in &self.inputs {
+            let tagged = inputs.lookup(&binding.name, binding.node).ok_or_else(|| {
+                ExecError::MissingInput {
+                    model: self.name.clone(),
+                    name: binding.name.clone(),
+                }
+            })?;
+            if let Some(dt) = tagged.dtype {
+                if dt != self.dtype {
+                    return Err(ExecError::DTypeMismatch {
+                        model: self.name.clone(),
+                        node: binding.name.clone(),
+                        expected: self.dtype,
+                        got: dt,
+                    });
+                }
+            }
+            // The old executor bound whatever tensor the caller passed
+            // (shape and all); the lenient shim path keeps doing so —
+            // only the serving path enforces the declared shape.
+            if strict && tagged.tensor.shape != binding.shape {
+                return Err(ExecError::ShapeMismatch {
+                    model: self.name.clone(),
+                    node: binding.name.clone(),
+                    expected: binding.shape.clone(),
+                    got: tagged.tensor.shape.clone(),
+                });
+            }
+            values[binding.node.0] = Some(tagged.tensor.clone());
+        }
+        Ok(values)
+    }
+
+    fn reference_error(&self, node: NodeId, e: GraphError) -> ExecError {
+        ExecError::Reference {
+            model: self.name.clone(),
+            node: self.graph.node(node).name.clone(),
+            detail: e.to_string(),
+        }
+    }
+}
+
+impl CompiledModel {
+    /// Freeze this compiled model against its source graph into a
+    /// self-contained [`ExecutablePlan`]: topological step list, named
+    /// input bindings, per-node shapes, and the buffer plan with
+    /// last-use liveness — everything per-request execution would
+    /// otherwise recompute.
+    ///
+    /// The binding table is name-keyed, so the graph's activation
+    /// inputs must have unique names; duplicates are rejected as
+    /// [`ExecError::ModelGraphMismatch`].
+    pub fn plan(&self, graph: &Graph) -> Result<ExecutablePlan, ExecError> {
+        let mismatch = |detail: String| ExecError::ModelGraphMismatch {
+            model: self.name.clone(),
+            graph: graph.name.clone(),
+            detail,
+        };
+        if self.name != graph.name {
+            return Err(mismatch("model and graph names differ".into()));
+        }
+        if self.graph_fingerprint != crate::engine::graph_fingerprint(graph) {
+            return Err(mismatch(
+                "graph structure differs from the one this model was compiled from".into(),
+            ));
+        }
+        let n = graph.nodes.len();
+        let in_range = |id: NodeId| id.0 < n;
+        for cc in &self.chains {
+            if !in_range(cc.output)
+                || cc.nodes.iter().any(|&x| !in_range(x))
+                || cc.data_inputs.iter().any(|&x| !in_range(x))
+            {
+                return Err(mismatch(format!(
+                    "chain '{}' references nodes outside the graph",
+                    cc.chain.name
+                )));
+            }
+            // Execution stages data_inputs 1:1 onto the program's
+            // input-role buffers (which the arena hands out unzeroed) —
+            // the arities must agree exactly.
+            let declared = cc
+                .tuned
+                .kernel
+                .program
+                .buffers
+                .iter()
+                .filter(|b| b.role == BufferRole::Input)
+                .count();
+            if declared != cc.data_inputs.len() {
+                return Err(mismatch(format!(
+                    "chain '{}' binds {} graph inputs to {} kernel input buffers",
+                    cc.chain.name,
+                    cc.data_inputs.len(),
+                    declared
+                )));
+            }
+        }
+
+        // Interior chain nodes: replaced by the fused kernel, never
+        // materialized. Validate nothing outside the chain reads them.
+        let mut fused_output: FxHashMap<NodeId, usize> = FxHashMap::default();
+        let mut interior: FxHashSet<NodeId> = FxHashSet::default();
+        for (ci, cc) in self.chains.iter().enumerate() {
+            fused_output.insert(cc.output, ci);
+            for &node in &cc.nodes {
+                if node != cc.output {
+                    interior.insert(node);
+                }
+            }
+        }
+        for &out in &graph.outputs {
+            if interior.contains(&out) {
+                return Err(mismatch(format!(
+                    "graph output '{}' is fused away as a chain interior",
+                    graph.node(out).name
+                )));
+            }
+        }
+
+        // Named input bindings (names must be unique to key by name).
+        let bindings = graph.input_bindings();
+        {
+            let mut seen: FxHashSet<&str> = FxHashSet::default();
+            for (name, _) in &bindings {
+                if !seen.insert(name.as_str()) {
+                    return Err(mismatch(format!("duplicate input name '{name}'")));
+                }
+            }
+        }
+        let inputs: Vec<InputBinding> = bindings
+            .into_iter()
+            .map(|(name, node)| InputBinding {
+                shape: graph.node(node).shape.clone(),
+                name,
+                node,
+            })
+            .collect();
+
+        // The step list, in graph (topological) order.
+        let rest_time: FxHashMap<NodeId, f64> = self.rest_times.iter().copied().collect();
+        let elem_bytes = graph.dtype.size_bytes() as f64;
+        let mut steps: Vec<Step> = Vec::new();
+        let mut fused_of: FxHashMap<NodeId, usize> = FxHashMap::default();
+        let mut virtual_time = 0.0;
+        let mut bytes_per_request = 0.0;
+        for (i, node) in graph.nodes.iter().enumerate() {
+            let id = NodeId(i);
+            if matches!(node.op, Op::Input) || interior.contains(&id) {
+                continue;
+            }
+            if let Some(&ci) = fused_output.get(&id) {
+                let cc = &self.chains[ci];
+                let prof = &cc.tuned.profile;
+                virtual_time += prof.time;
+                bytes_per_request += prof.gmem_bytes;
+                fused_of.insert(id, steps.len());
+                steps.push(Step::Fused {
+                    chain: cc.chain.name.clone(),
+                    program: Arc::new(cc.tuned.kernel.program.clone()),
+                    data_inputs: cc.data_inputs.clone(),
+                    transposed: cc.transposed_inputs.clone(),
+                    output: id,
+                    out_shape: node.shape.clone(),
+                    kernel_time: prof.time,
+                    bytes: prof.gmem_bytes,
+                });
+            } else {
+                let time = rest_time.get(&id).copied().unwrap_or(0.0);
+                let bytes = if matches!(node.op, Op::Weight) {
+                    0.0
+                } else {
+                    let read: u64 = node
+                        .inputs
+                        .iter()
+                        .map(|&x| graph.node(x).shape.iter().product::<u64>())
+                        .sum();
+                    let written: u64 = node.shape.iter().product();
+                    (read + written) as f64 * elem_bytes
+                };
+                virtual_time += time;
+                bytes_per_request += bytes;
+                steps.push(Step::Reference {
+                    node: id,
+                    time,
+                    bytes,
+                });
+            }
+        }
+
+        // Liveness: the last step reading each node. Graph outputs (and
+        // unread bound inputs) are never released. A step reading a
+        // fused-away interior node would dereference a value that is
+        // never materialized — reject the pair as inconsistent.
+        let keep: FxHashSet<NodeId> = graph.outputs.iter().copied().collect();
+        let mut last_use: FxHashMap<NodeId, usize> = FxHashMap::default();
+        for (s, step) in steps.iter().enumerate() {
+            let reads: &[NodeId] = match step {
+                Step::Fused { data_inputs, .. } => data_inputs,
+                Step::Reference { node, .. } => &graph.node(*node).inputs,
+            };
+            for &r in reads {
+                if interior.contains(&r) {
+                    return Err(mismatch(format!(
+                        "a step consumes fused-interior node '{}'",
+                        graph.node(r).name
+                    )));
+                }
+                last_use.insert(r, s);
+            }
+        }
+        let mut release_after: Vec<Vec<NodeId>> = vec![Vec::new(); steps.len()];
+        for (&node, &s) in &last_use {
+            if !keep.contains(&node) {
+                release_after[s].push(node);
+            }
+        }
+        for r in &mut release_after {
+            r.sort_unstable();
+        }
+
+        // Peak-liveness simulation: bound inputs are live up front, each
+        // step materializes one value, releases happen right after.
+        let mut live = inputs.len();
+        let mut peak_live = live;
+        for (s, _) in steps.iter().enumerate() {
+            live += 1;
+            peak_live = peak_live.max(live);
+            live -= release_after[s].len();
+        }
+
+        let buffers = BufferPlan {
+            slot_elems: graph
+                .nodes
+                .iter()
+                .map(|nd| nd.shape.iter().product())
+                .collect(),
+            release_after,
+            peak_live,
+            total_nodes: n,
+        };
+
+        Ok(ExecutablePlan {
+            name: self.name.clone(),
+            dtype: graph.dtype,
+            inputs,
+            steps,
+            fused_of,
+            outputs: graph
+                .outputs
+                .iter()
+                .map(|&id| (graph.node(id).name.clone(), id))
+                .collect(),
+            buffers,
+            virtual_time,
+            bytes_per_request,
+            graph: graph.clone(),
+        })
+    }
+}

@@ -1,0 +1,329 @@
+//! The serving half of the API: [`ModelRuntime`].
+//!
+//! A runtime is a `Send + Sync` registry of [`ExecutablePlan`]s. Plans
+//! are registered once (`register`) and served concurrently from plain
+//! `&self` (`infer`) — there is no per-request locking around execution,
+//! only around the plan lookup, the buffer-arena pool, and the stats
+//! ledger. Requests are deterministic per `(model, seed)`: an 8-thread
+//! stress run produces bit-identical outputs to a serial one.
+//!
+//! The runtime tracks [`RuntimeStats`]: requests served, per-plan
+//! p50/p95 latency on the *virtual* clock (the same clock the tuner
+//! charges — see [`TuningClock`](mcfuser_sim::TuningClock)), and bytes
+//! moved. On [`ModelRuntime::shutdown`] every attached [`TuningCache`]
+//! is flushed, surfacing persistence failures that write-through puts
+//! could only warn about.
+//!
+//! ```
+//! use mcfuser_core::{FusionEngine, InputSet, ModelRuntime, RunOptions};
+//! use mcfuser_core::compiler::OpCostModel;
+//! # use mcfuser_ir::{Graph, GraphBuilder, NodeId};
+//! # use mcfuser_sim::{DType, DeviceSpec, HostTensor};
+//! # struct Flat;
+//! # impl OpCostModel for Flat {
+//! #     fn name(&self) -> &str { "flat" }
+//! #     fn op_time(&self, _: &Graph, _: NodeId, _: &DeviceSpec) -> f64 { 1e-5 }
+//! #     fn tuning_seconds(&self, _: &Graph, _: &[NodeId], _: &DeviceSpec) -> f64 { 0.0 }
+//! # }
+//! # let mut gb = GraphBuilder::new("two-layer", DType::F16);
+//! # let x = gb.input("x", vec![64, 32]);
+//! # let y = gb.linear("fc1", x, 64, false);
+//! # let z = gb.linear("fc2", y, 32, false);
+//! # let graph = gb.finish(vec![z]);
+//! let engine = FusionEngine::builder(DeviceSpec::a100()).fallback(Flat).build();
+//! let plan = engine.compile_plan(&graph).unwrap();
+//!
+//! let runtime = ModelRuntime::new();
+//! runtime.register("two-layer", plan);
+//! let inputs = InputSet::new().with("x", HostTensor::zeros(&[64, 32]));
+//! let out = runtime.infer("two-layer", &inputs, RunOptions::seeded(1)).unwrap();
+//! assert_eq!(out.primary().shape, vec![64, 32]);
+//! assert_eq!(runtime.stats().requests, 1);
+//! ```
+
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+use rustc_hash::FxHashMap;
+
+use mcfuser_sim::BufferArena;
+
+use crate::cache::TuningCache;
+use crate::plan::{ExecError, ExecutablePlan, InputSet, Outputs, RunOptions};
+
+/// How many idle buffer arenas the runtime pools (roughly the number of
+/// concurrently executing requests worth keeping warm).
+const ARENA_POOL_LIMIT: usize = 32;
+
+/// Latency samples retained per plan. A plan's per-request virtual
+/// latency is frozen at plan time, so the first samples describe the
+/// distribution exactly; the cap keeps a long-running runtime's memory
+/// (and the `stats()` sort) bounded no matter how many requests it
+/// serves. (If latency ever becomes input-dependent, replace the
+/// truncation with reservoir sampling.)
+const LATENCY_SAMPLE_CAP: usize = 4096;
+
+/// Per-plan serving counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanStats {
+    /// The model name.
+    pub model: String,
+    /// Requests served successfully.
+    pub requests: u64,
+    /// Median per-request latency on the virtual clock (seconds).
+    pub p50_latency: f64,
+    /// 95th-percentile per-request latency on the virtual clock.
+    pub p95_latency: f64,
+    /// Total global-memory bytes moved by this plan's requests.
+    pub bytes_moved: f64,
+}
+
+/// A snapshot of everything the runtime has served.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RuntimeStats {
+    /// Requests served successfully, across all plans.
+    pub requests: u64,
+    /// Requests rejected with an [`ExecError`].
+    pub failed: u64,
+    /// Per-plan breakdown, sorted by model name.
+    pub plans: Vec<PlanStats>,
+}
+
+impl RuntimeStats {
+    /// The stats of one model, if it has served anything.
+    pub fn plan(&self, model: &str) -> Option<&PlanStats> {
+        self.plans.iter().find(|p| p.model == model)
+    }
+}
+
+#[derive(Debug, Default)]
+struct PlanRecord {
+    requests: u64,
+    latencies: Vec<f64>,
+    bytes: f64,
+}
+
+/// Flushing attached tuning caches at shutdown failed.
+#[derive(Debug)]
+pub struct ShutdownError {
+    /// One entry per cache that could not persist.
+    pub failures: Vec<String>,
+    /// The final stats snapshot (shutdown still completes).
+    pub stats: RuntimeStats,
+}
+
+impl std::fmt::Display for ShutdownError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "runtime shutdown: {} tuning cache(s) failed to persist: {}",
+            self.failures.len(),
+            self.failures.join("; ")
+        )
+    }
+}
+
+impl std::error::Error for ShutdownError {}
+
+/// A thread-safe registry serving many [`ExecutablePlan`]s concurrently.
+///
+/// All methods take `&self`; share the runtime behind an [`Arc`] across
+/// request threads. See the [module docs](self) for an end-to-end
+/// example.
+#[derive(Default)]
+pub struct ModelRuntime {
+    plans: RwLock<FxHashMap<String, Arc<ExecutablePlan>>>,
+    records: Mutex<FxHashMap<String, PlanRecord>>,
+    failed: Mutex<u64>,
+    arenas: Mutex<Vec<BufferArena>>,
+    caches: Mutex<Vec<Arc<dyn TuningCache>>>,
+}
+
+impl std::fmt::Debug for ModelRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModelRuntime")
+            .field("models", &self.models())
+            .field("requests", &self.stats().requests)
+            .field("attached_caches", &self.caches.lock().len())
+            .finish()
+    }
+}
+
+impl ModelRuntime {
+    /// An empty runtime.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a plan under a serving name (replacing any previous plan
+    /// of that name) and return the shared handle.
+    pub fn register(&self, name: impl Into<String>, plan: ExecutablePlan) -> Arc<ExecutablePlan> {
+        let plan = Arc::new(plan);
+        self.register_arc(name, plan.clone());
+        plan
+    }
+
+    /// Register an already-shared plan. Registering a name always
+    /// starts its serving stats fresh — whether it replaces a live plan
+    /// or follows a [`ModelRuntime::deregister`], the retained latency
+    /// samples and byte counts described the previous plan.
+    pub fn register_arc(&self, name: impl Into<String>, plan: Arc<ExecutablePlan>) {
+        let name = name.into();
+        self.plans.write().insert(name.clone(), plan);
+        self.records.lock().remove(&name);
+    }
+
+    /// Remove a plan. Returns it if it was registered.
+    pub fn deregister(&self, name: &str) -> Option<Arc<ExecutablePlan>> {
+        self.plans.write().remove(name)
+    }
+
+    /// Look up a registered plan.
+    pub fn plan(&self, name: &str) -> Option<Arc<ExecutablePlan>> {
+        self.plans.read().get(name).cloned()
+    }
+
+    /// The registered model names, sorted.
+    pub fn models(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.plans.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Attach a tuning cache to be flushed at [`ModelRuntime::shutdown`]
+    /// (typically the serving engine's cache, via
+    /// [`FusionEngine::cache_handle`](crate::FusionEngine::cache_handle)).
+    pub fn attach_cache(&self, cache: Arc<dyn TuningCache>) {
+        self.caches.lock().push(cache);
+    }
+
+    /// Serve one request against a registered plan. Concurrent calls
+    /// from any number of threads are safe and deterministic per
+    /// `(model, seed)`.
+    pub fn infer(
+        &self,
+        model: &str,
+        inputs: &InputSet,
+        opts: RunOptions,
+    ) -> Result<Outputs, ExecError> {
+        let Some(plan) = self.plan(model) else {
+            *self.failed.lock() += 1;
+            return Err(ExecError::UnknownModel {
+                name: model.to_string(),
+            });
+        };
+        let mut arena = self.arenas.lock().pop().unwrap_or_default();
+        let result = plan.execute_in(inputs, opts, &mut arena);
+        {
+            let mut pool = self.arenas.lock();
+            if pool.len() < ARENA_POOL_LIMIT {
+                pool.push(arena);
+            }
+        }
+        match &result {
+            Ok(_) => {
+                let mut records = self.records.lock();
+                let rec = records.entry(model.to_string()).or_default();
+                rec.requests += 1;
+                if rec.latencies.len() < LATENCY_SAMPLE_CAP {
+                    rec.latencies.push(plan.virtual_time_per_request());
+                }
+                rec.bytes += plan.bytes_per_request();
+            }
+            Err(_) => *self.failed.lock() += 1,
+        }
+        result
+    }
+
+    /// Snapshot the serving counters.
+    pub fn stats(&self) -> RuntimeStats {
+        let records = self.records.lock();
+        let mut plans: Vec<PlanStats> = records
+            .iter()
+            .map(|(model, rec)| {
+                let mut sorted = rec.latencies.clone();
+                sorted.sort_by(f64::total_cmp);
+                PlanStats {
+                    model: model.clone(),
+                    requests: rec.requests,
+                    p50_latency: percentile(&sorted, 0.50),
+                    p95_latency: percentile(&sorted, 0.95),
+                    bytes_moved: rec.bytes,
+                }
+            })
+            .collect();
+        plans.sort_by(|a, b| a.model.cmp(&b.model));
+        RuntimeStats {
+            requests: plans.iter().map(|p| p.requests).sum(),
+            failed: *self.failed.lock(),
+            plans,
+        }
+    }
+
+    /// Shut the runtime down: flush every attached tuning cache and
+    /// return the final stats. Persistence failures — which write-through
+    /// puts can only warn about — are reported here as a
+    /// [`ShutdownError`] carrying the same final snapshot. Takes `&self`
+    /// so a runtime shared behind an [`Arc`] can be drained too; the
+    /// runtime stays usable afterwards.
+    pub fn shutdown(&self) -> Result<RuntimeStats, ShutdownError> {
+        let stats = self.stats();
+        let mut failures = Vec::new();
+        for cache in self.caches.lock().iter() {
+            if let Err(e) = cache.flush() {
+                failures.push(e.to_string());
+            }
+        }
+        if failures.is_empty() {
+            Ok(stats)
+        } else {
+            Err(ShutdownError { failures, stats })
+        }
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let s = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&s, 0.5), 3.0);
+        assert_eq!(percentile(&s, 0.95), 5.0);
+        assert_eq!(percentile(&s, 0.0), 1.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn unknown_model_is_a_structured_error_and_counted() {
+        let rt = ModelRuntime::new();
+        let err = rt
+            .infer("nope", &InputSet::new(), RunOptions::default())
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ExecError::UnknownModel {
+                name: "nope".into()
+            }
+        );
+        assert_eq!(rt.stats().failed, 1);
+        assert_eq!(rt.stats().requests, 0);
+    }
+
+    #[test]
+    fn runtime_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ModelRuntime>();
+        assert_send_sync::<ExecutablePlan>();
+    }
+}

@@ -89,6 +89,66 @@ impl SearchParams {
     }
 }
 
+/// How the measurement cache addresses a candidate.
+///
+/// Survivors of the pruned [`CandidateSpace`] are keyed by their dense
+/// `u64` index — smaller and faster to hash than a full expression
+/// clone + tile vector, and it lets the measured set be reported per
+/// index range afterwards. A mutation can step outside the Rule-4
+/// surviving set (the mutant is still lowerable, just not indexed);
+/// those candidates are `Detached` and carry their own identity. The
+/// two arms never alias: [`CandidateSpace::index_of`] is total on
+/// survivors, so a survivor is always `Indexed`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum CandidateRef {
+    /// A pruning survivor, keyed by its dense space index.
+    Indexed(u64),
+    /// A mutant outside the surviving set.
+    Detached(Candidate),
+}
+
+impl CandidateRef {
+    /// Key a candidate against a space: indexed when it is a survivor.
+    fn of(cand: &Candidate, space: &CandidateSpace) -> Self {
+        match space.index_of(cand) {
+            Some(i) => CandidateRef::Indexed(i),
+            None => CandidateRef::Detached(cand.clone()),
+        }
+    }
+}
+
+/// Which candidates a search actually measured, in index terms.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MeasuredSet {
+    /// Sorted distinct space indices of measured survivors.
+    pub indexed: Vec<u64>,
+    /// Measured mutants outside the surviving set.
+    pub detached: usize,
+}
+
+impl MeasuredSet {
+    /// Total distinct candidates measured.
+    pub fn total(&self) -> usize {
+        self.indexed.len() + self.detached
+    }
+
+    /// Histogram of the measured survivors over `buckets` equal index
+    /// ranges of a space with `space_len` candidates — where in the
+    /// pruned space the search actually spent its measurements.
+    pub fn per_range(&self, space_len: u64, buckets: usize) -> Vec<u64> {
+        let mut hist = vec![0u64; buckets.max(1)];
+        if space_len == 0 {
+            return hist;
+        }
+        let width = space_len.div_ceil(buckets.max(1) as u64).max(1);
+        for &i in &self.indexed {
+            let b = ((i / width) as usize).min(hist.len() - 1);
+            hist[b] += 1;
+        }
+        hist
+    }
+}
+
 /// Result of a completed search.
 #[derive(Debug, Clone)]
 pub struct SearchOutcome {
@@ -106,6 +166,8 @@ pub struct SearchOutcome {
     pub measured: usize,
     /// Best measured time after each round (monotone non-increasing).
     pub history: Vec<f64>,
+    /// The measured set in index terms (per-range reporting).
+    pub measured_set: MeasuredSet,
 }
 
 /// Full-space ranking is attempted when the pruned space has at most
@@ -160,24 +222,30 @@ fn rank_score(chain: &ChainSpec, cand: &Candidate, dev: &DeviceSpec, params: &Se
     }
 }
 
+/// One population member: the decoded candidate plus its cache key
+/// (space index for survivors, the candidate itself for detached
+/// mutants).
+type Member = (CandidateRef, Candidate);
+
 /// Breed the next population: selection probability ∝ weight, one
 /// tile-size mutation per child. Returns `None` when the weights defeat
 /// [`WeightedIndex`] (all-zero after masking, or non-finite) — the
 /// caller must treat that as "search exhausted", *not* as failure of the
 /// whole search.
 fn breed_population(
-    population: &[Candidate],
+    population: &[Member],
     weights: &[f64],
     space: &CandidateSpace,
     rng: &mut StdRng,
     size: usize,
-) -> Option<Vec<Candidate>> {
+) -> Option<Vec<Member>> {
     let dist = WeightedIndex::new(weights).ok()?;
     Some(
         (0..size)
             .map(|_| {
-                let parent = &population[dist.sample(rng)];
-                mutate(parent, space, rng)
+                let (_, parent) = &population[dist.sample(rng)];
+                let child = mutate(parent, space, rng);
+                (CandidateRef::of(&child, space), child)
             })
             .collect(),
     )
@@ -202,8 +270,10 @@ pub fn heuristic_search(
     } else {
         LoweringOptions::for_device(dev).without_dead_loop_elimination()
     };
-    let sample_idx =
-        |rng: &mut StdRng| -> Candidate { space.candidate(rng.gen_range(0..space.len())) };
+    let sample_idx = |rng: &mut StdRng| -> Member {
+        let i = rng.gen_range(0..space.len());
+        (CandidateRef::Indexed(i), space.candidate(i))
+    };
 
     // Line 1: initial population. Analytical estimates are free, so when
     // the pruned space is small enough we rank *all* of it and seed half
@@ -211,7 +281,7 @@ pub fn heuristic_search(
     // random for diversity); otherwise fall back to uniform sampling.
     // Ranking streams candidates straight out of the index decoder — the
     // space is never materialized, only (index, score) pairs are kept.
-    let mut population: Vec<Candidate> = if space.len() <= FULL_RANKING_LIMIT {
+    let mut population: Vec<Member> = if space.len() <= FULL_RANKING_LIMIT {
         let mut scored: Vec<(u64, f64)> = space
             .iter()
             .enumerate()
@@ -226,10 +296,10 @@ pub fn heuristic_search(
             clock.note_estimate();
         }
         let seeded = params.population / 2;
-        let mut pop: Vec<Candidate> = scored
+        let mut pop: Vec<Member> = scored
             .iter()
             .take(seeded)
-            .map(|&(i, _)| space.candidate(i))
+            .map(|&(i, _)| (CandidateRef::Indexed(i), space.candidate(i)))
             .collect();
         while pop.len() < params.population {
             pop.push(sample_idx(&mut rng));
@@ -242,7 +312,10 @@ pub fn heuristic_search(
     };
 
     let mut best: Option<(Candidate, f64, LoweredKernel, KernelProfile)> = None;
-    let mut measured_cache: FxHashMap<Candidate, Measurement> = FxHashMap::default();
+    // Keyed by CandidateRef: survivors hash one u64 instead of a full
+    // expression + tile vector, and the key set doubles as the
+    // per-index-range measurement report.
+    let mut measured_cache: FxHashMap<CandidateRef, Measurement> = FxHashMap::default();
     let mut history = Vec::new();
     let mut rounds = 0usize;
 
@@ -251,7 +324,7 @@ pub fn heuristic_search(
         // Line 5: analytical estimates (free, parallel).
         let estimates: Vec<f64> = population
             .par_iter()
-            .map(|c| rank_score(chain, c, dev, params))
+            .map(|(_, c)| rank_score(chain, c, dev, params))
             .collect();
         for _ in &estimates {
             clock.note_estimate();
@@ -276,8 +349,8 @@ pub fn heuristic_search(
         // Fresh-measurement best — the paper's `top1_t` (its measured
         // top-k are always new candidates), used for the convergence test.
         let mut fresh_best: Option<f64> = None;
-        for (i, cand) in population.iter().enumerate() {
-            if let Some(m) = measured_cache.get(cand) {
+        for (i, (key, _)) in population.iter().enumerate() {
+            if let Some(m) = measured_cache.get(key) {
                 let t = measured_time(m);
                 if t.is_finite() && round_best.map(|(_, bt)| t < bt).unwrap_or(true) {
                     round_best = Some((i, t));
@@ -289,13 +362,13 @@ pub fn heuristic_search(
             if fresh >= params.topk {
                 break;
             }
-            if !estimates[i].is_finite() || measured_cache.contains_key(&population[i]) {
+            if !estimates[i].is_finite() || measured_cache.contains_key(&population[i].0) {
                 continue;
             }
-            let cand = population[i].clone();
+            let (key, cand) = population[i].clone();
             let m = measure_candidate(chain, &cand, dev, &cost, clock, params.seed, &lower_opts);
             let t = measured_time(&m);
-            measured_cache.insert(cand, m);
+            measured_cache.insert(key, m);
             if t.is_finite() {
                 fresh += 1;
                 if fresh_best.map(|b| t < b).unwrap_or(true) {
@@ -314,12 +387,12 @@ pub fn heuristic_search(
                 .collect();
             continue;
         };
-        let top1_cand = population[top1_idx].clone();
+        let (top1_key, top1_cand) = population[top1_idx].clone();
         // The winner's kernel + profile come straight from the
         // measurement cache — a finite round-best time implies a
         // successful measurement, so no re-lowering and no panic path.
         let (top1_lk, top1_prof) = measured_cache
-            .get(&top1_cand)
+            .get(&top1_key)
             .and_then(|m| m.clone())
             .expect("round-best candidate has a cached measurement");
 
@@ -369,6 +442,14 @@ pub fn heuristic_search(
     }
 
     let (best_cand, best_time, kernel, profile) = best?;
+    let mut measured_set = MeasuredSet::default();
+    for key in measured_cache.keys() {
+        match key {
+            CandidateRef::Indexed(i) => measured_set.indexed.push(*i),
+            CandidateRef::Detached(_) => measured_set.detached += 1,
+        }
+    }
+    measured_set.indexed.sort_unstable();
     Some(SearchOutcome {
         best: best_cand,
         best_time,
@@ -377,6 +458,7 @@ pub fn heuristic_search(
         rounds,
         measured: measured_cache.len(),
         history,
+        measured_set,
     })
 }
 
@@ -522,8 +604,12 @@ mod tests {
         let dev = DeviceSpec::a100();
         let pruned = pruned_space(&chain, &dev);
         let mut rng = StdRng::seed_from_u64(9);
-        let population: Vec<Candidate> =
-            (0..4).map(|i| pruned.candidate(i % pruned.len())).collect();
+        let population: Vec<Member> = (0..4)
+            .map(|i| {
+                let idx = i % pruned.len();
+                (CandidateRef::Indexed(idx), pruned.candidate(idx))
+            })
+            .collect();
         for weights in [
             vec![f64::INFINITY, 1.0, 1.0, 1.0],
             vec![f64::NAN, 1.0, 1.0, 1.0],
@@ -538,6 +624,58 @@ mod tests {
         let next = breed_population(&population, &[1.0, 2.0, 3.0, 4.0], &pruned, &mut rng, 8)
             .expect("finite weights breed");
         assert_eq!(next.len(), 8);
+    }
+
+    #[test]
+    fn measured_set_reports_the_searched_index_ranges() {
+        let chain = ChainSpec::gemm_chain("g", 1, 512, 256, 64, 64);
+        let dev = DeviceSpec::a100();
+        let pruned = pruned_space(&chain, &dev);
+        let clock = TuningClock::new();
+        let out =
+            heuristic_search(&chain, &dev, &pruned, &SearchParams::default(), &clock).unwrap();
+        // Every measured candidate is accounted for, exactly once.
+        assert_eq!(out.measured_set.total(), out.measured);
+        assert!(
+            out.measured_set.indexed.windows(2).all(|w| w[0] < w[1]),
+            "indices are sorted and distinct"
+        );
+        // Indexed entries decode back to candidates of this space, and
+        // detached entries are exactly the mutants outside it.
+        for &i in &out.measured_set.indexed {
+            assert!(i < pruned.len());
+            assert_eq!(pruned.index_of(&pruned.candidate(i)), Some(i));
+        }
+        // The histogram over index ranges covers all indexed entries.
+        let hist = out.measured_set.per_range(pruned.len(), 8);
+        assert_eq!(hist.len(), 8);
+        assert_eq!(
+            hist.iter().sum::<u64>() as usize,
+            out.measured_set.indexed.len()
+        );
+    }
+
+    #[test]
+    fn detached_mutants_get_their_own_cache_identity() {
+        // A candidate outside the surviving set must key as Detached and
+        // never collide with an Indexed survivor.
+        let chain = ChainSpec::gemm_chain("g", 1, 1024, 1024, 512, 512);
+        let dev = DeviceSpec::a100();
+        let pruned = pruned_space(&chain, &dev);
+        let survivor = pruned.candidate(0);
+        assert_eq!(
+            CandidateRef::of(&survivor, &pruned),
+            CandidateRef::Indexed(0)
+        );
+        let mut rng = StdRng::seed_from_u64(21);
+        let outside = std::iter::repeat_with(|| pruned.sample_rule3(&mut rng))
+            .take(400)
+            .find(|c| pruned.index_of(c).is_none())
+            .expect("some Rule-3 combination is rejected by Rule 4");
+        assert_eq!(
+            CandidateRef::of(&outside, &pruned),
+            CandidateRef::Detached(outside.clone())
+        );
     }
 
     #[test]

@@ -19,6 +19,9 @@
 //!   reachable by index, with no materialization cap and no truncation
 //!   bias.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
 use rand::prelude::*;
 
 use mcfuser_ir::ChainSpec;
@@ -114,7 +117,7 @@ enum Rule4Index {
 /// Rule-4 index, which is bounded by the *tile grid*, never by
 /// `exprs × combos`), and there is no cap — index `len() - 1` is exactly
 /// as reachable as index 0.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct CandidateSpace {
     /// The chain.
     pub chain: ChainSpec,
@@ -139,6 +142,46 @@ pub struct CandidateSpace {
     /// non-empty grid only) — the context behind `EmptySearchSpace` when
     /// Rule 4 rejects everything.
     min_estimated_smem: Option<u64>,
+    /// Recently decoded blocks of the `Ranked` index (most recent
+    /// first, at most [`DECODE_CACHE_SLOTS`]): sampling-heavy searches
+    /// that revisit a block pay the O(`RANK_BLOCK`) re-filter once
+    /// instead of per call. Two slots so `candidate()` (sampling) and
+    /// `index_of` (mutant re-encoding) don't evict each other inside
+    /// one search round.
+    decoded: Mutex<Vec<DecodedBlock>>,
+    /// How many block re-filters the `Ranked` path has performed (the
+    /// decode-cost probe behind the regression tests).
+    decodes: AtomicU64,
+}
+
+impl Clone for CandidateSpace {
+    /// The clone starts with a cold decode cache (and a zeroed probe);
+    /// everything observable is identical.
+    fn clone(&self) -> Self {
+        CandidateSpace {
+            chain: self.chain.clone(),
+            exprs: self.exprs.clone(),
+            tile_domains: self.tile_domains.clone(),
+            stats: self.stats.clone(),
+            grid: self.grid,
+            combos: self.combos,
+            smem_limit: self.smem_limit,
+            rule4: self.rule4.clone(),
+            min_estimated_smem: self.min_estimated_smem,
+            decoded: Mutex::new(Vec::new()),
+            decodes: AtomicU64::new(0),
+        }
+    }
+}
+
+/// How many decoded `Ranked` blocks are retained.
+const DECODE_CACHE_SLOTS: usize = 2;
+
+/// The survivor ids of one decoded `Ranked` block.
+#[derive(Debug)]
+struct DecodedBlock {
+    block: u64,
+    ids: Vec<u64>,
 }
 
 /// Per-chunk result of the parallel Rule-4 scan.
@@ -192,6 +235,8 @@ impl CandidateSpace {
             smem_limit,
             rule4,
             min_estimated_smem,
+            decoded: Mutex::new(Vec::new()),
+            decodes: AtomicU64::new(0),
         }
     }
 
@@ -223,7 +268,8 @@ impl CandidateSpace {
     }
 
     /// Decode candidate `idx` (`0..len()`). O(1) for compact/pass-all
-    /// grids, O([`RANK_BLOCK`]) for block-ranked ones.
+    /// grids, O(`RANK_BLOCK`) for block-ranked ones (amortized O(1)
+    /// within one block thanks to the decode cache).
     ///
     /// # Panics
     /// If `idx >= len()`.
@@ -240,27 +286,81 @@ impl CandidateSpace {
             Rule4Index::PassAll => rank,
             Rule4Index::Compact(ids) => ids[rank as usize],
             Rule4Index::Ranked(cum) => {
-                // Last block whose prefix count is ≤ rank…
-                let block = cum.partition_point(|&c| c <= rank) - 1;
-                let mut remaining = rank - cum[block];
-                // …then re-filter that block to the survivor wanted,
-                // walking the block with one reused odometer buffer.
-                let limit = self.smem_limit.expect("ranked index implies Rule 4");
-                let lo = block as u64 * RANK_BLOCK;
-                let hi = (lo + RANK_BLOCK).min(self.grid);
-                let mut odo = Odometer::at(&self.tile_domains, lo);
-                for id in lo..hi {
-                    if combo_fits(&self.chain, odo.tiles(), limit) {
-                        if remaining == 0 {
-                            return id;
-                        }
-                        remaining -= 1;
-                    }
-                    odo.step();
-                }
-                unreachable!("rank index out of sync with Rule-4 filter")
+                // Last block whose prefix count is ≤ rank, then the
+                // rank-th survivor within it from the block cache.
+                let block = (cum.partition_point(|&c| c <= rank) - 1) as u64;
+                let offset = (rank - cum[block as usize]) as usize;
+                let mut cached = self.decoded.lock();
+                let ids = self.decoded_block_ids(&mut cached, block);
+                ids[offset]
             }
         }
+    }
+
+    /// The survivor ids of `block`, decoded through the small block
+    /// cache: a hit is O(1) (and refreshes the entry's recency); a miss
+    /// re-filters the block (O(`RANK_BLOCK`)), inserts it most-recent
+    /// first, and evicts the oldest entry past [`DECODE_CACHE_SLOTS`].
+    fn decoded_block_ids<'a>(&self, cached: &'a mut Vec<DecodedBlock>, block: u64) -> &'a [u64] {
+        if let Some(pos) = cached.iter().position(|d| d.block == block) {
+            let hit = cached.remove(pos);
+            cached.insert(0, hit);
+        } else {
+            let limit = self.smem_limit.expect("ranked index implies Rule 4");
+            let lo = block * RANK_BLOCK;
+            let hi = (lo + RANK_BLOCK).min(self.grid);
+            let mut ids = Vec::new();
+            let mut odo = Odometer::at(&self.tile_domains, lo);
+            for id in lo..hi {
+                if combo_fits(&self.chain, odo.tiles(), limit) {
+                    ids.push(id);
+                }
+                odo.step();
+            }
+            self.decodes.fetch_add(1, Ordering::Relaxed);
+            cached.insert(0, DecodedBlock { block, ids });
+            cached.truncate(DECODE_CACHE_SLOTS);
+        }
+        &cached[0].ids
+    }
+
+    /// How many `Ranked`-index block re-filters have run so far — the
+    /// probe behind the decode-cache regression tests. Always 0 for
+    /// pass-all and compact grids.
+    pub fn ranked_block_decodes(&self) -> u64 {
+        self.decodes.load(Ordering::Relaxed)
+    }
+
+    /// The dense index of a candidate, or `None` if the candidate is not
+    /// in this space (unknown expression, tile size outside a Rule-3
+    /// domain, or a combination Rule 4 rejected). The inverse of
+    /// [`CandidateSpace::candidate`]: search mutations use it to keep
+    /// survivors addressed by index.
+    pub fn index_of(&self, cand: &Candidate) -> Option<u64> {
+        let ei = self.exprs.iter().position(|e| *e == cand.expr)? as u64;
+        if cand.tiles.len() != self.tile_domains.len() {
+            return None;
+        }
+        // Encode the tile vector as a grid id (axis 0 fastest).
+        let mut combo = 0u64;
+        let mut mul = 1u64;
+        for (d, &t) in self.tile_domains.iter().zip(&cand.tiles) {
+            let pos = d.iter().position(|&x| x == t)? as u64;
+            combo += pos * mul;
+            mul *= d.len() as u64;
+        }
+        let rank = match &self.rule4 {
+            Rule4Index::PassAll => combo,
+            Rule4Index::Compact(ids) => ids.binary_search(&combo).ok()? as u64,
+            Rule4Index::Ranked(cum) => {
+                let block = combo / RANK_BLOCK;
+                let mut cached = self.decoded.lock();
+                let ids = self.decoded_block_ids(&mut cached, block);
+                let within = ids.binary_search(&combo).ok()? as u64;
+                cum[block as usize] + within
+            }
+        };
+        Some(ei * self.combos + rank)
     }
 
     /// Decode a tile-grid id to its tile vector (axis 0 fastest — the
@@ -624,6 +724,129 @@ mod tests {
         for idx in (0..space.len()).step_by((space.len() / 53).max(1) as usize) {
             assert_eq!(space.candidate(idx), forced.candidate(idx));
         }
+    }
+
+    /// Rebuild a space with its Rule-4 index forced into `Ranked` form
+    /// (normally only grids past `COMPACT_LIMIT` use it).
+    fn force_ranked(space: &CandidateSpace) -> CandidateSpace {
+        let limit = space.smem_limit.unwrap();
+        let grid = space.grid;
+        let blocks = grid.div_ceil(RANK_BLOCK);
+        let mut cum = Vec::with_capacity(blocks as usize + 1);
+        cum.push(0u64);
+        let mut running = 0;
+        let mut odo = Odometer::at(&space.tile_domains, 0);
+        for b in 0..blocks {
+            let hi = ((b + 1) * RANK_BLOCK).min(grid);
+            for _ in b * RANK_BLOCK..hi {
+                if combo_fits(&space.chain, odo.tiles(), limit) {
+                    running += 1;
+                }
+                odo.step();
+            }
+            cum.push(running);
+        }
+        assert_eq!(running, space.surviving_combos());
+        let mut forced = space.clone();
+        forced.rule4 = Rule4Index::Ranked(cum);
+        forced
+    }
+
+    #[test]
+    fn index_of_inverts_candidate_on_every_index_form() {
+        let chain = ChainSpec::gemm_chain("g", 1, 512, 512, 256, 256);
+        let compact = pruned(&chain);
+        let ranked = force_ranked(&compact);
+        let passall = {
+            let space = SearchSpace::generate(&chain);
+            let (reps, domains, stats) = crate::prune::rules123(&chain, &space);
+            CandidateSpace::build(&chain, reps, domains, None, stats)
+        };
+        for space in [&compact, &ranked, &passall] {
+            let step = (space.len() / 67).max(1);
+            let mut idx = 0;
+            while idx < space.len() {
+                assert_eq!(
+                    space.index_of(&space.candidate(idx)),
+                    Some(idx),
+                    "round trip at {idx}"
+                );
+                idx += step;
+            }
+        }
+    }
+
+    #[test]
+    fn index_of_rejects_foreign_candidates() {
+        let chain = ChainSpec::gemm_chain("g", 1, 1024, 1024, 512, 512);
+        let space = pruned(&chain);
+        // A tile size outside every Rule-3 domain.
+        let mut foreign = space.candidate(0);
+        foreign.tiles[0] = 7;
+        assert_eq!(space.index_of(&foreign), None);
+        // A Rule-4-rejected combination (sample_rule3 spans the boundary).
+        let dev = DeviceSpec::a100();
+        let mut rng = StdRng::seed_from_u64(11);
+        let rejected = std::iter::repeat_with(|| space.sample_rule3(&mut rng))
+            .take(400)
+            .find(|c| !mcfuser_tile::rule4_fits(&chain, c, dev.smem_per_block))
+            .expect("some candidate is rejected by Rule 4");
+        assert_eq!(space.index_of(&rejected), None);
+        // A wrong-arity tile vector.
+        let mut short = space.candidate(0);
+        short.tiles.pop();
+        assert_eq!(space.index_of(&short), None);
+    }
+
+    #[test]
+    fn ranked_decode_cache_refilters_once_per_block() {
+        // Regression for the ROADMAP "ranked-index decode cost" item:
+        // before the cache, EVERY candidate() call on a Ranked grid paid
+        // an O(RANK_BLOCK) block re-filter; now repeated lookups in the
+        // same block pay exactly one.
+        let chain = ChainSpec::gemm_chain("g", 1, 512, 512, 256, 256);
+        let forced = force_ranked(&pruned(&chain));
+        assert_eq!(forced.ranked_block_decodes(), 0);
+
+        let first = forced.candidate(0);
+        assert_eq!(forced.ranked_block_decodes(), 1);
+        for _ in 0..50 {
+            assert_eq!(forced.candidate(0), first, "cache must not change decoding");
+        }
+        assert_eq!(
+            forced.ranked_block_decodes(),
+            1,
+            "same-block lookups must be served from the cache"
+        );
+        // index_of shares the same cache.
+        assert_eq!(forced.index_of(&first), Some(0));
+        assert_eq!(forced.ranked_block_decodes(), 1, "index_of hit the cache");
+
+        // Two cache slots: bouncing between two blocks (sampling via
+        // candidate() vs mutant re-encoding via index_of) decodes each
+        // block once, then every further lookup in either block hits.
+        let last = forced.surviving_combos() - 1;
+        let last_cand = forced.candidate(last);
+        let after_jump = forced.ranked_block_decodes();
+        assert!(after_jump <= 2);
+        assert_eq!(forced.candidate(last), last_cand);
+        assert_eq!(forced.ranked_block_decodes(), after_jump, "repeat is a hit");
+        for _ in 0..4 {
+            assert_eq!(forced.candidate(0), first);
+            assert_eq!(forced.candidate(last), last_cand);
+        }
+        assert_eq!(
+            forced.ranked_block_decodes(),
+            after_jump,
+            "alternating between two blocks stays within the cache"
+        );
+        // A fully random walk never decodes more often than it looks up.
+        let mut rng = StdRng::seed_from_u64(5);
+        let before = forced.ranked_block_decodes();
+        for _ in 0..32 {
+            forced.candidate(rng.gen_range(0..forced.len()));
+        }
+        assert!(forced.ranked_block_decodes() <= before + 32);
     }
 
     #[test]

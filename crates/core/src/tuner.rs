@@ -60,6 +60,15 @@ pub enum TuneError {
         /// Graph name.
         graph: String,
     },
+    /// The compiled model could not be packaged into an
+    /// `ExecutablePlan` (`FusionEngine::compile_plan` — an internally
+    /// inconsistent graph/model pair).
+    Plan {
+        /// Graph name.
+        graph: String,
+        /// The underlying plan error, rendered.
+        detail: String,
+    },
 }
 
 impl TuneError {
@@ -116,6 +125,9 @@ impl std::fmt::Display for TuneError {
                 "cannot compile graph '{graph}': engine has no fallback backend \
                  for non-fused operators (set one via EngineBuilder::fallback)"
             ),
+            TuneError::Plan { graph, detail } => {
+                write!(f, "cannot plan compiled graph '{graph}': {detail}")
+            }
         }
     }
 }

@@ -134,6 +134,39 @@ impl Graph {
         out
     }
 
+    /// The graph's activation inputs (`Op::Input` nodes) in declaration
+    /// order, as `(name, id)` pairs — the binding table a serving plan
+    /// freezes so callers can feed tensors by name instead of by raw
+    /// [`NodeId`].
+    pub fn input_bindings(&self) -> Vec<(String, NodeId)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| matches!(n.op, Op::Input))
+            .map(|(i, n)| (n.name.clone(), NodeId(i)))
+            .collect()
+    }
+
+    /// Look up an activation input by its declared name.
+    pub fn input_named(&self, name: &str) -> Option<NodeId> {
+        self.nodes
+            .iter()
+            .position(|n| matches!(n.op, Op::Input) && n.name == name)
+            .map(NodeId)
+    }
+
+    /// The declared graph outputs with their names and shapes, in
+    /// declaration order.
+    pub fn output_shapes(&self) -> Vec<(String, NodeId, Vec<u64>)> {
+        self.outputs
+            .iter()
+            .map(|&id| {
+                let n = self.node(id);
+                (n.name.clone(), id, n.shape.clone())
+            })
+            .collect()
+    }
+
     /// Total matmul FLOPs of the graph (for workload characterization,
     /// e.g. the paper's "attention is 14 % of FLOPs" analysis).
     pub fn total_flops(&self) -> f64 {
@@ -357,6 +390,26 @@ mod tests {
         assert!(Op::LayerNorm.is_memory_intensive());
         assert!(!Op::Input.is_compute_intensive());
         assert!(!Op::Input.is_memory_intensive());
+    }
+
+    #[test]
+    fn named_inputs_and_output_shapes() {
+        let mut b = GraphBuilder::new("t", DType::F16);
+        let q = b.input("q", vec![2, 8, 4]);
+        let k = b.input("k", vec![2, 8, 4]);
+        let s = b.batch_matmul("qk", q, k, true);
+        let g = b.finish(vec![s]);
+        assert_eq!(
+            g.input_bindings(),
+            vec![("q".to_string(), q), ("k".to_string(), k)]
+        );
+        assert_eq!(g.input_named("k"), Some(k));
+        assert_eq!(g.input_named("qk"), None, "qk is not an Op::Input");
+        assert_eq!(g.input_named("missing"), None);
+        assert_eq!(
+            g.output_shapes(),
+            vec![("qk".to_string(), s, vec![2, 8, 8])]
+        );
     }
 
     #[test]

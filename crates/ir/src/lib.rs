@@ -10,10 +10,10 @@
 //!   (bias vectors, attention masks) ride behind `A` and the weights.
 //! * [`graph`] — a high-level operator graph for end-to-end models
 //!   (BERT/ViT/MLP-Mixer encoders) with shape inference.
-//! * [`partition`] — the greedy DAG-walking MBCI partitioner (§V-B):
+//! * [`partition`](mod@partition) — the greedy DAG-walking MBCI partitioner (§V-B):
 //!   N-operator Linear chains grown under the per-prefix memory-bound
 //!   gate, plus (masked) attention with full shape validation.
-//! * [`reference`] — naive CPU evaluation of whole graphs, the numerical
+//! * [`reference`](mod@reference) — naive CPU evaluation of whole graphs, the numerical
 //!   oracle for the end-to-end compiler.
 
 #![warn(missing_docs)]

@@ -12,6 +12,8 @@
 //! sequential execution is observationally equivalent to any parallel
 //! interleaving.
 
+use rustc_hash::FxHashMap;
+
 use crate::dtype::DType;
 use crate::kernel::{BlockStmt, BufferRole, ProgramError, SmemId, TileAccess, TileProgram, VarRef};
 
@@ -134,6 +136,43 @@ impl TensorStorage {
         }
     }
 
+    /// Like [`TensorStorage::for_program`], but backed by buffers drawn
+    /// from a [`BufferArena`] — a serving loop that executes the same
+    /// programs repeatedly recycles allocations instead of paying a heap
+    /// round trip per request.
+    ///
+    /// Input-role buffers come back **unzeroed** (the caller must stage
+    /// every element before executing — which the serving plan does);
+    /// output/temp buffers are zeroed as usual.
+    pub fn for_program_in(p: &TileProgram, arena: &mut BufferArena) -> Self {
+        TensorStorage {
+            tensors: p
+                .buffers
+                .iter()
+                .map(|b| {
+                    let len = b.shape.iter().product::<u64>() as usize;
+                    let data = if b.role == BufferRole::Input {
+                        arena.take_unzeroed(len)
+                    } else {
+                        arena.take(len)
+                    };
+                    HostTensor {
+                        shape: b.shape.clone(),
+                        data,
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Return every backing buffer to an arena for reuse. The inverse of
+    /// [`TensorStorage::for_program_in`].
+    pub fn recycle(self, arena: &mut BufferArena) {
+        for t in self.tensors {
+            arena.put(t.data);
+        }
+    }
+
     /// Zero every output/temp buffer (so a storage can be re-used across
     /// kernel invocations without stale results).
     pub fn clear_outputs(&mut self, p: &TileProgram) {
@@ -142,6 +181,71 @@ impl TensorStorage {
                 t.data.fill(0.0);
             }
         }
+    }
+}
+
+/// A pool of reusable `f32` buffers keyed by length.
+///
+/// The functional interpreter allocates a shared-memory arena (and, via
+/// [`TensorStorage::for_program_in`], the global buffers) per kernel
+/// invocation; under a serving workload those allocations recur with the
+/// same handful of sizes every request. An arena turns them into pops
+/// from a free list. Buffers handed out by [`BufferArena::take`] are
+/// always zeroed, so pooled and fresh execution are bit-identical.
+#[derive(Debug, Default)]
+pub struct BufferArena {
+    free: FxHashMap<usize, Vec<Vec<f32>>>,
+    reuses: u64,
+    allocs: u64,
+}
+
+impl BufferArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A zeroed buffer of exactly `len` elements — recycled when one of
+    /// that size is pooled, freshly allocated otherwise.
+    pub fn take(&mut self, len: usize) -> Vec<f32> {
+        if let Some(mut v) = self.free.get_mut(&len).and_then(Vec::pop) {
+            self.reuses += 1;
+            v.fill(0.0);
+            v
+        } else {
+            self.allocs += 1;
+            vec![0.0; len]
+        }
+    }
+
+    /// Like [`BufferArena::take`] but without the zero fill — for
+    /// buffers the caller overwrites in full before any read (e.g.
+    /// fused-kernel input staging). Contents are unspecified.
+    pub fn take_unzeroed(&mut self, len: usize) -> Vec<f32> {
+        if let Some(v) = self.free.get_mut(&len).and_then(Vec::pop) {
+            self.reuses += 1;
+            v
+        } else {
+            self.allocs += 1;
+            vec![0.0; len]
+        }
+    }
+
+    /// Return a buffer to the pool.
+    pub fn put(&mut self, v: Vec<f32>) {
+        if !v.is_empty() {
+            self.free.entry(v.len()).or_default().push(v);
+        }
+    }
+
+    /// Buffers served from the pool so far.
+    pub fn reuses(&self) -> u64 {
+        self.reuses
+    }
+
+    /// Buffers that had to be freshly allocated.
+    pub fn allocs(&self) -> u64 {
+        self.allocs
     }
 }
 
@@ -179,22 +283,42 @@ struct Smem {
 }
 
 impl Smem {
-    fn for_program(p: &TileProgram) -> Self {
+    fn for_program_in(p: &TileProgram, arena: &mut BufferArena) -> Self {
         let mut bufs = Vec::with_capacity(p.smem.len());
         let mut rows = Vec::with_capacity(p.smem.len());
         let mut cols = Vec::with_capacity(p.smem.len());
         for d in &p.smem {
-            bufs.push(vec![0.0f32; d.elems() as usize]);
+            bufs.push(arena.take(d.elems() as usize));
             rows.push(d.rows);
             cols.push(d.cols);
         }
         Smem { bufs, rows, cols }
+    }
+
+    fn recycle(self, arena: &mut BufferArena) {
+        for b in self.bufs {
+            arena.put(b);
+        }
     }
 }
 
 /// Execute a program against `storage`. Inputs must be pre-filled; outputs
 /// and temps are written in place.
 pub fn execute(p: &TileProgram, storage: &mut TensorStorage) -> Result<(), ExecError> {
+    let mut arena = BufferArena::new();
+    execute_with_arena(p, storage, &mut arena)
+}
+
+/// Like [`execute`], but drawing the per-block shared-memory buffers from
+/// a caller-provided [`BufferArena`] (and returning them afterwards) —
+/// the entry point serving loops use to run the same kernels request
+/// after request without per-request heap churn. Results are
+/// bit-identical to [`execute`].
+pub fn execute_with_arena(
+    p: &TileProgram,
+    storage: &mut TensorStorage,
+    arena: &mut BufferArena,
+) -> Result<(), ExecError> {
     p.validate()?;
     if storage.tensors.len() != p.buffers.len() {
         return Err(ExecError::StorageMismatch(format!(
@@ -212,7 +336,7 @@ pub fn execute(p: &TileProgram, storage: &mut TensorStorage) -> Result<(), ExecE
         }
     }
 
-    let mut smem = Smem::for_program(p);
+    let mut smem = Smem::for_program_in(p, arena);
     let grid = if p.grid.is_empty() {
         vec![1]
     } else {
@@ -233,6 +357,7 @@ pub fn execute(p: &TileProgram, storage: &mut TensorStorage) -> Result<(), ExecE
         }
         run_stmts(p, &p.body, &block_idx, &mut env, &mut smem, storage);
     }
+    smem.recycle(arena);
     Ok(())
 }
 
@@ -832,6 +957,47 @@ mod tests {
             let got = smem.bufs[2][r];
             assert!((got - expect).abs() < 1e-4, "row {r}: {got} vs {expect}");
         }
+    }
+
+    #[test]
+    fn arena_execution_is_bit_identical_and_recycles() {
+        let (m, n, k) = (50, 34, 21);
+        let p = matmul_program(m, n, k, 16, 16, 16);
+        let a = rand_tensor(&[m, k], 5);
+        let b = rand_tensor(&[k, n], 6);
+
+        let mut plain = TensorStorage::for_program(&p);
+        plain.tensors[0] = a.clone();
+        plain.tensors[1] = b.clone();
+        execute(&p, &mut plain).unwrap();
+
+        let mut arena = BufferArena::new();
+        let mut first = TensorStorage::for_program_in(&p, &mut arena);
+        first.tensors[0] = a.clone();
+        first.tensors[1] = b.clone();
+        execute_with_arena(&p, &mut first, &mut arena).unwrap();
+        assert_eq!(first.tensors[2].data, plain.tensors[2].data);
+        first.recycle(&mut arena);
+        assert_eq!(arena.reuses(), 0, "first request allocates everything");
+        let after_first = arena.allocs();
+
+        // The second identical request is served entirely from the pool.
+        let mut second = TensorStorage::for_program_in(&p, &mut arena);
+        second.tensors[0] = a;
+        second.tensors[1] = b;
+        execute_with_arena(&p, &mut second, &mut arena).unwrap();
+        assert_eq!(second.tensors[2].data, plain.tensors[2].data);
+        assert_eq!(arena.allocs(), after_first, "no fresh allocations");
+        assert!(arena.reuses() > 0);
+    }
+
+    #[test]
+    fn arena_buffers_come_back_zeroed() {
+        let mut arena = BufferArena::new();
+        let mut v = arena.take(4);
+        v.copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        arena.put(v);
+        assert_eq!(arena.take(4), vec![0.0; 4]);
     }
 
     #[test]

@@ -49,7 +49,9 @@ pub use clock::{CostProfile, TuningClock, TuningReport};
 pub use codegen_check::{assert_codegen_ok, verify_codegen};
 pub use device::{Arch, DeviceSpec};
 pub use dtype::DType;
-pub use exec::{execute, gelu, ExecError, HostTensor, TensorStorage};
+pub use exec::{
+    execute, execute_with_arena, gelu, BufferArena, ExecError, HostTensor, TensorStorage,
+};
 pub use kernel::{
     ceil_div, BlockStmt, BufId, BufferDecl, BufferRole, LoopHandle, ProgramBuilder, ProgramError,
     SmemDecl, SmemId, TileAccess, TileIndex, TileProgram, VarRef,

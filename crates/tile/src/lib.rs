@@ -15,8 +15,8 @@
 //!   elimination, rightmost-related-loop statement placement and
 //!   accumulator-instance analysis (§III-B, Figs. 4–6);
 //! * [`shmem`] — Eq. 1 shared-memory estimation (Rule 4);
-//! * [`lower`] — lowering to [`mcfuser_sim::TileProgram`] with the
-//!   intra-tile policies the real system delegates to Triton.
+//! * [`lower`](mod@lower) — lowering to [`mcfuser_sim::TileProgram`]
+//!   with the intra-tile policies the real system delegates to Triton.
 
 #![warn(missing_docs)]
 

@@ -1,17 +1,31 @@
-//! End-to-end compilation of a BERT encoder through one `FusionEngine`
-//! session: partition the graph into MBCI sub-graphs, tune them (in
-//! parallel), delegate the rest to Relay, and verify that fused
-//! execution matches pure reference evaluation.
+//! End-to-end BERT: compile once, serve many.
+//!
+//! One `FusionEngine` session partitions the encoder into MBCI
+//! sub-graphs, tunes them (in parallel), and prices the rest with
+//! Relay. The compiled model is then frozen into an `ExecutablePlan` —
+//! topological steps, named input bindings, and the buffer plan are all
+//! computed once — and registered in a `ModelRuntime`, which N threads
+//! hammer concurrently with deterministic per-seed results.
 //!
 //! ```sh
 //! cargo run --release --example bert_end_to_end
 //! ```
 
+use std::sync::Arc;
+
 use mcfuser::baselines::Relay;
-use mcfuser::ir::{evaluate, NodeId, Op};
+use mcfuser::ir::evaluate;
 use mcfuser::prelude::*;
-use mcfuser::sim::HostTensor;
 use mcfuser::workloads::{bert_graph, BertConfig};
+
+/// Deterministic ramp tensor for an input binding.
+fn ramp(shape: &[u64]) -> HostTensor {
+    let len: u64 = shape.iter().product();
+    HostTensor::from_vec(
+        shape,
+        (0..len).map(|x| ((x % 31) as f32 - 15.0) / 31.0).collect(),
+    )
+}
 
 fn main() {
     // A 2-layer BERT-Small-style encoder at sequence 128 (kept small so
@@ -32,8 +46,7 @@ fn main() {
         graph.total_flops() / 1e9
     );
 
-    // One session: MBCI partition + parallel chain tuning + Relay for
-    // the rest. Identical layers share a single tuning via the cache.
+    // --- Compile time: one session, one plan -------------------------
     let engine = FusionEngine::builder(device)
         .fallback(Relay::new())
         .parallelism(0) // all cores
@@ -56,29 +69,98 @@ fn main() {
         model.tuning_seconds, model.fallback
     );
 
-    // Functional verification: fused chains run on the simulator, the
-    // rest on the CPU reference; the result must match pure reference
-    // evaluation of the whole graph.
-    let mut inputs: rustc_hash::FxHashMap<NodeId, HostTensor> = Default::default();
-    for (i, node) in graph.nodes.iter().enumerate() {
-        if matches!(node.op, Op::Input) {
-            let len: u64 = node.shape.iter().product();
-            inputs.insert(
-                NodeId(i),
-                HostTensor::from_vec(
-                    &node.shape,
-                    (0..len).map(|x| ((x % 31) as f32 - 15.0) / 31.0).collect(),
-                ),
-            );
-        }
+    let plan = model.plan(&graph).expect("plan freezes");
+    println!(
+        "\nplan: {} steps ({} fused kernels), peak live buffers {}/{} nodes",
+        plan.steps().len(),
+        plan.fused_kernels(),
+        plan.buffer_plan().peak_live(),
+        plan.buffer_plan().total_nodes(),
+    );
+    assert!(
+        plan.buffer_plan().peak_live() < plan.buffer_plan().total_nodes(),
+        "liveness recycling must beat keep-everything"
+    );
+
+    // --- Run time: serve N concurrent requests by input *name* -------
+    let runtime = Arc::new(ModelRuntime::new());
+    runtime.register("bert", plan);
+    if let Some(cache) = engine.cache_handle() {
+        runtime.attach_cache(cache);
     }
-    let fused = engine
-        .execute(&graph, &model, &inputs, 7)
-        .expect("fused execution");
-    let reference = evaluate(&graph, &inputs, 7).expect("reference evaluation");
+
+    let inputs = {
+        let mut set = InputSet::new();
+        for b in runtime.plan("bert").unwrap().inputs() {
+            set.insert(b.name.clone(), ramp(&b.shape));
+        }
+        set
+    };
+
+    // Serial reference pass: one output per seed.
+    let seeds: Vec<u64> = (0..4).collect();
+    let serial: Vec<HostTensor> = seeds
+        .iter()
+        .map(|&s| {
+            runtime
+                .infer("bert", &inputs, RunOptions::seeded(s))
+                .expect("serial request")
+                .primary()
+                .clone()
+        })
+        .collect();
+
+    // Concurrent pass: 4 threads × 4 requests each, interleaved seeds.
+    // Outputs must be bit-identical to the serial pass per seed.
+    std::thread::scope(|scope| {
+        for t in 0..4 {
+            let runtime = runtime.clone();
+            let inputs = &inputs;
+            let seeds = &seeds;
+            let serial = &serial;
+            scope.spawn(move || {
+                for r in 0..4 {
+                    let seed = seeds[(t + r) % seeds.len()];
+                    let out = runtime
+                        .infer("bert", inputs, RunOptions::seeded(seed))
+                        .expect("concurrent request");
+                    assert_eq!(
+                        out.primary().data,
+                        serial[seed as usize].data,
+                        "thread {t} request {r} must be bit-identical to serial"
+                    );
+                }
+            });
+        }
+    });
+
+    let stats = runtime.stats();
+    let bert = stats.plan("bert").expect("bert served");
+    println!(
+        "served {} requests: p50 {:.1} us, p95 {:.1} us, {:.2} MB moved",
+        stats.requests,
+        bert.p50_latency * 1e6,
+        bert.p95_latency * 1e6,
+        bert.bytes_moved / 1e6,
+    );
+    assert_eq!(stats.requests, 4 + 16, "serial + concurrent requests");
+
+    // Functional verification: the served output must match pure
+    // reference evaluation of the whole graph.
+    let mut node_inputs: rustc_hash::FxHashMap<mcfuser::ir::NodeId, HostTensor> =
+        Default::default();
+    for (_, node) in graph.input_bindings() {
+        node_inputs.insert(node, ramp(&graph.node(node).shape));
+    }
+    let reference = evaluate(&graph, &node_inputs, 2).expect("reference evaluation");
+    let served = runtime
+        .infer("bert", &inputs, RunOptions::seeded(2))
+        .expect("request");
     let out = graph.outputs[0];
-    let err = fused[out.0].rel_l2_error(&reference[out.0]);
-    println!("\nend-to-end rel L2 error (fused vs reference): {err:.2e}");
-    assert!(err < 5e-2, "fused model must match reference");
-    println!("OK — fused BERT matches the reference model.");
+    let err = served.primary().rel_l2_error(&reference[out.0]);
+    println!("end-to-end rel L2 error (served vs reference): {err:.2e}");
+    assert!(err < 5e-2, "served model must match reference");
+
+    runtime.shutdown().expect("caches persist");
+    println!("OK — compiled BERT serves concurrently and matches the reference.");
 }

@@ -30,6 +30,23 @@ fn ramp_inputs(graph: &Graph) -> rustc_hash::FxHashMap<NodeId, HostTensor> {
     m
 }
 
+/// Freeze a compiled model and run one request through the plan.
+fn run_once(
+    model: &CompiledModel,
+    graph: &Graph,
+    inputs: &rustc_hash::FxHashMap<NodeId, HostTensor>,
+    seed: u64,
+) -> HostTensor {
+    let plan = model.plan(graph).expect("plan freezes");
+    plan.execute(
+        &InputSet::from_node_values(inputs),
+        RunOptions::seeded(seed),
+    )
+    .expect("runs")
+    .primary()
+    .clone()
+}
+
 fn main() {
     let engine = FusionEngine::builder(DeviceSpec::a100())
         .fallback(Relay::new())
@@ -56,10 +73,10 @@ fn main() {
     assert!(model.rest_times.is_empty());
 
     let inputs = ramp_inputs(&mlp);
-    let fused = engine.execute(&mlp, &model, &inputs, 1).expect("runs");
+    let fused = run_once(&model, &mlp, &inputs, 1);
     let reference = evaluate(&mlp, &inputs, 1).expect("reference");
     let out = mlp.outputs[0];
-    let err = fused[out.0].rel_l2_error(&reference[out.0]);
+    let err = fused.rel_l2_error(&reference[out.0]);
     println!("  rel L2 error vs reference: {err:.2e}");
     assert!(err < 5e-2);
 
@@ -74,10 +91,10 @@ fn main() {
     );
     let mut inputs = ramp_inputs(&attn);
     inputs.insert(mask_node, causal_mask(8, 256, 256));
-    let fused = engine.execute(&attn, &model, &inputs, 2).expect("runs");
+    let fused = run_once(&model, &attn, &inputs, 2);
     let reference = evaluate(&attn, &inputs, 2).expect("reference");
     let out = attn.outputs[0];
-    let err = fused[out.0].rel_l2_error(&reference[out.0]);
+    let err = fused.rel_l2_error(&reference[out.0]);
     println!("  rel L2 error vs reference (causal mask): {err:.2e}");
     assert!(err < 5e-2);
 

@@ -73,7 +73,8 @@ pub use mcfuser_workloads as workloads;
 pub mod prelude {
     pub use mcfuser_baselines::{Backend, ChainRun, Unsupported};
     pub use mcfuser_core::{
-        CachePolicy, CompiledModel, EngineBuilder, EngineStats, FusionEngine, McFuser,
+        CachePolicy, CompiledModel, EngineBuilder, EngineStats, ExecError, ExecutablePlan,
+        FusionEngine, InputSet, McFuser, ModelRuntime, Outputs, RunOptions, RuntimeStats,
         SearchParams, SpacePolicy, TuneError, TunedKernel, TuningCache,
     };
     pub use mcfuser_ir::{ChainSpec, Epilogue, Graph, GraphBuilder};

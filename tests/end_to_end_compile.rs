@@ -2,6 +2,13 @@
 //! session API — partitioning, chain tuning, fallback pricing, and
 //! functional equivalence of the fused model with pure reference
 //! evaluation.
+//!
+//! These tests deliberately keep using the deprecated
+//! `FusionEngine::execute` shim: they pin down that the one-shot-plan
+//! compatibility path behaves exactly like the old executor for its one
+//! remaining release. New code (and `tests/runtime_serving.rs`) goes
+//! through `ExecutablePlan`/`ModelRuntime`.
+#![allow(deprecated)]
 
 use rustc_hash::FxHashMap;
 

@@ -167,7 +167,8 @@ fn disk_cached_compile_is_tuning_free() {
     // Only the fallback's preparation cost remains.
     assert!(cold_start.tuning_seconds < warm.tuning_seconds);
 
-    // And the cached model still computes the right values.
+    // And the cached model still computes the right values, through the
+    // plan serving path.
     let mut inputs: FxHashMap<NodeId, HostTensor> = FxHashMap::default();
     for (i, node) in g.nodes.iter().enumerate() {
         if matches!(node.op, Op::Input) {
@@ -181,10 +182,13 @@ fn disk_cached_compile_is_tuning_free() {
             );
         }
     }
-    let fused = fresh.execute(&g, &cold_start, &inputs, 11).unwrap();
+    let plan = cold_start.plan(&g).unwrap();
+    let fused = plan
+        .execute(&InputSet::from_node_values(&inputs), RunOptions::seeded(11))
+        .unwrap();
     let reference = evaluate(&g, &inputs, 11).unwrap();
     let out = g.outputs[0];
-    let err = fused[out.0].rel_l2_error(&reference[out.0]);
+    let err = fused.primary().rel_l2_error(&reference[out.0]);
     assert!(err < 5e-2, "cached model error {err}");
     let _ = std::fs::remove_file(&path);
 }

@@ -1,0 +1,475 @@
+//! Integration: the serving API — `ExecutablePlan` + `ModelRuntime`.
+//!
+//! The contract under test:
+//!
+//! * plans are `Send + Sync`, and an 8-thread stress run against one
+//!   runtime produces outputs bit-identical to serial execution per
+//!   `(model, seed)`, with request counts adding up;
+//! * the buffer plan is built once at `plan()` time and recycles dead
+//!   intermediates (peak live strictly below the node count on BERT);
+//! * every `ExecError` variant fires on the malformed request that
+//!   names it;
+//! * the deprecated `FusionEngine::execute` shim agrees with the plan
+//!   path bit for bit;
+//! * engine cache persistence failures surface in `EngineStats` and as
+//!   a `Result` from `ModelRuntime::shutdown`.
+
+use std::sync::Arc;
+
+use mcfuser::baselines::Relay;
+use mcfuser::core::cache::CachedTuning;
+use mcfuser::core::{CacheKey, PlanStats};
+use mcfuser::ir::NodeId;
+use mcfuser::prelude::*;
+use mcfuser::workloads::{bert_graph, BertConfig};
+
+fn engine() -> FusionEngine {
+    FusionEngine::builder(DeviceSpec::a100())
+        .fallback(Relay::new())
+        .build()
+}
+
+/// A tiny 2-layer MLP (fuses into one chain).
+fn mlp_graph(name: &str) -> Graph {
+    let mut gb = GraphBuilder::new(name, DType::F16);
+    let x = gb.input("x", vec![64, 32]);
+    let y = gb.linear("fc1", x, 64, false);
+    let z = gb.linear("fc2", y, 32, false);
+    gb.finish(vec![z])
+}
+
+/// A tiny attention module with a layer norm tail (fused chain + rest).
+fn attn_graph(name: &str) -> Graph {
+    let mut gb = GraphBuilder::new(name, DType::F16);
+    let q = gb.input("q", vec![2, 64, 32]);
+    let k = gb.input("k", vec![2, 64, 32]);
+    let v = gb.input("v", vec![2, 64, 32]);
+    let s = gb.batch_matmul("qk", q, k, true);
+    let p = gb.softmax("sm", s, 1.0 / (32f32).sqrt());
+    let o = gb.batch_matmul("pv", p, v, false);
+    let ln = gb.layer_norm("ln", o);
+    gb.finish(vec![ln])
+}
+
+fn ramp(shape: &[u64], phase: u64) -> HostTensor {
+    let len: u64 = shape.iter().product();
+    HostTensor::from_vec(
+        shape,
+        (0..len)
+            .map(|x| (((x + phase) % 19) as f32 - 9.0) / 19.0)
+            .collect(),
+    )
+}
+
+fn inputs_for(plan: &ExecutablePlan) -> InputSet {
+    let mut set = InputSet::new();
+    for (i, b) in plan.inputs().iter().enumerate() {
+        set.insert(b.name.clone(), ramp(&b.shape, i as u64));
+    }
+    set
+}
+
+#[test]
+fn eight_thread_stress_is_bit_identical_to_serial() {
+    let engine = engine();
+    let runtime = Arc::new(ModelRuntime::new());
+    for graph in [mlp_graph("mlp"), attn_graph("attn")] {
+        let plan = engine.compile_plan(&graph).unwrap();
+        runtime.register(graph.name.clone(), plan);
+    }
+    let models = ["mlp", "attn"];
+    let seeds: Vec<u64> = (0..3).collect();
+
+    // Serial reference outputs per (model, seed).
+    let mut expected: Vec<Vec<Vec<f32>>> = Vec::new();
+    for model in &models {
+        let inputs = inputs_for(&runtime.plan(model).unwrap());
+        expected.push(
+            seeds
+                .iter()
+                .map(|&s| {
+                    runtime
+                        .infer(model, &inputs, RunOptions::seeded(s))
+                        .unwrap()
+                        .primary()
+                        .data
+                        .clone()
+                })
+                .collect(),
+        );
+    }
+    let serial_requests = (models.len() * seeds.len()) as u64;
+    assert_eq!(runtime.stats().requests, serial_requests);
+
+    // 8 threads, interleaved models and seeds, several requests each.
+    const THREADS: usize = 8;
+    const PER_THREAD: usize = 6;
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let runtime = runtime.clone();
+            let expected = &expected;
+            let seeds = &seeds;
+            scope.spawn(move || {
+                for r in 0..PER_THREAD {
+                    let m = (t + r) % models.len();
+                    let s = (t * PER_THREAD + r) % seeds.len();
+                    let inputs = inputs_for(&runtime.plan(models[m]).unwrap());
+                    let out = runtime
+                        .infer(models[m], &inputs, RunOptions::seeded(seeds[s]))
+                        .unwrap();
+                    assert_eq!(
+                        out.primary().data,
+                        expected[m][s],
+                        "thread {t} request {r} ({}, seed {s})",
+                        models[m]
+                    );
+                }
+            });
+        }
+    });
+
+    let stats = runtime.stats();
+    assert_eq!(
+        stats.requests,
+        serial_requests + (THREADS * PER_THREAD) as u64,
+        "every request issued is counted"
+    );
+    assert_eq!(stats.failed, 0);
+    // Per-plan accounting adds up and latency percentiles are populated
+    // from the virtual clock.
+    let by_plan: u64 = stats.plans.iter().map(|p| p.requests).sum();
+    assert_eq!(by_plan, stats.requests);
+    for PlanStats {
+        p50_latency,
+        p95_latency,
+        bytes_moved,
+        ..
+    } in &stats.plans
+    {
+        assert!(*p50_latency > 0.0 && *p95_latency >= *p50_latency);
+        assert!(*bytes_moved > 0.0);
+    }
+}
+
+#[test]
+fn plan_is_send_sync_and_shareable() {
+    fn assert_send_sync<T: Send + Sync + 'static>() {}
+    assert_send_sync::<ExecutablePlan>();
+    assert_send_sync::<ModelRuntime>();
+}
+
+#[test]
+fn bert_plan_recycles_intermediates_and_freezes_bindings() {
+    let g = bert_graph(
+        "bert-mini",
+        &BertConfig {
+            layers: 2,
+            hidden: 128,
+            heads: 4,
+            seq: 64,
+            intermediate: 512,
+        },
+    );
+    let plan = engine().compile_plan(&g).unwrap();
+    // Buffer plan built once at plan() time: liveness keeps the peak
+    // number of live values strictly below the total node count.
+    let bp = plan.buffer_plan();
+    assert_eq!(bp.total_nodes(), g.nodes.len());
+    assert!(
+        bp.peak_live() < bp.total_nodes(),
+        "peak {} must be < {} nodes",
+        bp.peak_live(),
+        bp.total_nodes()
+    );
+    // Fused interiors are not even steps: steps < non-input nodes.
+    assert!(plan.steps().len() < g.nodes.len());
+    assert!(plan.fused_kernels() > 0);
+    // The binding table is keyed by name.
+    assert!(plan.inputs().iter().all(|b| !b.name.is_empty()));
+    assert_eq!(
+        plan.output_specs().len(),
+        g.outputs.len(),
+        "every declared output is served"
+    );
+    // And the frozen virtual latency matches the compile-time total.
+    let model = engine().compile(&g).unwrap();
+    assert!((plan.virtual_time_per_request() - model.total_time).abs() < 1e-12);
+}
+
+#[test]
+fn exec_error_covers_every_malformed_request() {
+    let g = attn_graph("attn");
+    let engine = engine();
+    let plan = engine.compile_plan(&g).unwrap();
+    let runtime = ModelRuntime::new();
+    let plan = runtime.register("attn", plan);
+    let good = inputs_for(&plan);
+
+    // Unknown model.
+    let err = runtime
+        .infer("nope", &good, RunOptions::default())
+        .unwrap_err();
+    assert_eq!(
+        err,
+        ExecError::UnknownModel {
+            name: "nope".into()
+        }
+    );
+
+    // Missing input.
+    let mut missing = InputSet::new();
+    missing.insert("q", ramp(&[2, 64, 32], 0));
+    missing.insert("k", ramp(&[2, 64, 32], 1));
+    let err = runtime
+        .infer("attn", &missing, RunOptions::default())
+        .unwrap_err();
+    assert_eq!(
+        err,
+        ExecError::MissingInput {
+            model: "attn".into(),
+            name: "v".into()
+        }
+    );
+
+    // Unknown input name.
+    let mut unknown = good.clone();
+    unknown.insert("mystery", ramp(&[1], 0));
+    let err = runtime
+        .infer("attn", &unknown, RunOptions::default())
+        .unwrap_err();
+    assert_eq!(
+        err,
+        ExecError::UnknownInput {
+            model: "attn".into(),
+            name: "mystery".into()
+        }
+    );
+
+    // Wrong shape.
+    let mut wrong_shape = good.clone();
+    wrong_shape.insert("v", ramp(&[2, 64, 16], 0));
+    let err = runtime
+        .infer("attn", &wrong_shape, RunOptions::default())
+        .unwrap_err();
+    assert_eq!(
+        err,
+        ExecError::ShapeMismatch {
+            model: "attn".into(),
+            node: "v".into(),
+            expected: vec![2, 64, 32],
+            got: vec![2, 64, 16],
+        }
+    );
+
+    // Wrong dtype tag (the graph stores f16).
+    let mut wrong_dtype = good.clone();
+    wrong_dtype.insert_typed("v", ramp(&[2, 64, 32], 0), DType::F32);
+    let err = runtime
+        .infer("attn", &wrong_dtype, RunOptions::default())
+        .unwrap_err();
+    assert_eq!(
+        err,
+        ExecError::DTypeMismatch {
+            model: "attn".into(),
+            node: "v".into(),
+            expected: DType::F16,
+            got: DType::F32,
+        }
+    );
+
+    // Graph/model mismatch at plan time.
+    let other = mlp_graph("mlp");
+    let model = engine.compile(&g).unwrap();
+    let err = model.plan(&other).unwrap_err();
+    assert!(matches!(err, ExecError::ModelGraphMismatch { .. }));
+
+    // Failed requests are counted, successful state is untouched.
+    let stats = runtime.stats();
+    assert_eq!(stats.failed, 5);
+    assert_eq!(stats.requests, 0);
+    // Every error Displays with its model context.
+    assert!(err.to_string().contains("mlp") || err.to_string().contains("attn"));
+}
+
+#[test]
+fn deprecated_execute_shim_matches_the_plan_path() {
+    #![allow(deprecated)]
+    let g = attn_graph("attn");
+    let engine = engine();
+    let model = engine.compile(&g).unwrap();
+    let plan = model.plan(&g).unwrap();
+
+    let mut node_inputs: rustc_hash::FxHashMap<NodeId, HostTensor> = Default::default();
+    for b in plan.inputs() {
+        node_inputs.insert(b.node, ramp(&b.shape, b.node.0 as u64));
+    }
+    let shim = engine.execute(&g, &model, &node_inputs, 5).unwrap();
+    assert_eq!(shim.len(), g.nodes.len(), "shim keeps the full value table");
+
+    let served = plan
+        .execute(
+            &InputSet::from_node_values(&node_inputs),
+            RunOptions::seeded(5),
+        )
+        .unwrap();
+    let out = g.outputs[0];
+    assert_eq!(
+        served.primary().data,
+        shim[out.0].data,
+        "plan path and shim agree bit for bit"
+    );
+    // Name-keyed and node-keyed requests agree too.
+    let by_name = plan
+        .execute(&inputs_by_name(&plan, &node_inputs), RunOptions::seeded(5))
+        .unwrap();
+    assert_eq!(by_name.primary().data, served.primary().data);
+
+    // The shim keeps the old executor's tolerance of extra map entries
+    // (e.g. a reused full value table): non-input nodes are ignored,
+    // not rejected — only the strict serving path errors on them.
+    let mut with_extra = node_inputs.clone();
+    with_extra.insert(g.outputs[0], ramp(&g.node(g.outputs[0]).shape, 0));
+    let lenient = engine.execute(&g, &model, &with_extra, 5).unwrap();
+    assert_eq!(lenient[out.0].data, shim[out.0].data);
+    assert!(matches!(
+        plan.execute(
+            &InputSet::from_node_values(&with_extra),
+            RunOptions::seeded(5)
+        ),
+        Err(ExecError::UnknownInput { .. })
+    ));
+}
+
+fn inputs_by_name(
+    plan: &ExecutablePlan,
+    node_inputs: &rustc_hash::FxHashMap<NodeId, HostTensor>,
+) -> InputSet {
+    let mut set = InputSet::new();
+    for b in plan.inputs() {
+        set.insert(b.name.clone(), node_inputs[&b.node].clone());
+    }
+    set
+}
+
+#[test]
+fn cache_persistence_failures_reach_stats_and_shutdown() {
+    // A disk cache pointed at an unwritable path: write-through tuning
+    // keeps working, EngineStats counts the failures, and a runtime that
+    // attached the cache reports them at shutdown.
+    let path = std::env::temp_dir()
+        .join(format!("mcfuser-no-dir-{}", std::process::id()))
+        .join("cache.json");
+    let engine = FusionEngine::builder(DeviceSpec::a100())
+        .fallback(Relay::new())
+        .cache(CachePolicy::DiskJson(path))
+        .build();
+    let chain = ChainSpec::gemm_chain("g", 1, 256, 128, 64, 64);
+    engine.tune(&chain).unwrap();
+    assert!(engine.stats().cache_persist_errors > 0);
+
+    let runtime = ModelRuntime::new();
+    runtime.attach_cache(engine.cache_handle().unwrap());
+    let err = runtime.shutdown().unwrap_err();
+    assert!(!err.failures.is_empty());
+    assert!(err.to_string().contains("failed to persist"));
+
+    // A healthy in-memory engine shuts down cleanly.
+    let healthy = FusionEngine::builder(DeviceSpec::a100()).build();
+    let rt = ModelRuntime::new();
+    rt.attach_cache(healthy.cache_handle().unwrap());
+    assert!(rt.shutdown().is_ok());
+    assert_eq!(healthy.stats().cache_persist_errors, 0);
+}
+
+#[test]
+fn no_public_api_returns_box_dyn_error() {
+    // Compile-time check that the serving surface is structured:
+    // every fallible entry point returns TuneError or ExecError.
+    fn takes_tune(_: &Result<TunedKernel, TuneError>) {}
+    fn takes_plan(_: &Result<ExecutablePlan, TuneError>) {}
+    fn takes_exec(_: &Result<Outputs, ExecError>) {}
+    let engine = engine();
+    let chain = ChainSpec::gemm_chain("g", 1, 256, 128, 64, 64);
+    takes_tune(&engine.tune(&chain));
+    let g = mlp_graph("mlp");
+    let plan_result = engine.compile_plan(&g);
+    takes_plan(&plan_result);
+    let plan = plan_result.unwrap();
+    takes_exec(&plan.execute(&inputs_for(&plan), RunOptions::default()));
+}
+
+#[test]
+fn registry_management_and_custom_cache_flush() {
+    // deregister removes a model; flush() default impl on a custom cache
+    // is Ok.
+    struct NullCache;
+    impl mcfuser::core::TuningCache for NullCache {
+        fn get(&self, _: &CacheKey) -> Option<CachedTuning> {
+            None
+        }
+        fn put(&self, _: &CacheKey, _: CachedTuning) {}
+        fn len(&self) -> usize {
+            0
+        }
+    }
+    assert!(NullCache.flush().is_ok());
+    assert_eq!(NullCache.persist_errors(), 0);
+
+    let runtime = ModelRuntime::new();
+    let g = mlp_graph("mlp");
+    let engine = engine();
+    let plan = runtime.register("mlp", engine.compile_plan(&g).unwrap());
+    assert_eq!(runtime.models(), vec!["mlp".to_string()]);
+
+    // Re-registering under the same name (rolling update) resets that
+    // name's stats — the old samples described the replaced plan.
+    runtime
+        .infer("mlp", &inputs_for(&plan), RunOptions::default())
+        .unwrap();
+    assert_eq!(runtime.stats().requests, 1);
+    runtime.register_arc("mlp", plan.clone());
+    assert_eq!(
+        runtime.stats().requests,
+        0,
+        "replacement resets the plan's serving stats"
+    );
+
+    assert!(runtime.deregister("mlp").is_some());
+    assert!(runtime.models().is_empty());
+    assert!(runtime.deregister("mlp").is_none());
+}
+
+#[test]
+fn plan_rejects_a_same_named_but_different_graph() {
+    // A structurally different graph under the same name must not
+    // silently mix v1 kernels with v2 reference ops.
+    let g1 = mlp_graph("m");
+    let mut g2 = mlp_graph("m");
+    g2.nodes.last_mut().unwrap().op = mcfuser::ir::Op::Relu; // same arity, different op
+    let model = engine().compile(&g1).unwrap();
+    assert!(model.plan(&g1).is_ok());
+    let err = model.plan(&g2).unwrap_err();
+    assert!(matches!(err, ExecError::ModelGraphMismatch { .. }));
+    assert!(err.to_string().contains("differs"), "{err}");
+}
+
+#[test]
+fn arena_reuse_does_not_change_results() {
+    // Repeated requests through one runtime (which pools arenas) must
+    // equal fresh plan.execute calls (which never reuse buffers).
+    let g = mlp_graph("mlp");
+    let engine = engine();
+    let plan = engine.compile_plan(&g).unwrap();
+    let runtime = ModelRuntime::new();
+    let shared = runtime.register("mlp", plan);
+    let inputs = inputs_for(&shared);
+    for seed in 0..3 {
+        let fresh = shared.execute(&inputs, RunOptions::seeded(seed)).unwrap();
+        for _ in 0..3 {
+            let pooled = runtime
+                .infer("mlp", &inputs, RunOptions::seeded(seed))
+                .unwrap();
+            assert_eq!(pooled.primary().data, fresh.primary().data);
+        }
+    }
+}
