@@ -7,8 +7,11 @@
 //! [`CandidateSpace`]: mcfuser_core::CandidateSpace
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use mcfuser_core::{build_candidate_space, prune, SearchSpace, SpacePolicy};
-use mcfuser_ir::ChainSpec;
+use mcfuser_core::{
+    build_candidate_space, build_candidate_space_scanned, prune, Rule4Scan, SearchSpace,
+    SpacePolicy,
+};
+use mcfuser_ir::{ChainSpec, Epilogue};
 use mcfuser_sim::DeviceSpec;
 use std::hint::black_box;
 
@@ -34,6 +37,25 @@ fn bench(c: &mut Criterion) {
     };
     g.bench_function("lazy_rule4_disabled", |b| {
         b.iter(|| build_candidate_space(black_box(&big), &dev, &no_rule4))
+    });
+    // Dense vs frontier Rule-4 scan on a grid past FRONTIER_MIN_GRID
+    // (the non-power-of-two 3-GEMM chain keeps 14–22 Rule-3 options per
+    // axis — ~2.9M combinations): the frontier binary-searches one row
+    // prefix per fixed setting of the slow axes instead of estimating
+    // every combination.
+    let wide = ChainSpec::chain(
+        "mlp3-1536",
+        1,
+        1536,
+        vec![1536, 768, 1536, 768],
+        vec![Epilogue::None; 3],
+    );
+    let full = SpacePolicy::default();
+    g.bench_function("rule4_scan_dense_2_9e6_grid", |b| {
+        b.iter(|| build_candidate_space_scanned(black_box(&wide), &dev, &full, Rule4Scan::Dense))
+    });
+    g.bench_function("rule4_scan_frontier_2_9e6_grid", |b| {
+        b.iter(|| build_candidate_space_scanned(black_box(&wide), &dev, &full, Rule4Scan::Frontier))
     });
     // Indexed decoding: the hot operation of sampling-based search.
     let pruned = prune(&big, &dev, &big_space);

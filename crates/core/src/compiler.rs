@@ -7,12 +7,15 @@
 //! `MCFuser+Ansor` from Fig. 9 are an engine with different fallbacks.
 //!
 //! Graph compilation lives on [`FusionEngine::compile`] /
-//! [`FusionEngine::execute`]. (The 0.2 free-function shims
-//! `compile_graph` / `execute_compiled` have been removed; build a
-//! session with `FusionEngine::builder(dev)` instead.)
+//! [`FusionEngine::compile_plan`]; execution goes through
+//! [`ExecutablePlan`](crate::ExecutablePlan) and
+//! [`ModelRuntime`](crate::ModelRuntime). (The 0.2 free-function shims
+//! `compile_graph` / `execute_compiled` and the one-shot-plan
+//! `FusionEngine::execute` have all been removed; build a session with
+//! `FusionEngine::builder(dev)` instead.)
 //!
 //! [`FusionEngine::compile`]: crate::engine::FusionEngine::compile
-//! [`FusionEngine::execute`]: crate::engine::FusionEngine::execute
+//! [`FusionEngine::compile_plan`]: crate::engine::FusionEngine::compile_plan
 
 use mcfuser_ir::{Graph, NodeId};
 use mcfuser_sim::DeviceSpec;
@@ -81,16 +84,17 @@ mod tests {
         );
     }
 
-    /// Migrated from the removed `execute_compiled` shim test: the
-    /// deprecated `FusionEngine::execute` shim and the plan path it
-    /// wraps must agree on every node value.
+    /// Migrated from the removed `execute_compiled` / `FusionEngine::
+    /// execute` shims: a compiled model frozen into a plan serves
+    /// finite outputs, and node-keyed requests (the old shim's calling
+    /// convention, via `InputSet::from_node_values`) agree with
+    /// name-keyed ones bit for bit.
     #[test]
-    fn engine_execute_runs_compiled_model() {
+    fn compiled_plan_serves_node_and_name_keyed_requests() {
         let g = tiny_attention_graph();
         let engine = FusionEngine::builder(DeviceSpec::a100())
             .fallback(FlatCost)
             .build();
-        let model = engine.compile(&g).unwrap();
         let mut inputs: FxHashMap<NodeId, HostTensor> = FxHashMap::default();
         for (i, node) in g.nodes.iter().enumerate() {
             if matches!(node.op, mcfuser_ir::Op::Input) {
@@ -104,19 +108,24 @@ mod tests {
                 );
             }
         }
-        #[allow(deprecated)]
-        let values = engine.execute(&g, &model, &inputs, 7).unwrap();
-        assert_eq!(values.len(), g.nodes.len());
-        assert!(values.iter().all(|t| t.data.iter().all(|v| v.is_finite())));
-
-        // The plan path serves the same outputs.
         let plan = engine.compile_plan(&g).unwrap();
-        let mut set = crate::InputSet::new();
-        for (&n, t) in &inputs {
-            set.insert_node(n, t.clone());
+        let by_node = plan
+            .execute(
+                &crate::InputSet::from_node_values(&inputs),
+                crate::RunOptions::seeded(7),
+            )
+            .unwrap();
+        assert!(by_node
+            .iter()
+            .all(|(_, t)| t.data.iter().all(|v| v.is_finite())));
+
+        let mut by_name = crate::InputSet::new();
+        for b in plan.inputs() {
+            by_name.insert(b.name.clone(), inputs[&b.node].clone());
         }
-        let outputs = plan.execute(&set, crate::RunOptions::seeded(7)).unwrap();
-        let out = g.outputs[0];
-        assert_eq!(outputs.primary().data, values[out.0].data);
+        let named = plan
+            .execute(&by_name, crate::RunOptions::seeded(7))
+            .unwrap();
+        assert_eq!(named.primary().data, by_node.primary().data);
     }
 }

@@ -1,8 +1,9 @@
 //! The `FusionEngine` session API — one configured entry point for
 //! everything the paper's pipeline does (§III–§V): per-chain tuning,
 //! end-to-end graph compilation with MBCI partitioning, fallback pricing
-//! of the non-fused remainder, and functional execution of the compiled
-//! model.
+//! of the non-fused remainder, and freezing compiled models into
+//! serving plans ([`FusionEngine::compile_plan`] →
+//! [`ModelRuntime`](crate::ModelRuntime)).
 //!
 //! Previously these lived behind three disjoint entry points
 //! (`McFuser::tune`, a free `compile_graph`, `Backend::run_chain`) with no
@@ -37,21 +38,22 @@
 //! ```
 
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 use rustc_hash::FxHashMap;
 
 use mcfuser_ir::{partition, ChainSpec, Graph, NodeId};
-use mcfuser_sim::{measure_noisy, DeviceSpec, HostTensor, TuningClock, TuningReport};
+use mcfuser_sim::{measure_noisy, DeviceSpec, TuningClock, TuningReport};
 use mcfuser_tile::{lower, Candidate, LoweringOptions, TilingExpr};
 
 use crate::cache::{CacheKey, CachedTuning, JsonDiskCache, MemoryCache, TuningCache};
 use crate::compiler::OpCostModel;
-use crate::plan::{ExecError, ExecutablePlan, InputSet};
+use crate::plan::ExecutablePlan;
 use crate::search::SearchParams;
-use crate::tuner::{McFuser, SpacePolicy, TuneError, TunedKernel};
+use crate::space::{space_fingerprint, CandidateSpace, SpaceCache};
+use crate::tuner::{build_candidate_space, McFuser, SpacePolicy, TuneError, TunedKernel};
 
 /// One fused sub-graph in a compiled model.
 #[derive(Debug, Clone)]
@@ -138,6 +140,16 @@ pub struct EngineStats {
     /// [`ModelRuntime::shutdown`](crate::ModelRuntime::shutdown)) to get
     /// the failure as a `Result`.
     pub cache_persist_errors: u64,
+    /// Candidate spaces built from scratch (each one Rule-4 scan).
+    /// With the space cache enabled this counts *distinct space
+    /// fingerprints*, not tuning tasks: N same-shaped chains cost one
+    /// build.
+    pub space_builds: u64,
+    /// Tuning tasks whose candidate space was served from the engine's
+    /// [`SpaceCache`] (always 0 with the cache disabled, or when the
+    /// tuning cache answered first — a schedule hit never builds a
+    /// space at all).
+    pub space_cache_hits: u64,
 }
 
 /// Configures and constructs a [`FusionEngine`].
@@ -149,6 +161,7 @@ pub struct EngineBuilder {
     cache: CachePolicy,
     custom_cache: Option<Box<dyn TuningCache>>,
     parallelism: usize,
+    space_caching: bool,
 }
 
 impl EngineBuilder {
@@ -162,6 +175,7 @@ impl EngineBuilder {
             cache: CachePolicy::default(),
             custom_cache: None,
             parallelism: 1,
+            space_caching: true,
         }
     }
 
@@ -205,6 +219,18 @@ impl EngineBuilder {
         self
     }
 
+    /// Whether the engine shares built candidate spaces across tuning
+    /// tasks (default: on). Spaces are content-addressed by
+    /// [`space_fingerprint`] — everything construction depends on
+    /// except the chain's name — so N same-shaped chains (every BERT
+    /// layer) pay for one Rule-4 scan instead of N. Results are
+    /// bit-identical either way; disable only to measure the scan cost
+    /// itself (the `tune_smoke` bench does).
+    pub fn space_cache(mut self, enabled: bool) -> Self {
+        self.space_caching = enabled;
+        self
+    }
+
     /// Number of worker threads for independent chains (1 = serial;
     /// results are bit-identical at any degree). 0 selects the host's
     /// available parallelism.
@@ -235,6 +261,8 @@ impl EngineBuilder {
             policy: self.policy,
             fallback: self.fallback,
             cache,
+            spaces: self.space_caching.then(SpaceCache::new),
+            space_builds: AtomicU64::new(0),
             parallelism: self.parallelism.max(1),
             clock: TuningClock::new(),
             stats: Mutex::new(EngineStats::default()),
@@ -251,6 +279,11 @@ pub struct FusionEngine {
     policy: SpacePolicy,
     fallback: Option<Arc<dyn OpCostModel + Send + Sync>>,
     cache: Option<Arc<dyn TuningCache>>,
+    /// Built candidate spaces, shared across same-shaped tuning tasks
+    /// (`None` when disabled via [`EngineBuilder::space_cache`]).
+    spaces: Option<SpaceCache>,
+    /// Fresh space constructions, cache or not (the Rule-4 scan probe).
+    space_builds: AtomicU64,
     parallelism: usize,
     clock: TuningClock,
     stats: Mutex<EngineStats>,
@@ -262,6 +295,7 @@ impl std::fmt::Debug for FusionEngine {
             .field("device", &self.device.name)
             .field("parallelism", &self.parallelism)
             .field("cached_entries", &self.cache.as_ref().map(|c| c.len()))
+            .field("cached_spaces", &self.spaces.as_ref().map(|s| s.len()))
             .field("fallback", &self.fallback.as_ref().map(|b| b.name()))
             .finish()
     }
@@ -284,10 +318,12 @@ impl FusionEngine {
     }
 
     /// Session counters (cache hits/misses, graphs compiled, cache
-    /// persistence failures).
+    /// persistence failures, space builds and space-cache hits).
     pub fn stats(&self) -> EngineStats {
         let mut stats = self.stats.lock().clone();
         stats.cache_persist_errors = self.cache.as_ref().map(|c| c.persist_errors()).unwrap_or(0);
+        stats.space_builds = self.space_builds.load(Ordering::Relaxed);
+        stats.space_cache_hits = self.spaces.as_ref().map(|s| s.hits()).unwrap_or(0);
         stats
     }
 
@@ -479,29 +515,6 @@ impl FusionEngine {
         })
     }
 
-    /// Execute a compiled model *for value*, returning every graph
-    /// node's value (like [`mcfuser_ir::evaluate`]).
-    ///
-    /// Deprecated: this re-packages the model into a one-shot
-    /// [`ExecutablePlan`] on every call. Build the plan once via
-    /// [`FusionEngine::compile_plan`] (or [`CompiledModel::plan`]) and
-    /// serve it through a [`ModelRuntime`](crate::ModelRuntime); this
-    /// shim will be removed in the next release.
-    #[deprecated(
-        note = "build an ExecutablePlan once (FusionEngine::compile_plan / CompiledModel::plan) \
-                and serve it through ModelRuntime::infer"
-    )]
-    pub fn execute(
-        &self,
-        graph: &Graph,
-        model: &CompiledModel,
-        inputs: &FxHashMap<NodeId, HostTensor>,
-        seed: u64,
-    ) -> Result<Vec<HostTensor>, ExecError> {
-        let plan = model.plan(graph)?;
-        plan.execute_all_values(&InputSet::from_node_values(inputs), seed)
-    }
-
     fn key_for(&self, chain: &ChainSpec, transposed_inputs: &[bool]) -> CacheKey {
         CacheKey::new(
             chain,
@@ -529,9 +542,10 @@ impl FusionEngine {
             }
         }
         let local = TuningClock::new();
+        let space = self.space_for(chain);
         let tuned = self
             .tuner
-            .tune_with_policy(chain, &self.device, &local, &self.policy)?;
+            .tune_in_space(chain, &self.device, &local, &space)?;
         // The local report is returned to the caller, which absorbs it
         // into the session clock in deterministic (input) order — never
         // here on a worker thread, where completion order would make the
@@ -542,6 +556,24 @@ impl FusionEngine {
             cache.put(&key, CachedTuning::from_tuned(&tuned));
         }
         Ok((tuned, Some(report)))
+    }
+
+    /// The candidate space for a chain — shared through the engine's
+    /// [`SpaceCache`] (content-addressed, so every same-shaped chain and
+    /// every layout variant of one reuses a single Rule-4 scan), or
+    /// built fresh when space caching is disabled. Only reached on
+    /// tuning-cache misses: a schedule hit rehydrates without a space.
+    fn space_for(&self, chain: &ChainSpec) -> Arc<CandidateSpace> {
+        let build = || {
+            self.space_builds.fetch_add(1, Ordering::Relaxed);
+            build_candidate_space(chain, &self.device, &self.policy)
+        };
+        match &self.spaces {
+            Some(cache) => {
+                cache.get_or_build(space_fingerprint(chain, &self.device, &self.policy), build)
+            }
+            None => Arc::new(build()),
+        }
     }
 
     /// Rebuild a [`TunedKernel`] from a cached schedule: parse the
@@ -663,6 +695,8 @@ mod tests {
                 cache_misses: 1,
                 graphs_compiled: 0,
                 cache_persist_errors: 0,
+                space_builds: 1,
+                space_cache_hits: 0,
             }
         );
     }

@@ -6,6 +6,10 @@
 //!   expressions (§III-A), and the lazy O(1)-indexed
 //!   [`CandidateSpace`] the tuner explores — no candidate `Vec`, no
 //!   materialization cap, every pruning survivor reachable by index;
+//!   spaces are content-addressed and shared across same-shaped chains
+//!   through the engine-level [`SpaceCache`], and large grids build
+//!   their Rule-4 index with a monotone per-axis frontier
+//!   ([`Rule4Scan`]) instead of a dense sweep;
 //! * [`prune`](mod@prune) — pruning Rules 1–4 with the Fig. 7 waterfall (§III-C);
 //!   Rule 4 is a parallel scan that becomes the space's survivor index,
 //!   so [`PruneStats::after_rule4`](prune::PruneStats::after_rule4) is
@@ -86,7 +90,11 @@ pub use plan::{
 pub use prune::{prune, rule2_ok, rule3_tiles, PruneStats};
 pub use runtime::{ModelRuntime, PlanStats, RuntimeStats, ShutdownError};
 pub use search::{heuristic_search, CandidateRef, MeasuredSet, SearchOutcome, SearchParams};
-pub use space::{CandidateSpace, SearchSpace};
+pub use space::{
+    space_fingerprint, CandidateSpace, Rule4Scan, SearchSpace, SpaceCache, FRONTIER_MIN_AXIS,
+    FRONTIER_MIN_GRID,
+};
 pub use tuner::{
-    build_candidate_space, McFuser, Rule4Rejection, SpacePolicy, TuneError, TunedKernel,
+    build_candidate_space, build_candidate_space_scanned, McFuser, Rule4Rejection, SpacePolicy,
+    TuneError, TunedKernel,
 };

@@ -246,7 +246,9 @@ impl InputSet {
     }
 
     /// Build a set from a `NodeId → tensor` map (the pre-plan calling
-    /// convention; used by the deprecated `FusionEngine::execute` shim).
+    /// convention — handy when the caller already addresses graph nodes
+    /// by id, e.g. code migrating from the removed
+    /// `FusionEngine::execute`).
     pub fn from_node_values(map: &FxHashMap<NodeId, HostTensor>) -> Self {
         InputSet {
             by_name: FxHashMap::default(),
@@ -482,7 +484,7 @@ impl ExecutablePlan {
         opts: RunOptions,
         arena: &mut BufferArena,
     ) -> Result<Outputs, ExecError> {
-        let mut values = self.bind_inputs(inputs, true)?;
+        let mut values = self.bind_inputs(inputs)?;
         let empty: FxHashMap<NodeId, HostTensor> = FxHashMap::default();
         for (s, step) in self.steps.iter().enumerate() {
             match step {
@@ -517,8 +519,7 @@ impl ExecutablePlan {
 
     /// Run the fused step `steps[s]`: stage its data inputs into an
     /// arena-backed storage, execute the kernel, publish the output into
-    /// the value table. Shared by [`ExecutablePlan::execute_in`] and the
-    /// deprecated-shim path so the two can never drift.
+    /// the value table.
     fn run_fused_step(
         &self,
         s: usize,
@@ -576,62 +577,25 @@ impl ExecutablePlan {
         Ok(())
     }
 
-    /// Compatibility execution returning *every* node's value (fused
-    /// chains run on the simulator, interior chain nodes are re-derived
-    /// on the reference path, nothing is released) — the behavior of the
-    /// pre-plan `FusionEngine::execute`, including its tolerance of
-    /// extra entries in the input map (non-strict binding).
-    pub(crate) fn execute_all_values(
-        &self,
-        inputs: &InputSet,
-        seed: u64,
-    ) -> Result<Vec<HostTensor>, ExecError> {
-        let mut values = self.bind_inputs(inputs, false)?;
-        let empty: FxHashMap<NodeId, HostTensor> = FxHashMap::default();
-        let mut arena = BufferArena::new();
-        for i in 0..self.graph.nodes.len() {
-            let id = NodeId(i);
-            if values[i].is_some() {
-                continue; // bound input
-            }
-            if let Some(&s) = self.fused_of.get(&id) {
-                self.run_fused_step(s, &mut values, &mut arena)?;
-            } else {
-                let v = mcfuser_ir::evaluate_node(&self.graph, id, &values, &empty, seed)
-                    .map_err(|e| self.reference_error(id, e))?;
-                values[i] = Some(v);
+    /// Validate the request's inputs against the binding table and seed
+    /// the value slots: missing inputs, undeclared inputs,
+    /// declared-shape mismatches, and wrong dtype tags are all
+    /// structured errors (the serving API's strict contract).
+    fn bind_inputs(&self, inputs: &InputSet) -> Result<Vec<Option<HostTensor>>, ExecError> {
+        for name in inputs.by_name.keys() {
+            if !self.inputs.iter().any(|b| &b.name == name) {
+                return Err(ExecError::UnknownInput {
+                    model: self.name.clone(),
+                    name: name.clone(),
+                });
             }
         }
-        Ok(values.into_iter().map(Option::unwrap).collect())
-    }
-
-    /// Validate the request's inputs against the binding table and seed
-    /// the value slots. Missing inputs and wrong dtype tags are always
-    /// structured errors; `strict` (the serving API's contract)
-    /// additionally rejects undeclared inputs and declared-shape
-    /// mismatches, while the deprecated shim keeps the old executor's
-    /// tolerance of both.
-    fn bind_inputs(
-        &self,
-        inputs: &InputSet,
-        strict: bool,
-    ) -> Result<Vec<Option<HostTensor>>, ExecError> {
-        if strict {
-            for name in inputs.by_name.keys() {
-                if !self.inputs.iter().any(|b| &b.name == name) {
-                    return Err(ExecError::UnknownInput {
-                        model: self.name.clone(),
-                        name: name.clone(),
-                    });
-                }
-            }
-            for node in inputs.by_node.keys() {
-                if !self.inputs.iter().any(|b| b.node == *node) {
-                    return Err(ExecError::UnknownInput {
-                        model: self.name.clone(),
-                        name: format!("node #{}", node.0),
-                    });
-                }
+        for node in inputs.by_node.keys() {
+            if !self.inputs.iter().any(|b| b.node == *node) {
+                return Err(ExecError::UnknownInput {
+                    model: self.name.clone(),
+                    name: format!("node #{}", node.0),
+                });
             }
         }
         let mut values: Vec<Option<HostTensor>> = vec![None; self.graph.nodes.len()];
@@ -652,10 +616,7 @@ impl ExecutablePlan {
                     });
                 }
             }
-            // The old executor bound whatever tensor the caller passed
-            // (shape and all); the lenient shim path keeps doing so —
-            // only the serving path enforces the declared shape.
-            if strict && tagged.tensor.shape != binding.shape {
+            if tagged.tensor.shape != binding.shape {
                 return Err(ExecError::ShapeMismatch {
                     model: self.name.clone(),
                     node: binding.name.clone(),

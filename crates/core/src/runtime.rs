@@ -44,6 +44,7 @@
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
+use rand::prelude::*;
 use rustc_hash::FxHashMap;
 
 use mcfuser_sim::BufferArena;
@@ -55,13 +56,77 @@ use crate::plan::{ExecError, ExecutablePlan, InputSet, Outputs, RunOptions};
 /// concurrently executing requests worth keeping warm).
 const ARENA_POOL_LIMIT: usize = 32;
 
-/// Latency samples retained per plan. A plan's per-request virtual
-/// latency is frozen at plan time, so the first samples describe the
-/// distribution exactly; the cap keeps a long-running runtime's memory
-/// (and the `stats()` sort) bounded no matter how many requests it
-/// serves. (If latency ever becomes input-dependent, replace the
-/// truncation with reservoir sampling.)
+/// Latency samples retained per plan — the reservoir size. The cap
+/// keeps a long-running runtime's memory (and the `stats()` sort)
+/// bounded no matter how many requests it serves.
 const LATENCY_SAMPLE_CAP: usize = 4096;
+
+/// A fixed-size uniform sample of a latency stream (Vitter's
+/// Algorithm R), deterministic per seed.
+///
+/// The previous implementation kept only the *first*
+/// [`LATENCY_SAMPLE_CAP`] samples, so percentiles were permanently
+/// biased toward cold-start requests: once the buffer filled, a
+/// late-arriving slow request could never move p95. The reservoir
+/// keeps every position of the stream equally likely to be retained —
+/// after `n` pushes each sample survives with probability `cap / n` —
+/// so the retained set stays a faithful picture of the whole serving
+/// history. The RNG is seeded from the model name, so two runs of the
+/// same request sequence report identical percentiles.
+#[derive(Debug)]
+struct LatencyReservoir {
+    samples: Vec<f64>,
+    /// Samples pushed so far (not capped).
+    seen: u64,
+    cap: usize,
+    rng: StdRng,
+}
+
+impl LatencyReservoir {
+    fn new(seed: u64) -> Self {
+        Self::with_cap(LATENCY_SAMPLE_CAP, seed)
+    }
+
+    fn with_cap(cap: usize, seed: u64) -> Self {
+        LatencyReservoir {
+            samples: Vec::new(),
+            seen: 0,
+            cap: cap.max(1),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Record one latency sample (Algorithm R: the `n`-th sample enters
+    /// the reservoir with probability `cap / n`, evicting a uniformly
+    /// random resident).
+    fn push(&mut self, latency: f64) {
+        self.seen += 1;
+        if self.samples.len() < self.cap {
+            self.samples.push(latency);
+            return;
+        }
+        let j = self.rng.gen_range(0..self.seen);
+        if (j as usize) < self.cap {
+            self.samples[j as usize] = latency;
+        }
+    }
+
+    /// The retained samples, ascending (for percentile extraction).
+    fn sorted(&self) -> Vec<f64> {
+        let mut s = self.samples.clone();
+        s.sort_by(f64::total_cmp);
+        s
+    }
+}
+
+/// Deterministic reservoir seed for a model name (Fx hash of the name,
+/// so a re-registered model replays identically).
+fn reservoir_seed(model: &str) -> u64 {
+    use std::hash::Hasher;
+    let mut h = rustc_hash::FxHasher::default();
+    h.write(model.as_bytes());
+    h.finish()
+}
 
 /// Per-plan serving counters.
 #[derive(Debug, Clone, PartialEq)]
@@ -96,11 +161,21 @@ impl RuntimeStats {
     }
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct PlanRecord {
     requests: u64,
-    latencies: Vec<f64>,
+    latencies: LatencyReservoir,
     bytes: f64,
+}
+
+impl PlanRecord {
+    fn new(model: &str) -> Self {
+        PlanRecord {
+            requests: 0,
+            latencies: LatencyReservoir::new(reservoir_seed(model)),
+            bytes: 0.0,
+        }
+    }
 }
 
 /// Flushing attached tuning caches at shutdown failed.
@@ -223,11 +298,11 @@ impl ModelRuntime {
         match &result {
             Ok(_) => {
                 let mut records = self.records.lock();
-                let rec = records.entry(model.to_string()).or_default();
+                let rec = records
+                    .entry(model.to_string())
+                    .or_insert_with(|| PlanRecord::new(model));
                 rec.requests += 1;
-                if rec.latencies.len() < LATENCY_SAMPLE_CAP {
-                    rec.latencies.push(plan.virtual_time_per_request());
-                }
+                rec.latencies.push(plan.virtual_time_per_request());
                 rec.bytes += plan.bytes_per_request();
             }
             Err(_) => *self.failed.lock() += 1,
@@ -241,8 +316,7 @@ impl ModelRuntime {
         let mut plans: Vec<PlanStats> = records
             .iter()
             .map(|(model, rec)| {
-                let mut sorted = rec.latencies.clone();
-                sorted.sort_by(f64::total_cmp);
+                let sorted = rec.latencies.sorted();
                 PlanStats {
                     model: model.clone(),
                     requests: rec.requests,
@@ -325,5 +399,112 @@ mod tests {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<ModelRuntime>();
         assert_send_sync::<ExecutablePlan>();
+    }
+
+    #[test]
+    fn late_slow_requests_move_p95() {
+        // Regression for the first-CAP truncation: a reservoir that has
+        // already seen `cap` fast cold-start samples must still let a
+        // late-arriving slow phase move the tail percentile. With
+        // truncation, p95 stayed at the fast latency forever.
+        let cap = 64;
+        let mut res = LatencyReservoir::with_cap(cap, reservoir_seed("m"));
+        for _ in 0..cap {
+            res.push(1e-4); // fast cold-start phase fills the buffer
+        }
+        let before = percentile(&res.sorted(), 0.95);
+        assert_eq!(before, 1e-4);
+        // A long slow phase: 10× the reservoir size at 10× the latency.
+        for _ in 0..cap * 10 {
+            res.push(1e-3);
+        }
+        let after = percentile(&res.sorted(), 0.95);
+        assert_eq!(after, 1e-3, "p95 must reflect the dominant late slow phase");
+        // The median too: ~10/11 of the stream is slow.
+        assert_eq!(percentile(&res.sorted(), 0.50), 1e-3);
+        // Memory stays bounded at the cap.
+        assert_eq!(res.samples.len(), cap);
+        assert_eq!(res.seen, (cap * 11) as u64);
+    }
+
+    #[test]
+    fn reservoir_is_deterministic_and_roughly_uniform() {
+        // Same seed + same stream → identical retained samples (the
+        // serving stats of a replayed request log are reproducible).
+        let stream: Vec<f64> = (0..5000).map(|i| i as f64).collect();
+        let run = |seed: u64| {
+            let mut r = LatencyReservoir::with_cap(128, seed);
+            for &x in &stream {
+                r.push(x);
+            }
+            r.sorted()
+        };
+        assert_eq!(run(7), run(7));
+        // Uniformity smoke check: the retained sample of a 0..5000 ramp
+        // has roughly half its mass below the midpoint (Algorithm R
+        // keeps each position with equal probability; truncation would
+        // put *all* 128 samples below 128).
+        let kept = run(reservoir_seed("bert"));
+        let below_mid = kept.iter().filter(|&&x| x < 2500.0).count();
+        assert!(
+            (32..=96).contains(&below_mid),
+            "suspiciously non-uniform reservoir: {below_mid}/128 below midpoint"
+        );
+        assert!(
+            kept.iter().any(|&x| x >= 4000.0),
+            "the tail of the stream must be reachable"
+        );
+    }
+
+    #[test]
+    fn reregistering_a_model_resets_and_reseeds_its_stats() {
+        use crate::compiler::OpCostModel;
+        use mcfuser_ir::{Graph, GraphBuilder, NodeId};
+        use mcfuser_sim::{DType, DeviceSpec, HostTensor};
+
+        struct Flat;
+        impl OpCostModel for Flat {
+            fn name(&self) -> &str {
+                "flat"
+            }
+            fn op_time(&self, _: &Graph, _: NodeId, _: &DeviceSpec) -> f64 {
+                1e-5
+            }
+            fn tuning_seconds(&self, _: &Graph, _: &[NodeId], _: &DeviceSpec) -> f64 {
+                0.0
+            }
+        }
+
+        let mut gb = GraphBuilder::new("m", DType::F16);
+        let x = gb.input("x", vec![64, 32]);
+        let y = gb.linear("fc1", x, 64, false);
+        let g = gb.finish(vec![y]);
+        let engine = crate::FusionEngine::builder(DeviceSpec::a100())
+            .fallback(Flat)
+            .build();
+        let plan = engine.compile_plan(&g).unwrap();
+
+        let rt = ModelRuntime::new();
+        let plan = rt.register("m", plan);
+        let inputs = InputSet::new().with("x", HostTensor::zeros(&[64, 32]));
+        for s in 0..3 {
+            rt.infer("m", &inputs, RunOptions::seeded(s)).unwrap();
+        }
+        assert_eq!(rt.stats().plan("m").unwrap().requests, 3);
+
+        // Re-registering the name (rolling restart) drops the record:
+        // retained latency samples and counts described the old epoch.
+        rt.register_arc("m", plan);
+        assert!(
+            rt.stats().plan("m").is_none(),
+            "re-registering must reset the model's serving stats"
+        );
+        rt.infer("m", &inputs, RunOptions::default()).unwrap();
+        assert_eq!(rt.stats().plan("m").unwrap().requests, 1);
+
+        // The fresh record's reservoir reseeds from the model name, so
+        // a replayed request log reports identical percentiles.
+        assert_eq!(reservoir_seed("m"), reservoir_seed("m"));
+        assert_ne!(reservoir_seed("m"), reservoir_seed("n"));
     }
 }

@@ -227,6 +227,37 @@ fn rank_score(chain: &ChainSpec, cand: &Candidate, dev: &DeviceSpec, params: &Se
 /// mutants).
 type Member = (CandidateRef, Candidate);
 
+/// Cap on a single breeding weight. `1 / estimate` overflows to `+inf`
+/// for a zero Eq. 2 estimate (a degenerate but reachable model output),
+/// and a single non-finite weight makes [`WeightedIndex`] reject the
+/// whole distribution — the round would silently fall back to uniform
+/// resampling (or stop breeding entirely), discarding the selection
+/// pressure. The cap keeps a zero-estimate candidate what it should be:
+/// overwhelmingly likely to be selected, not poisonous. Small enough
+/// that a full population of capped weights still sums finitely.
+const MAX_BREED_WEIGHT: f64 = 1e300;
+
+/// Selection weights for breeding: probability ∝ 1/estimate, with
+/// non-finite estimates masked to 0 and the inverse clamped to
+/// [`MAX_BREED_WEIGHT`] so no estimate — however small — can defeat
+/// [`WeightedIndex`].
+fn breeding_weights(estimates: &[f64]) -> Vec<f64> {
+    estimates
+        .iter()
+        .map(|&e| {
+            if !e.is_finite() || e < 0.0 {
+                0.0
+            } else if e == 0.0 {
+                // Both zeros: `1.0 / -0.0` is -inf, which would defeat
+                // WeightedIndex just like the +inf this function guards.
+                MAX_BREED_WEIGHT
+            } else {
+                (1.0 / e).min(MAX_BREED_WEIGHT)
+            }
+        })
+        .collect()
+}
+
 /// Breed the next population: selection probability ∝ weight, one
 /// tile-size mutation per child. Returns `None` when the weights defeat
 /// [`WeightedIndex`] (all-zero after masking, or non-finite) — the
@@ -421,10 +452,7 @@ pub fn heuristic_search(
         }
 
         // Line 17: next population by estimate-weighted mutation.
-        let weights: Vec<f64> = estimates
-            .iter()
-            .map(|&e| if e.is_finite() { 1.0 / e } else { 0.0 })
-            .collect();
+        let weights = breeding_weights(&estimates);
         if weights.iter().sum::<f64>() <= 0.0 {
             population = (0..params.population)
                 .map(|_| sample_idx(&mut rng))
@@ -624,6 +652,57 @@ mod tests {
         let next = breed_population(&population, &[1.0, 2.0, 3.0, 4.0], &pruned, &mut rng, 8)
             .expect("finite weights breed");
         assert_eq!(next.len(), 8);
+    }
+
+    #[test]
+    fn zero_estimates_breed_instead_of_defeating_weighted_index() {
+        // Regression: weights were computed as a bare `1.0 / e`, so a
+        // zero Eq. 2 estimate produced a `+inf` weight, WeightedIndex
+        // rejected the whole distribution, and the round silently lost
+        // its selection pressure (uniform resampling / early stop).
+        // Clamped weights must keep the distribution buildable and give
+        // the zero-estimate member (the model's "fastest") dominant —
+        // but not exclusive — selection probability.
+        let weights = breeding_weights(&[0.0, -0.0, 1e-3, f64::INFINITY, f64::NAN, -1.0]);
+        assert_eq!(
+            weights,
+            vec![MAX_BREED_WEIGHT, MAX_BREED_WEIGHT, 1e3, 0.0, 0.0, 0.0]
+        );
+        assert!(weights.iter().all(|w| w.is_finite()));
+        assert!(weights.iter().sum::<f64>().is_finite());
+        assert!(WeightedIndex::new(&weights).is_ok());
+
+        // End to end through breed_population: a population whose
+        // estimates include an exact zero still breeds a full next
+        // generation.
+        let chain = ChainSpec::gemm_chain("g", 1, 512, 256, 64, 64);
+        let pruned = pruned_space(&chain, &DeviceSpec::a100());
+        let population: Vec<Member> = (0..4)
+            .map(|i| {
+                let idx = i % pruned.len();
+                (CandidateRef::Indexed(idx), pruned.candidate(idx))
+            })
+            .collect();
+        let mut rng = StdRng::seed_from_u64(3);
+        let next = breed_population(
+            &population,
+            &breeding_weights(&[0.0, 2e-6, 3e-6, 5e-6]),
+            &pruned,
+            &mut rng,
+            8,
+        )
+        .expect("a zero estimate must not defeat breeding");
+        assert_eq!(next.len(), 8);
+        // An all-zero-weight vector (every estimate non-finite) is still
+        // rejected — that is the caller's resample path, by design.
+        assert!(breed_population(
+            &population,
+            &breeding_weights(&[f64::NAN; 4]),
+            &pruned,
+            &mut rng,
+            4
+        )
+        .is_none());
     }
 
     #[test]

@@ -17,14 +17,23 @@
 //!   `(expression, tile vector)`. Rule 4 is an indexed filter over the
 //!   Rule-3 tile grid, built in parallel — every surviving candidate is
 //!   reachable by index, with no materialization cap and no truncation
-//!   bias.
+//!   bias. Large grids build the filter with a monotone per-axis
+//!   frontier ([`Rule4Scan`]) instead of a dense sweep.
+//!
+//! Built spaces are content-addressed ([`space_fingerprint`]) and
+//! shareable across tuning tasks through the engine-level
+//! [`SpaceCache`]: N same-shaped chains (every BERT layer) pay for one
+//! Rule-4 scan instead of N.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
 use parking_lot::Mutex;
 use rand::prelude::*;
+use rustc_hash::FxHashMap;
 
 use mcfuser_ir::ChainSpec;
+use mcfuser_sim::DeviceSpec;
 use mcfuser_tile::{
     enumerate_all, estimate_shmem_bytes_for_tiles, tile_option_count, tile_options, Candidate,
     TilingExpr, RULE4_MARGIN,
@@ -83,6 +92,53 @@ impl SearchSpace {
 /// Larger grids switch to the block-rank index, whose memory is
 /// `O(grid / RANK_BLOCK)` regardless of how many combinations survive.
 const COMPACT_LIMIT: u64 = 1 << 22;
+
+/// Rule-3 grids at least this large use the monotone per-axis frontier
+/// scan under [`Rule4Scan::Auto`] instead of evaluating Eq. 1 on every
+/// combination: below it the dense scan's simplicity wins, above it the
+/// frontier's `O(grid / |axis₀| · log |axis₀|)` estimate count does.
+pub const FRONTIER_MIN_GRID: u64 = 1 << 16;
+
+/// The frontier only pays off when the binary-searched (fastest) axis
+/// offers enough tile options that `log₂ |axis₀| < |axis₀|` matters.
+pub const FRONTIER_MIN_AXIS: usize = 4;
+
+/// How the Rule-4 survivor index is computed over the Rule-3 tile grid.
+/// Both strategies produce *bit-identical* indexes (proptest-verified in
+/// `tests/candidate_space.rs`); they differ only in how many Eq. 1
+/// estimates they evaluate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Rule4Scan {
+    /// Pick per grid: the frontier for grids past [`FRONTIER_MIN_GRID`]
+    /// whose fastest axis has at least [`FRONTIER_MIN_AXIS`] options,
+    /// the dense scan otherwise.
+    #[default]
+    Auto,
+    /// Evaluate Eq. 1 on every Rule-3 combination (one pass over the
+    /// grid, chunk-parallel).
+    Dense,
+    /// Exploit Eq. 1's monotonicity: the estimate is a sum of
+    /// `tileᵢ · tileⱼ` products, so it is non-decreasing in every tile
+    /// extent, and the ascending Rule-3 domains make the survivors of
+    /// each grid *row* (a fixed setting of all axes but the fastest) a
+    /// prefix of axis 0. One binary search per row replaces `|axis₀|`
+    /// dense estimates — `O(surface · log)` instead of `O(volume)` work.
+    Frontier,
+}
+
+impl Rule4Scan {
+    /// Resolve `Auto` against a concrete grid.
+    fn use_frontier(self, tile_domains: &[Vec<u64>], grid: u64) -> bool {
+        match self {
+            Rule4Scan::Dense => false,
+            Rule4Scan::Frontier => true,
+            Rule4Scan::Auto => {
+                grid >= FRONTIER_MIN_GRID
+                    && tile_domains.first().map_or(0, Vec::len) >= FRONTIER_MIN_AXIS
+            }
+        }
+    }
+}
 
 /// Block size of the rank index for very large tile grids.
 const RANK_BLOCK: u64 = 1024;
@@ -152,6 +208,10 @@ pub struct CandidateSpace {
     /// How many block re-filters the `Ranked` path has performed (the
     /// decode-cost probe behind the regression tests).
     decodes: AtomicU64,
+    /// Whether the Rule-4 index was built by the monotone frontier scan
+    /// (the threshold-regression probe; `false` when the dense scan ran
+    /// or Rule 4 was disabled).
+    frontier_scanned: bool,
 }
 
 impl Clone for CandidateSpace {
@@ -170,6 +230,7 @@ impl Clone for CandidateSpace {
             min_estimated_smem: self.min_estimated_smem,
             decoded: Mutex::new(Vec::new()),
             decodes: AtomicU64::new(0),
+            frontier_scanned: self.frontier_scanned,
         }
     }
 }
@@ -206,7 +267,28 @@ impl CandidateSpace {
         exprs: Vec<TilingExpr>,
         tile_domains: Vec<Vec<u64>>,
         smem_limit: Option<u64>,
+        stats: PruneStats,
+    ) -> CandidateSpace {
+        Self::build_scanned(
+            chain,
+            exprs,
+            tile_domains,
+            smem_limit,
+            stats,
+            Rule4Scan::Auto,
+        )
+    }
+
+    /// [`CandidateSpace::build`] with an explicit Rule-4 scan strategy —
+    /// the hook behind the frontier ≡ dense equivalence tests and the
+    /// pruning benchmarks.
+    pub(crate) fn build_scanned(
+        chain: &ChainSpec,
+        exprs: Vec<TilingExpr>,
+        tile_domains: Vec<Vec<u64>>,
+        smem_limit: Option<u64>,
         mut stats: PruneStats,
+        scan: Rule4Scan,
     ) -> CandidateSpace {
         let grid_wide: u128 = tile_domains.iter().map(|d| d.len() as u128).product();
         assert!(
@@ -215,11 +297,14 @@ impl CandidateSpace {
         );
         let grid = grid_wide as u64;
 
+        let mut frontier_scanned = false;
         let (rule4, combos, min_estimated_smem) = match smem_limit {
             None => (Rule4Index::PassAll, grid, None),
             Some(_) if grid == 0 => (Rule4Index::PassAll, 0, None),
             Some(limit) => {
-                let (index, count, min_est) = scan_rule4(chain, &tile_domains, grid, limit);
+                frontier_scanned = scan.use_frontier(&tile_domains, grid);
+                let (index, count, min_est) =
+                    scan_rule4(chain, &tile_domains, grid, limit, frontier_scanned);
                 (index, count, Some(min_est))
             }
         };
@@ -237,7 +322,15 @@ impl CandidateSpace {
             min_estimated_smem,
             decoded: Mutex::new(Vec::new()),
             decodes: AtomicU64::new(0),
+            frontier_scanned,
         }
+    }
+
+    /// Whether the Rule-4 index came from the monotone frontier scan —
+    /// the probe behind the `Auto` threshold regression tests. `false`
+    /// for dense scans and Rule-4-disabled spaces.
+    pub fn frontier_scanned(&self) -> bool {
+        self.frontier_scanned
     }
 
     /// Number of candidates reachable by index (= `stats.after_rule4`).
@@ -490,16 +583,114 @@ impl<'a> Odometer<'a> {
     }
 }
 
+/// One frontier-scanned chunk of the grid (ids `lo..hi`, block-aligned
+/// like the dense chunks): for every grid *row* intersecting the chunk —
+/// a row is the `|axis₀|` consecutive ids sharing the digits of axes
+/// `1..` — binary-search the largest surviving extent of axis 0 (Eq. 1
+/// is monotone non-decreasing in each tile and the domains are
+/// ascending, so each row's survivors are a prefix), then clip the
+/// surviving run to the chunk. Payload semantics match the dense scan
+/// exactly: survivor ids (compact) or per-block counts (ranked).
+/// `min_est` is settled globally by the caller (monotonicity puts the
+/// grid minimum at combo 0), so chunks report `u64::MAX`.
+#[allow(clippy::too_many_arguments)]
+fn scan_chunk_frontier(
+    chain: &ChainSpec,
+    tile_domains: &[Vec<u64>],
+    grid: u64,
+    limit: u64,
+    compact: bool,
+    lo_block: u64,
+    hi_block: u64,
+) -> ScanPart {
+    let lo = lo_block * RANK_BLOCK;
+    let hi = (hi_block * RANK_BLOCK).min(grid);
+    let d0 = &tile_domains[0];
+    let row_len = d0.len() as u64;
+    let mut payload = if compact {
+        Vec::new()
+    } else {
+        vec![0u64; (hi_block - lo_block) as usize]
+    };
+    let mut count = 0u64;
+    if lo >= hi {
+        return ScanPart {
+            payload,
+            count,
+            min_est: u64::MAX,
+        };
+    }
+
+    // Row odometer over axes 1.. (axis 0 is the binary-searched digit).
+    let mut row = lo / row_len;
+    let mut rest = row;
+    let mut digits: Vec<usize> = tile_domains[1..]
+        .iter()
+        .map(|d| {
+            let i = (rest % d.len() as u64) as usize;
+            rest /= d.len() as u64;
+            i
+        })
+        .collect();
+    let mut tiles: Vec<u64> = std::iter::once(d0[0])
+        .chain(digits.iter().zip(&tile_domains[1..]).map(|(&i, d)| d[i]))
+        .collect();
+
+    while row * row_len < hi {
+        let base = row * row_len;
+        let cnt = d0.partition_point(|&t| {
+            tiles[0] = t;
+            combo_fits(chain, &tiles, limit)
+        }) as u64;
+        // Clip the surviving prefix run [base, base + cnt) to the chunk.
+        let s = base.max(lo);
+        let e = (base + cnt).min(hi);
+        if s < e {
+            count += e - s;
+            if compact {
+                payload.extend(s..e);
+            } else {
+                let mut b = s / RANK_BLOCK;
+                while b * RANK_BLOCK < e {
+                    let b_lo = (b * RANK_BLOCK).max(s);
+                    let b_hi = ((b + 1) * RANK_BLOCK).min(e);
+                    payload[(b - lo_block) as usize] += b_hi - b_lo;
+                    b += 1;
+                }
+            }
+        }
+        row += 1;
+        for (a, d) in tile_domains[1..].iter().enumerate() {
+            digits[a] += 1;
+            if digits[a] < d.len() {
+                tiles[a + 1] = d[digits[a]];
+                break;
+            }
+            digits[a] = 0;
+            tiles[a + 1] = d[0];
+        }
+    }
+    ScanPart {
+        payload,
+        count,
+        min_est: u64::MAX,
+    }
+}
+
 /// The parallel Rule-4 scan: one pass over the Rule-3 grid, split into
 /// contiguous chunks across the host's cores (chunk results concatenate
-/// in order, so the outcome is identical at any thread count). Returns
-/// the survivor index, the exact survivor count, and the smallest
-/// estimate seen anywhere in the grid.
+/// in order, so the outcome is identical at any thread count). With
+/// `frontier` set, each chunk runs the monotone per-axis frontier
+/// instead of the dense estimate-per-combination loop — same survivor
+/// index, `O(rows · log |axis₀|)` estimates instead of `O(grid)`.
+/// Returns the survivor index, the exact survivor count, and the
+/// smallest estimate anywhere in the grid.
 fn scan_rule4(
     chain: &ChainSpec,
     tile_domains: &[Vec<u64>],
     grid: u64,
     limit: u64,
+    frontier: bool,
 ) -> (Rule4Index, u64, u64) {
     let compact = grid <= COMPACT_LIMIT;
     let threads = if grid < MIN_CHUNK {
@@ -516,8 +707,21 @@ fn scan_rule4(
     let blocks_per_chunk = blocks.div_ceil(threads as u64);
 
     let scan_chunk = |chunk: usize| -> ScanPart {
-        let lo_block = chunk as u64 * blocks_per_chunk;
+        // The last chunks of an uneven split can land past the end;
+        // clamping makes them empty instead of inverted.
+        let lo_block = (chunk as u64 * blocks_per_chunk).min(blocks);
         let hi_block = (lo_block + blocks_per_chunk).min(blocks);
+        if frontier {
+            return scan_chunk_frontier(
+                chain,
+                tile_domains,
+                grid,
+                limit,
+                compact,
+                lo_block,
+                hi_block,
+            );
+        }
         let lo = lo_block * RANK_BLOCK;
         let hi = (hi_block * RANK_BLOCK).min(grid);
         let mut payload = Vec::new();
@@ -574,7 +778,13 @@ fn scan_rule4(
     };
 
     let count: u64 = parts.iter().map(|p| p.count).sum();
-    let min_est = parts.iter().map(|p| p.min_est).min().unwrap_or(u64::MAX);
+    let min_est = if frontier {
+        // Monotonicity puts the grid minimum at the all-smallest-tiles
+        // combination (id 0) — the same value the dense scan reports.
+        estimate_shmem_bytes_for_tiles(chain, &decode_tiles(tile_domains, 0))
+    } else {
+        parts.iter().map(|p| p.min_est).min().unwrap_or(u64::MAX)
+    };
     if count == grid {
         // Nothing rejected: the index is the identity.
         return (Rule4Index::PassAll, count, min_est);
@@ -601,11 +811,105 @@ fn scan_rule4(
     }
 }
 
+/// Content identity of a built [`CandidateSpace`]: everything space
+/// construction reads *except the chain's name* — batch/m/dims (the
+/// tile domains), epilogues and biases (expression enumeration and
+/// Rules 1–2), dtype (the Eq. 1 estimate), the expression policy, and
+/// the Rule-4 budget. Two tuning tasks sharing this fingerprint build
+/// bit-identical spaces, so e.g. every same-shaped BERT layer — and
+/// every transpose-layout or search-parameter variant of one — maps to
+/// one Rule-4 scan.
+pub fn space_fingerprint(
+    chain: &ChainSpec,
+    dev: &DeviceSpec,
+    policy: &crate::tuner::SpacePolicy,
+) -> String {
+    let smem_limit = policy.shared_memory_pruning.then_some(dev.smem_per_block);
+    format!(
+        "b{}|m{}|d{:?}|e{:?}|bi{:?}|t{:?}|deep{}|smem{:?}",
+        chain.batch,
+        chain.m,
+        chain.dims,
+        chain.epilogues,
+        chain.biases,
+        chain.dtype,
+        policy.deep_tiling_only,
+        smem_limit,
+    )
+}
+
+/// An engine-level cache of built candidate spaces, shared by every
+/// tuning task of a session (the same `Arc`-sharing discipline as
+/// [`TuningCache`](crate::TuningCache), but content-addressed by
+/// [`space_fingerprint`] instead of the full tuning-task key — the
+/// space does not depend on search parameters or input layout, so many
+/// tuning tasks map to one space).
+///
+/// Concurrent requests for the *same* fingerprint block on one
+/// `OnceLock` and build exactly once; requests for different
+/// fingerprints build in parallel. [`SpaceCache::hits`] feeds
+/// [`EngineStats::space_cache_hits`](crate::EngineStats::space_cache_hits);
+/// fresh builds are counted by the *caller* (the engine's
+/// `space_builds` probe covers the cache-disabled path too).
+///
+/// Note on `Ranked`-index grids (> `COMPACT_LIMIT` combinations): the
+/// shared space's interior decode cache is one small mutex-guarded
+/// block cache, so many *concurrent* searches over one huge-grid space
+/// contend on it — see the ROADMAP item on sharding it per thread.
+#[derive(Debug, Default)]
+pub struct SpaceCache {
+    entries: Mutex<FxHashMap<String, Arc<OnceLock<Arc<CandidateSpace>>>>>,
+    hits: AtomicU64,
+}
+
+impl SpaceCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The space for `fingerprint`, building it with `build` if this is
+    /// the first request. A concurrent duplicate request waits for the
+    /// in-flight build instead of scanning twice.
+    pub fn get_or_build(
+        &self,
+        fingerprint: String,
+        build: impl FnOnce() -> CandidateSpace,
+    ) -> Arc<CandidateSpace> {
+        let cell = self.entries.lock().entry(fingerprint).or_default().clone();
+        let mut fresh = false;
+        let space = cell
+            .get_or_init(|| {
+                fresh = true;
+                Arc::new(build())
+            })
+            .clone();
+        if !fresh {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        space
+    }
+
+    /// Requests served from an already-built space.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of cached spaces.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// Whether nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::prune::prune;
-    use mcfuser_sim::DeviceSpec;
     use rand::rngs::StdRng;
 
     #[test]

@@ -166,13 +166,25 @@ pub fn build_candidate_space(
     dev: &DeviceSpec,
     policy: &SpacePolicy,
 ) -> CandidateSpace {
+    build_candidate_space_scanned(chain, dev, policy, crate::space::Rule4Scan::Auto)
+}
+
+/// [`build_candidate_space`] with an explicit Rule-4 scan strategy —
+/// the entry point for the frontier ≡ dense equivalence tests and the
+/// pruning benchmarks; production code uses `Auto`.
+pub fn build_candidate_space_scanned(
+    chain: &ChainSpec,
+    dev: &DeviceSpec,
+    policy: &SpacePolicy,
+    scan: crate::space::Rule4Scan,
+) -> CandidateSpace {
     let mut space = SearchSpace::generate(chain);
     if policy.deep_tiling_only {
         space.exprs = mcfuser_tile::enumerate_deep(chain);
     }
     let (reps, tile_domains, stats) = crate::prune::rules123(chain, &space);
     let smem_limit = policy.shared_memory_pruning.then_some(dev.smem_per_block);
-    CandidateSpace::build(chain, reps, tile_domains, smem_limit, stats)
+    CandidateSpace::build_scanned(chain, reps, tile_domains, smem_limit, stats, scan)
 }
 
 /// Locate the first axis whose Rule-3 tile domain came back empty and
@@ -266,15 +278,54 @@ impl McFuser {
         policy: &SpacePolicy,
     ) -> Result<TunedKernel, TuneError> {
         let pruned = build_candidate_space(chain, dev, policy);
+        self.tune_in_space(chain, dev, clock, &pruned)
+    }
+
+    /// Tune over an already-built candidate space. This is the batched
+    /// multi-chain path: the engine's
+    /// [`SpaceCache`](crate::space::SpaceCache) builds the space (one
+    /// Rule-4 scan) for the first chain of a shape and every same-shaped
+    /// chain tunes in it via a shared `Arc` — results are identical to a
+    /// per-chain build because the search reads the space immutably (its
+    /// interior decode cache only memoizes, never changes decoding).
+    ///
+    /// The space must have been built for a chain whose *content*
+    /// (everything but the name) matches `chain` — see
+    /// [`space_fingerprint`](crate::space::space_fingerprint).
+    ///
+    /// # Panics
+    /// If the space's chain content differs from `chain` (a mismatched
+    /// space would decode tile vectors of the wrong arity or extents
+    /// and tune a kernel for the wrong shape).
+    pub fn tune_in_space(
+        &self,
+        chain: &ChainSpec,
+        dev: &DeviceSpec,
+        clock: &TuningClock,
+        pruned: &CandidateSpace,
+    ) -> Result<TunedKernel, TuneError> {
+        let built_for = &pruned.chain;
+        assert!(
+            chain.batch == built_for.batch
+                && chain.m == built_for.m
+                && chain.dims == built_for.dims
+                && chain.epilogues == built_for.epilogues
+                && chain.biases == built_for.biases
+                && chain.dtype == built_for.dtype,
+            "tune_in_space: space was built for chain '{}', whose content \
+             differs from '{}'",
+            built_for.name,
+            chain.name,
+        );
         if pruned.is_empty() {
             return Err(TuneError::empty_space(
                 chain,
                 dev,
                 empty_axis_context(chain, &pruned.tile_domains),
-                rule4_rejection_context(&pruned, dev),
+                rule4_rejection_context(pruned, dev),
             ));
         }
-        let outcome: SearchOutcome = heuristic_search(chain, dev, &pruned, &self.params, clock)
+        let outcome: SearchOutcome = heuristic_search(chain, dev, pruned, &self.params, clock)
             .ok_or_else(|| TuneError::no_viable(chain, dev))?;
         Ok(TunedKernel {
             chain: chain.clone(),
@@ -282,7 +333,7 @@ impl McFuser {
             kernel: outcome.kernel,
             profile: outcome.profile,
             tuning: clock.report(),
-            prune_stats: pruned.stats,
+            prune_stats: pruned.stats.clone(),
             rounds: outcome.rounds,
             measured: outcome.measured,
         })

@@ -5,8 +5,8 @@
 use proptest::prelude::*;
 
 use mcfuser::core::{
-    build_candidate_space, heuristic_search, prune, CandidateSpace, SearchParams, SearchSpace,
-    SpacePolicy,
+    build_candidate_space, build_candidate_space_scanned, heuristic_search, prune, CandidateSpace,
+    Rule4Scan, SearchParams, SearchSpace, SpacePolicy, FRONTIER_MIN_GRID,
 };
 use mcfuser::prelude::*;
 use mcfuser::sim::TuningClock;
@@ -114,6 +114,60 @@ proptest! {
         let lazy: Vec<Candidate> = pruned.iter().collect();
         prop_assert_eq!(lazy, eager);
     }
+
+    /// The frontier scan is the dense scan's oracle twin: for any chain
+    /// and device, forcing `Rule4Scan::Frontier` produces the *same*
+    /// survivor set — same count, same waterfall, same diagnostic
+    /// minimum estimate, and the same candidate at every index — while
+    /// touching O(surface) instead of O(volume) combinations. (The
+    /// frontier relies on Eq. 1 being monotone in each tile extent and
+    /// on ascending Rule-3 domains; this property test is what keeps
+    /// that assumption honest.)
+    #[test]
+    fn frontier_scan_equals_dense_scan(
+        chain in small_chain_strategy(),
+        dev in device_strategy(),
+    ) {
+        let policy = SpacePolicy::default();
+        let dense = build_candidate_space_scanned(&chain, &dev, &policy, Rule4Scan::Dense);
+        let frontier = build_candidate_space_scanned(&chain, &dev, &policy, Rule4Scan::Frontier);
+        prop_assert!(!dense.frontier_scanned());
+        prop_assert!(frontier.frontier_scanned());
+        prop_assert_eq!(dense.len(), frontier.len());
+        prop_assert_eq!(dense.surviving_combos(), frontier.surviving_combos());
+        prop_assert_eq!(&dense.stats, &frontier.stats);
+        prop_assert_eq!(dense.min_estimated_smem(), frontier.min_estimated_smem());
+        for i in 0..dense.len() {
+            prop_assert_eq!(
+                dense.candidate(i),
+                frontier.candidate(i),
+                "survivor {} diverges",
+                i
+            );
+        }
+    }
+
+    /// With Rule 4 disabled there is nothing to scan: both strategies
+    /// degrade to the identical pass-all space.
+    #[test]
+    fn frontier_scan_equals_dense_scan_without_rule4(
+        chain in small_chain_strategy(),
+        dev in device_strategy(),
+    ) {
+        let policy = SpacePolicy { shared_memory_pruning: false, ..Default::default() };
+        let dense = build_candidate_space_scanned(&chain, &dev, &policy, Rule4Scan::Dense);
+        let frontier = build_candidate_space_scanned(&chain, &dev, &policy, Rule4Scan::Frontier);
+        prop_assert!(!frontier.frontier_scanned(), "no Rule 4, no scan");
+        prop_assert_eq!(dense.len(), frontier.len());
+        prop_assert_eq!(dense.surviving_combos(), dense.grid_combos());
+        prop_assert_eq!(&dense.stats, &frontier.stats);
+        let step = (dense.len() / 97).max(1);
+        let mut i = 0;
+        while i < dense.len() {
+            prop_assert_eq!(dense.candidate(i), frontier.candidate(i));
+            i += step;
+        }
+    }
 }
 
 /// A 3-GEMM chain whose pruned space exceeds the old 200 000-candidate
@@ -127,6 +181,47 @@ fn big_3gemm() -> ChainSpec {
         vec![1536, 768, 1536, 768],
         vec![Epilogue::None; 3],
     )
+}
+
+#[test]
+fn auto_scan_uses_the_frontier_past_the_threshold_and_matches_dense() {
+    let dev = DeviceSpec::a100();
+    let policy = SpacePolicy::default();
+
+    // Small grid: Auto stays dense.
+    let small = ChainSpec::gemm_chain("small", 1, 256, 128, 64, 64);
+    let auto_small = build_candidate_space(&small, &dev, &policy);
+    assert!(auto_small.grid_combos() < FRONTIER_MIN_GRID);
+    assert!(!auto_small.frontier_scanned());
+
+    // The 273 885-survivor 3-GEMM chain: its Rule-3 grid is well past
+    // FRONTIER_MIN_GRID, so Auto must pick the frontier — and the
+    // resulting space must be indistinguishable from a forced dense
+    // scan (count, waterfall, diagnostics, and sampled survivors).
+    let big = big_3gemm();
+    let auto_big = build_candidate_space(&big, &dev, &policy);
+    assert!(
+        auto_big.grid_combos() >= FRONTIER_MIN_GRID,
+        "grid {} is supposed to exceed the frontier threshold",
+        auto_big.grid_combos()
+    );
+    assert!(auto_big.frontier_scanned(), "Auto must pick the frontier");
+    let dense = build_candidate_space_scanned(&big, &dev, &policy, Rule4Scan::Dense);
+    assert!(!dense.frontier_scanned());
+    assert_eq!(auto_big.len(), dense.len());
+    assert_eq!(auto_big.stats, dense.stats);
+    assert_eq!(auto_big.min_estimated_smem(), dense.min_estimated_smem());
+    let step = (dense.len() / 409).max(1);
+    let mut i = 0;
+    while i < dense.len() {
+        assert_eq!(auto_big.candidate(i), dense.candidate(i), "index {i}");
+        i += step;
+    }
+    // Including the extremes.
+    assert_eq!(
+        auto_big.candidate(dense.len() - 1),
+        dense.candidate(dense.len() - 1)
+    );
 }
 
 #[test]

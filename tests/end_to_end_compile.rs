@@ -1,14 +1,9 @@
 //! Integration: end-to-end graph compilation through the `FusionEngine`
 //! session API — partitioning, chain tuning, fallback pricing, and
 //! functional equivalence of the fused model with pure reference
-//! evaluation.
-//!
-//! These tests deliberately keep using the deprecated
-//! `FusionEngine::execute` shim: they pin down that the one-shot-plan
-//! compatibility path behaves exactly like the old executor for its one
-//! remaining release. New code (and `tests/runtime_serving.rs`) goes
-//! through `ExecutablePlan`/`ModelRuntime`.
-#![allow(deprecated)]
+//! evaluation. Execution goes through the serving path
+//! (`compile_plan` + `ModelRuntime::infer`); the deprecated
+//! `FusionEngine::execute` shim is gone.
 
 use rustc_hash::FxHashMap;
 
@@ -55,6 +50,30 @@ fn engine_with_relay() -> FusionEngine {
         .build()
 }
 
+/// Compile `graph`, register the frozen plan in a `ModelRuntime`, and
+/// serve one node-keyed request — the migration target of the removed
+/// `FusionEngine::execute(&graph, &model, &inputs, seed)` shim. Returns
+/// the primary (first declared) output.
+fn infer_once(
+    engine: &FusionEngine,
+    graph: &Graph,
+    inputs: &FxHashMap<NodeId, mcfuser::sim::HostTensor>,
+    seed: u64,
+) -> mcfuser::sim::HostTensor {
+    let plan = engine.compile_plan(graph).expect("plan freezes");
+    let runtime = ModelRuntime::new();
+    runtime.register(graph.name.clone(), plan);
+    runtime
+        .infer(
+            &graph.name,
+            &InputSet::from_node_values(inputs),
+            RunOptions::seeded(seed),
+        )
+        .expect("request served")
+        .primary()
+        .clone()
+}
+
 #[test]
 fn bert_partition_finds_attention_and_ffn_per_layer() {
     // At this mini scale (hidden 128, seq 64) the FFN's reductions are
@@ -78,12 +97,11 @@ fn bert_partition_finds_attention_and_ffn_per_layer() {
 fn compiled_bert_matches_reference_numerically() {
     let g = mini_bert();
     let engine = engine_with_relay();
-    let model = engine.compile(&g).unwrap();
     let inputs = inputs_for(&g);
-    let fused = engine.execute(&g, &model, &inputs, 3).unwrap();
+    let fused = infer_once(&engine, &g, &inputs, 3);
     let reference = evaluate(&g, &inputs, 3).unwrap();
     let out = g.outputs[0];
-    let err = fused[out.0].rel_l2_error(&reference[out.0]);
+    let err = fused.rel_l2_error(&reference[out.0]);
     assert!(err < 5e-2, "end-to-end error {err}");
 }
 
@@ -172,10 +190,10 @@ fn mlp4_compiles_into_one_fused_kernel_and_matches_reference() {
     assert_eq!(model.chains[0].chain.num_ops(), 4);
     assert!(model.rest_times.is_empty());
     let inputs = inputs_for(&g);
-    let fused = engine.execute(&g, &model, &inputs, 13).unwrap();
+    let fused = infer_once(&engine, &g, &inputs, 13);
     let reference = evaluate(&g, &inputs, 13).unwrap();
     let out = g.outputs[0];
-    let err = fused[out.0].rel_l2_error(&reference[out.0]);
+    let err = fused.rel_l2_error(&reference[out.0]);
     assert!(err < 5e-2, "mlp4 error {err}");
 }
 
@@ -188,10 +206,10 @@ fn masked_attention_compiles_and_matches_reference() {
     assert!(model.chains[0].chain.epilogues[0].needs_mask());
     let mut inputs = inputs_for(&g);
     inputs.insert(mask, causal_mask(4, 64, 64));
-    let fused = engine.execute(&g, &model, &inputs, 17).unwrap();
+    let fused = infer_once(&engine, &g, &inputs, 17);
     let reference = evaluate(&g, &inputs, 17).unwrap();
     let out = g.outputs[0];
-    let err = fused[out.0].rel_l2_error(&reference[out.0]);
+    let err = fused.rel_l2_error(&reference[out.0]);
     assert!(err < 5e-2, "masked attention error {err}");
 }
 
@@ -202,9 +220,9 @@ fn mixer_block_compiles_and_fuses() {
     let model = engine.compile(&g).unwrap();
     assert!(!model.chains.is_empty(), "token/channel MLPs should fuse");
     let inputs = inputs_for(&g);
-    let fused = engine.execute(&g, &model, &inputs, 5).unwrap();
+    let fused = infer_once(&engine, &g, &inputs, 5);
     let reference = evaluate(&g, &inputs, 5).unwrap();
     let out = g.outputs[0];
-    let err = fused[out.0].rel_l2_error(&reference[out.0]);
+    let err = fused.rel_l2_error(&reference[out.0]);
     assert!(err < 5e-2, "mixer error {err}");
 }

@@ -285,3 +285,132 @@ fn tune_error_carries_context() {
     };
     assert!(nv.to_string().contains("S9") && nv.to_string().contains("A100"));
 }
+
+/// Compare two tuned kernels field by field (candidate, measured
+/// profile, lowered kernel footprint, pruning waterfall) — "bit
+/// identical" for everything the serving path consumes.
+fn assert_tuned_eq(a: &TunedKernel, b: &TunedKernel) {
+    assert_eq!(a.candidate, b.candidate);
+    assert_eq!(a.profile.time, b.profile.time);
+    assert_eq!(a.profile.gmem_bytes, b.profile.gmem_bytes);
+    assert_eq!(a.kernel.smem_bytes, b.kernel.smem_bytes);
+    assert_eq!(a.prune_stats, b.prune_stats);
+    assert_eq!(a.rounds, b.rounds);
+    assert_eq!(a.measured, b.measured);
+}
+
+/// The batched-tuning acceptance contract: `tune_many` over N chains
+/// with identical tile domains performs exactly ONE Rule-4 scan (the
+/// `space_builds` probe), and every search that runs in the shared
+/// space returns results bit-identical to a per-chain space build.
+#[test]
+fn tune_many_same_domain_chains_share_one_rule4_scan() {
+    // Four same-shaped chains with distinct names — the BERT-layer
+    // pattern (every layer's attention is content-identical).
+    let chains: Vec<ChainSpec> = (0..4)
+        .map(|l| ChainSpec::attention(format!("layer{l}.attn"), 4, 128, 128, 32, 32))
+        .collect();
+
+    // The batched entry point: one scan for the whole batch.
+    let batch_engine = FusionEngine::builder(DeviceSpec::a100()).build();
+    let batched: Vec<TunedKernel> = batch_engine
+        .tune_many(&chains)
+        .into_iter()
+        .map(|r| r.unwrap())
+        .collect();
+    assert_eq!(batched.len(), 4);
+    assert_eq!(
+        batch_engine.stats().space_builds,
+        1,
+        "4 same-domain chains must share exactly one Rule-4 scan"
+    );
+
+    // Force four *independent searches* over the shared space (schedule
+    // reuse off, separate tune() calls): still one scan, and each chain's
+    // result is bit-identical to tuning it with its own per-chain space
+    // build — sharing the space must not perturb the search.
+    let shared = FusionEngine::builder(DeviceSpec::a100())
+        .cache(CachePolicy::Disabled)
+        .build();
+    for (i, chain) in chains.iter().enumerate() {
+        let in_shared_space = shared.tune(chain).unwrap();
+        let solo = FusionEngine::builder(DeviceSpec::a100())
+            .space_cache(false)
+            .build();
+        let per_chain_build = solo.tune(chain).unwrap();
+        assert_eq!(solo.stats().space_builds, 1);
+        assert_eq!(solo.stats().space_cache_hits, 0);
+        assert_tuned_eq(&in_shared_space, &per_chain_build);
+        assert_eq!(shared.stats().space_cache_hits, i as u64);
+    }
+    let stats = shared.stats();
+    assert_eq!(stats.cache_misses, 4, "four full searches ran");
+    assert_eq!(stats.space_builds, 1, "over one shared space");
+    assert_eq!(stats.space_cache_hits, 3);
+}
+
+/// The space cache works *under* the tuning cache, so it still saves
+/// scans when schedule reuse is off: with `CachePolicy::Disabled`,
+/// re-tuning the same chain re-searches (cache_misses climbs) but never
+/// re-scans (space_builds stays 1), and the re-search in the cached
+/// space is bit-identical to one in a fresh space.
+#[test]
+fn space_cache_saves_scans_even_with_tuning_cache_disabled() {
+    let chain = ChainSpec::gemm_chain("g", 1, 512, 256, 64, 64);
+    let engine = FusionEngine::builder(DeviceSpec::a100())
+        .cache(CachePolicy::Disabled)
+        .build();
+    let first = engine.tune(&chain).unwrap();
+    let second = engine.tune(&chain).unwrap();
+    let stats = engine.stats();
+    assert_eq!(stats.cache_misses, 2, "no schedule reuse was configured");
+    assert_eq!(stats.cache_hits, 0);
+    assert_eq!(stats.space_builds, 1, "but the space was built once");
+    assert_eq!(stats.space_cache_hits, 1);
+    assert_tuned_eq(&first, &second);
+
+    // The contrast: with the space cache off, every re-tune re-scans.
+    let solo = FusionEngine::builder(DeviceSpec::a100())
+        .cache(CachePolicy::Disabled)
+        .space_cache(false)
+        .build();
+    let fresh_a = solo.tune(&chain).unwrap();
+    let fresh_b = solo.tune(&chain).unwrap();
+    assert_eq!(solo.stats().space_builds, 2);
+    assert_tuned_eq(&first, &fresh_a);
+    assert_tuned_eq(&first, &fresh_b);
+}
+
+/// Layout variants of one chain are distinct tuning tasks (transposed
+/// inputs change the lowered kernel) but share the same candidate
+/// space — the space depends on chain content only.
+#[test]
+fn layout_variants_share_the_candidate_space() {
+    let chain = ChainSpec::attention("s", 2, 128, 128, 32, 32);
+    let engine = FusionEngine::builder(DeviceSpec::a100()).build();
+    engine.tune_with_layout(&chain, &[]).unwrap();
+    engine
+        .tune_with_layout(&chain, &[false, true, false])
+        .unwrap();
+    let stats = engine.stats();
+    assert_eq!(stats.cache_misses, 2, "two distinct tuning tasks");
+    assert_eq!(stats.space_builds, 1, "one shared space");
+    assert_eq!(stats.space_cache_hits, 1);
+}
+
+/// A tuning-cache (schedule) hit rehydrates without touching spaces at
+/// all: the second `tune` of an identical chain builds nothing.
+#[test]
+fn schedule_hits_build_no_spaces() {
+    let chain = ChainSpec::gemm_chain("g", 1, 512, 256, 64, 64);
+    let engine = FusionEngine::builder(DeviceSpec::a100()).build();
+    engine.tune(&chain).unwrap();
+    engine.tune(&chain).unwrap();
+    let stats = engine.stats();
+    assert_eq!(stats.cache_hits, 1);
+    assert_eq!(stats.space_builds, 1);
+    assert_eq!(
+        stats.space_cache_hits, 0,
+        "a schedule hit never reaches the space cache"
+    );
+}

@@ -9,8 +9,10 @@
 //!   intermediates (peak live strictly below the node count on BERT);
 //! * every `ExecError` variant fires on the malformed request that
 //!   names it;
-//! * the deprecated `FusionEngine::execute` shim agrees with the plan
-//!   path bit for bit;
+//! * node-keyed requests (`InputSet::from_node_values`, the calling
+//!   convention of the removed `FusionEngine::execute` shim) agree
+//!   with name-keyed ones bit for bit, and binding is strict —
+//!   undeclared inputs are rejected;
 //! * engine cache persistence failures surface in `EngineStats` and as
 //!   a `Result` from `ModelRuntime::shutdown`.
 
@@ -292,45 +294,36 @@ fn exec_error_covers_every_malformed_request() {
 }
 
 #[test]
-fn deprecated_execute_shim_matches_the_plan_path() {
-    #![allow(deprecated)]
+fn node_keyed_requests_agree_with_name_keyed_and_binding_is_strict() {
+    // The removed `FusionEngine::execute` shim took a NodeId-keyed map;
+    // its migration target is `InputSet::from_node_values` + the strict
+    // plan path. Node- and name-keyed requests must agree bit for bit,
+    // and the old shim's tolerance of extra map entries is gone: an
+    // undeclared input is a structured rejection, never silently
+    // ignored.
     let g = attn_graph("attn");
     let engine = engine();
-    let model = engine.compile(&g).unwrap();
-    let plan = model.plan(&g).unwrap();
+    let plan = engine.compile_plan(&g).unwrap();
 
     let mut node_inputs: rustc_hash::FxHashMap<NodeId, HostTensor> = Default::default();
     for b in plan.inputs() {
         node_inputs.insert(b.node, ramp(&b.shape, b.node.0 as u64));
     }
-    let shim = engine.execute(&g, &model, &node_inputs, 5).unwrap();
-    assert_eq!(shim.len(), g.nodes.len(), "shim keeps the full value table");
-
     let served = plan
         .execute(
             &InputSet::from_node_values(&node_inputs),
             RunOptions::seeded(5),
         )
         .unwrap();
-    let out = g.outputs[0];
-    assert_eq!(
-        served.primary().data,
-        shim[out.0].data,
-        "plan path and shim agree bit for bit"
-    );
-    // Name-keyed and node-keyed requests agree too.
     let by_name = plan
         .execute(&inputs_by_name(&plan, &node_inputs), RunOptions::seeded(5))
         .unwrap();
     assert_eq!(by_name.primary().data, served.primary().data);
 
-    // The shim keeps the old executor's tolerance of extra map entries
-    // (e.g. a reused full value table): non-input nodes are ignored,
-    // not rejected — only the strict serving path errors on them.
+    // Strict binding: an extra map entry for a non-input node (e.g. a
+    // reused full value table) is rejected with UnknownInput.
     let mut with_extra = node_inputs.clone();
     with_extra.insert(g.outputs[0], ramp(&g.node(g.outputs[0]).shape, 0));
-    let lenient = engine.execute(&g, &model, &with_extra, 5).unwrap();
-    assert_eq!(lenient[out.0].data, shim[out.0].data);
     assert!(matches!(
         plan.execute(
             &InputSet::from_node_values(&with_extra),
