@@ -258,33 +258,107 @@ pub trait TuningCache: Send + Sync {
     fn persist_errors(&self) -> u64 {
         0
     }
+    /// Entries dropped by a capacity bound, if the implementation has
+    /// one (surfaced as
+    /// [`EngineStats::tuning_cache_evictions`](crate::EngineStats::tuning_cache_evictions)).
+    /// Unbounded caches report 0.
+    fn evictions(&self) -> u64 {
+        0
+    }
 }
 
+/// Default [`MemoryCache`] bound: tuned schedules retained before
+/// least-recently-used eviction. A schedule re-tunes deterministically
+/// after eviction, so the bound trades re-tuning time for a memory
+/// ceiling under many-tenant serving.
+pub const MEMORY_CACHE_CAPACITY: usize = 512;
+
 /// In-memory cache: reuse within one engine session (and across sessions
-/// sharing the engine).
-#[derive(Debug, Default)]
+/// sharing the engine). LRU-bounded — see [`MEMORY_CACHE_CAPACITY`].
+#[derive(Debug)]
 pub struct MemoryCache {
-    entries: Mutex<FxHashMap<String, CachedTuning>>,
+    entries: Mutex<LruEntries>,
+    capacity: usize,
+    evicted: AtomicU64,
+}
+
+#[derive(Debug, Default)]
+struct LruEntries {
+    map: FxHashMap<String, (CachedTuning, u64)>,
+    tick: u64,
+}
+
+impl LruEntries {
+    /// Touch-and-insert; returns the evicted key count (0 or 1).
+    fn insert_bounded(&mut self, key: String, entry: CachedTuning, capacity: usize) -> u64 {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.insert(key.clone(), (entry, tick));
+        if self.map.len() > capacity {
+            let victim = self
+                .map
+                .iter()
+                .filter(|(k, _)| **k != key)
+                .min_by_key(|(_, (_, used))| *used)
+                .map(|(k, _)| k.clone());
+            if let Some(k) = victim {
+                self.map.remove(&k);
+                return 1;
+            }
+        }
+        0
+    }
+}
+
+impl Default for MemoryCache {
+    fn default() -> Self {
+        Self::with_capacity(MEMORY_CACHE_CAPACITY)
+    }
 }
 
 impl MemoryCache {
-    /// Empty cache.
+    /// Empty cache with the default bound ([`MEMORY_CACHE_CAPACITY`]).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Empty cache retaining at most `capacity` schedules (≥ 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        MemoryCache {
+            entries: Mutex::new(LruEntries::default()),
+            capacity: capacity.max(1),
+            evicted: AtomicU64::new(0),
+        }
     }
 }
 
 impl TuningCache for MemoryCache {
     fn get(&self, key: &CacheKey) -> Option<CachedTuning> {
-        self.entries.lock().get(&key.canonical()).cloned()
+        let mut inner = self.entries.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.map.get_mut(&key.canonical()).map(|slot| {
+            slot.1 = tick;
+            slot.0.clone()
+        })
     }
 
     fn put(&self, key: &CacheKey, entry: CachedTuning) {
-        self.entries.lock().insert(key.canonical(), entry);
+        let evicted = self
+            .entries
+            .lock()
+            .insert_bounded(key.canonical(), entry, self.capacity);
+        if evicted > 0 {
+            self.evicted.fetch_add(evicted, Ordering::Relaxed);
+        }
     }
 
     fn len(&self) -> usize {
-        self.entries.lock().len()
+        self.entries.lock().map.len()
+    }
+
+    fn evictions(&self) -> u64 {
+        self.evicted.load(Ordering::Relaxed)
     }
 }
 
@@ -514,6 +588,37 @@ mod tests {
         cache.put(&key, sample_entry());
         assert_eq!(cache.get(&key).unwrap(), sample_entry());
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn memory_cache_evicts_lru_beyond_capacity() {
+        let cache = MemoryCache::with_capacity(2);
+        let keys: Vec<CacheKey> = (0..3)
+            .map(|i| {
+                key_for(&ChainSpec::gemm_chain(
+                    format!("g{i}"),
+                    1,
+                    256 << i,
+                    128,
+                    64,
+                    64,
+                ))
+            })
+            .collect();
+        cache.put(&keys[0], sample_entry());
+        cache.put(&keys[1], sample_entry());
+        // Touch 0 so 1 is the least recently used when 2 overflows.
+        assert!(cache.get(&keys[0]).is_some());
+        cache.put(&keys[2], sample_entry());
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&keys[1]).is_none(), "LRU entry must be evicted");
+        assert!(cache.get(&keys[0]).is_some());
+        assert!(cache.get(&keys[2]).is_some());
+        // Re-putting the evicted key is a fresh insert, evicting again.
+        cache.put(&keys[1], sample_entry());
+        assert_eq!(cache.evictions(), 2);
+        assert_eq!(cache.len(), 2);
     }
 
     #[test]

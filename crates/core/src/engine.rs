@@ -99,6 +99,10 @@ pub struct CompiledModel {
     /// matches — a same-named but structurally different graph is
     /// rejected instead of silently producing wrong outputs.
     pub graph_fingerprint: u64,
+    /// The device the model was tuned for. Carried into
+    /// [`ExecutablePlan`] so the serving layer
+    /// can price widened batched launches on the same timing model.
+    pub device: DeviceSpec,
 }
 
 /// Structural fingerprint of a graph (nodes, shapes, ops, outputs,
@@ -150,6 +154,15 @@ pub struct EngineStats {
     /// tuning cache answered first — a schedule hit never builds a
     /// space at all).
     pub space_cache_hits: u64,
+    /// Candidate spaces evicted from the LRU-bounded [`SpaceCache`].
+    /// Eviction is safe — spaces rebuild deterministically — but a
+    /// non-zero count under a steady workload means the bound is
+    /// thrashing and should grow.
+    pub space_evictions: u64,
+    /// Tuned schedules evicted from the LRU-bounded in-memory
+    /// [`TuningCache`]. Like spaces, evicted
+    /// schedules re-tune deterministically; the counter sizes the bound.
+    pub tuning_cache_evictions: u64,
 }
 
 /// Configures and constructs a [`FusionEngine`].
@@ -324,6 +337,8 @@ impl FusionEngine {
         stats.cache_persist_errors = self.cache.as_ref().map(|c| c.persist_errors()).unwrap_or(0);
         stats.space_builds = self.space_builds.load(Ordering::Relaxed);
         stats.space_cache_hits = self.spaces.as_ref().map(|s| s.hits()).unwrap_or(0);
+        stats.space_evictions = self.spaces.as_ref().map(|s| s.evictions()).unwrap_or(0);
+        stats.tuning_cache_evictions = self.cache.as_ref().map(|c| c.evictions()).unwrap_or(0);
         stats
     }
 
@@ -500,6 +515,7 @@ impl FusionEngine {
             chain_time,
             tuning_seconds,
             graph_fingerprint: graph_fingerprint(graph),
+            device: self.device.clone(),
         })
     }
 
@@ -697,6 +713,7 @@ mod tests {
                 cache_persist_errors: 0,
                 space_builds: 1,
                 space_cache_hits: 0,
+                ..EngineStats::default()
             }
         );
     }

@@ -64,6 +64,7 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod cache;
 pub mod compiler;
 pub mod engine;
@@ -71,11 +72,15 @@ pub mod perf_model;
 pub mod plan;
 pub mod prune;
 pub mod runtime;
+pub mod scheduler;
 pub mod search;
 pub mod space;
 pub mod tuner;
 
-pub use cache::{CacheKey, CachedTuning, JsonDiskCache, MemoryCache, TuningCache};
+pub use batch::BatchedPlan;
+pub use cache::{
+    CacheKey, CachedTuning, JsonDiskCache, MemoryCache, TuningCache, MEMORY_CACHE_CAPACITY,
+};
 pub use compiler::OpCostModel;
 pub use engine::{
     CachePolicy, CompiledChain, CompiledModel, EngineBuilder, EngineStats, FusionEngine,
@@ -86,13 +91,15 @@ pub use perf_model::{
 };
 pub use plan::{
     BufferPlan, ExecError, ExecutablePlan, InputBinding, InputSet, Outputs, RunOptions, Step,
+    WeightStore,
 };
 pub use prune::{prune, rule2_ok, rule3_tiles, PruneStats};
-pub use runtime::{ModelRuntime, PlanStats, RuntimeStats, ShutdownError};
+pub use runtime::{ModelRuntime, PlanStats, RuntimeStats, ShutdownError, WEIGHT_CACHE_CAPACITY};
+pub use scheduler::BatchPolicy;
 pub use search::{heuristic_search, CandidateRef, MeasuredSet, SearchOutcome, SearchParams};
 pub use space::{
     space_fingerprint, CandidateSpace, Rule4Scan, SearchSpace, SpaceCache, FRONTIER_MIN_AXIS,
-    FRONTIER_MIN_GRID,
+    FRONTIER_MIN_GRID, SPACE_CACHE_CAPACITY,
 };
 pub use tuner::{
     build_candidate_space, build_candidate_space_scanned, McFuser, Rule4Rejection, SpacePolicy,

@@ -22,13 +22,17 @@
 //! on `MissingInput` vs `ShapeMismatch` instead of string-matching a
 //! `Box<dyn Error>`.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
+use parking_lot::Mutex;
 use rustc_hash::{FxHashMap, FxHashSet};
 
 use mcfuser_ir::{Graph, GraphError, NodeId, Op};
 use mcfuser_sim::{
-    execute_with_arena, BufferArena, BufferRole, DType, HostTensor, TensorStorage, TileProgram,
+    execute_with_arena, BufferArena, BufferRole, DType, DeviceSpec, HostTensor, TensorStorage,
+    TileProgram,
 };
 
 use crate::engine::CompiledModel;
@@ -105,6 +109,24 @@ pub enum ExecError {
         /// Reference-evaluator error.
         detail: String,
     },
+    /// The batching admission queue is full — backpressure. The request
+    /// was rejected *before* enqueueing; retry later or shed load.
+    Overloaded {
+        /// Model name.
+        model: String,
+        /// The queue capacity that was exhausted
+        /// ([`BatchPolicy::queue_cap`](crate::BatchPolicy)).
+        queue_cap: usize,
+    },
+    /// The request's deadline elapsed while it waited in the admission
+    /// queue. Expiry happens at batch-formation time, *before* any
+    /// execution is wasted on a result nobody is waiting for.
+    DeadlineExceeded {
+        /// Model name.
+        model: String,
+        /// The deadline the request carried.
+        deadline: Duration,
+    },
 }
 
 impl std::fmt::Display for ExecError {
@@ -155,6 +177,14 @@ impl std::fmt::Display for ExecError {
                 node,
                 detail,
             } => write!(f, "model '{model}': operator '{node}' failed: {detail}"),
+            ExecError::Overloaded { model, queue_cap } => write!(
+                f,
+                "model '{model}': admission queue full ({queue_cap} pending requests)"
+            ),
+            ExecError::DeadlineExceeded { model, deadline } => write!(
+                f,
+                "model '{model}': request deadline of {deadline:?} expired while queued"
+            ),
         }
     }
 }
@@ -290,6 +320,10 @@ pub struct Outputs {
 }
 
 impl Outputs {
+    pub(crate) fn from_entries(entries: Vec<(String, NodeId, HostTensor)>) -> Self {
+        Outputs { entries }
+    }
+
     /// Look up an output by node name.
     pub fn get(&self, name: &str) -> Option<&HostTensor> {
         self.entries
@@ -328,6 +362,91 @@ pub struct InputBinding {
     pub node: NodeId,
     /// Expected tensor shape.
     pub shape: Vec<u64>,
+}
+
+/// One materialized node value during request execution.
+///
+/// The slot table used to hold owned `HostTensor`s only, which forced
+/// `bind_inputs` to clone every request input up front. Slots are now
+/// `Cow`-style: request inputs stay **borrowed** from the caller's
+/// [`InputSet`], weights served from the runtime's per-(plan, seed)
+/// cache are **shared** [`Arc`]s, and only values actually computed
+/// during the request are **owned** (and recycled into the arena at
+/// their last use).
+#[derive(Debug)]
+pub(crate) enum Value<'a> {
+    /// Borrowed straight from the request's `InputSet` — zero-copy.
+    Borrowed(&'a HostTensor),
+    /// Shared from the runtime weight cache.
+    Cached(Arc<HostTensor>),
+    /// Computed during this request; recyclable into the arena.
+    Owned(HostTensor),
+}
+
+impl Value<'_> {
+    pub(crate) fn tensor(&self) -> &HostTensor {
+        match self {
+            Value::Borrowed(t) => t,
+            Value::Cached(t) => t,
+            Value::Owned(t) => t,
+        }
+    }
+
+    fn into_tensor(self) -> HostTensor {
+        match self {
+            Value::Borrowed(t) => t.clone(),
+            Value::Cached(t) => (*t).clone(),
+            Value::Owned(t) => t,
+        }
+    }
+}
+
+/// Weight tensors of one `(plan, seed)` pair, derived lazily and shared
+/// across requests. Owned by the runtime's bounded weight cache (see
+/// [`RuntimeStats`](crate::RuntimeStats) for the hit/eviction counters);
+/// execution paths receive an `Option<&WeightStore>` and fall back to
+/// per-request derivation without one.
+#[derive(Debug, Default)]
+pub struct WeightStore {
+    map: Mutex<FxHashMap<usize, Arc<HostTensor>>>,
+    hits: Arc<AtomicU64>,
+    misses: Arc<AtomicU64>,
+}
+
+impl WeightStore {
+    /// A store that reports hits/misses into the given shared counters
+    /// (the runtime-wide totals, so eviction never loses counts).
+    pub(crate) fn with_counters(hits: Arc<AtomicU64>, misses: Arc<AtomicU64>) -> Self {
+        WeightStore {
+            map: Mutex::new(FxHashMap::default()),
+            hits,
+            misses,
+        }
+    }
+
+    /// The weight tensor of `node`, deriving it on first use. Derivation
+    /// runs outside the lock — racing requests may derive the same
+    /// tensor twice, but [`mcfuser_ir::init_weight`] is deterministic,
+    /// so the first insert wins and both see identical values.
+    pub(crate) fn get_or_derive(&self, graph: &Graph, node: NodeId, seed: u64) -> Arc<HostTensor> {
+        if let Some(t) = self.map.lock().get(&node.0) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return t.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let derived = Arc::new(mcfuser_ir::init_weight(graph, node, seed));
+        self.map.lock().entry(node.0).or_insert(derived).clone()
+    }
+
+    /// Number of weight tensors currently materialized.
+    pub fn len(&self) -> usize {
+        self.map.lock().len()
+    }
+
+    /// Whether no weight has been derived yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
 }
 
 /// One frozen execution step of a plan, in topological order.
@@ -385,6 +504,10 @@ impl BufferPlan {
         self.slot_elems[node.0]
     }
 
+    pub(crate) fn release_after(&self, s: usize) -> &[NodeId] {
+        &self.release_after[s]
+    }
+
     /// Peak number of simultaneously materialized node values during one
     /// request (inputs, weights, and intermediates combined).
     pub fn peak_live(&self) -> usize {
@@ -406,16 +529,17 @@ impl BufferPlan {
 /// deterministic per [`RunOptions::seed`].
 #[derive(Debug, Clone)]
 pub struct ExecutablePlan {
-    name: String,
-    graph: Graph,
+    pub(crate) name: String,
+    pub(crate) graph: Graph,
     dtype: DType,
     inputs: Vec<InputBinding>,
-    steps: Vec<Step>,
+    pub(crate) steps: Vec<Step>,
     fused_of: FxHashMap<NodeId, usize>,
-    outputs: Vec<(String, NodeId)>,
-    buffers: BufferPlan,
+    pub(crate) outputs: Vec<(String, NodeId)>,
+    pub(crate) buffers: BufferPlan,
     virtual_time: f64,
     bytes_per_request: f64,
+    pub(crate) device: DeviceSpec,
 }
 
 impl ExecutablePlan {
@@ -468,6 +592,12 @@ impl ExecutablePlan {
         self.bytes_per_request
     }
 
+    /// The device the plan's kernels were tuned for (also prices widened
+    /// batched launches — see [`BatchedPlan`](crate::BatchedPlan)).
+    pub fn device(&self) -> &DeviceSpec {
+        &self.device
+    }
+
     /// Execute one request. Equivalent to
     /// [`ExecutablePlan::execute_in`] with a throwaway arena.
     pub fn execute(&self, inputs: &InputSet, opts: RunOptions) -> Result<Outputs, ExecError> {
@@ -484,37 +614,94 @@ impl ExecutablePlan {
         opts: RunOptions,
         arena: &mut BufferArena,
     ) -> Result<Outputs, ExecError> {
+        self.execute_cached(inputs, opts, arena, None)
+    }
+
+    /// [`ExecutablePlan::execute_in`] with an optional per-(plan, seed)
+    /// weight store: `Op::Weight` reference steps resolve through the
+    /// store instead of re-deriving the tensor from the seed on every
+    /// request. The runtime's `infer`/`submit` paths always pass one.
+    pub(crate) fn execute_cached(
+        &self,
+        inputs: &InputSet,
+        opts: RunOptions,
+        arena: &mut BufferArena,
+        weights: Option<&WeightStore>,
+    ) -> Result<Outputs, ExecError> {
         let mut values = self.bind_inputs(inputs)?;
         let empty: FxHashMap<NodeId, HostTensor> = FxHashMap::default();
         for (s, step) in self.steps.iter().enumerate() {
             match step {
                 Step::Reference { node, .. } => {
-                    let v =
-                        mcfuser_ir::evaluate_node(&self.graph, *node, &values, &empty, opts.seed)
-                            .map_err(|e| self.reference_error(*node, e))?;
+                    let v = self.eval_reference(*node, &values, &empty, opts.seed, weights)?;
                     values[node.0] = Some(v);
                 }
                 Step::Fused { .. } => self.run_fused_step(s, &mut values, arena)?,
             }
             for node in &self.buffers.release_after[s] {
-                if let Some(t) = values[node.0].take() {
+                if let Some(Value::Owned(t)) = values[node.0].take() {
                     arena.put(t.data);
                 }
             }
         }
         // Move outputs out of the value table (it is dropped right
         // after); clone only when the same node is declared again later.
+        Ok(Outputs {
+            entries: self.collect_outputs(&mut values),
+        })
+    }
+
+    /// Evaluate one reference step, serving `Op::Weight` nodes from the
+    /// weight store when one is attached.
+    pub(crate) fn eval_reference(
+        &self,
+        node: NodeId,
+        values: &[Option<Value<'_>>],
+        empty: &FxHashMap<NodeId, HostTensor>,
+        seed: u64,
+        weights: Option<&WeightStore>,
+    ) -> Result<Value<'static>, ExecError> {
+        if let Some(store) = weights {
+            if matches!(self.graph.node(node).op, Op::Weight) {
+                return Ok(Value::Cached(store.get_or_derive(&self.graph, node, seed)));
+            }
+        }
+        mcfuser_ir::evaluate_node_with(
+            &self.graph,
+            node,
+            &|n| values[n.0].as_ref().map(Value::tensor),
+            empty,
+            seed,
+        )
+        .map(Value::Owned)
+        .map_err(|e| self.reference_error(node, e))
+    }
+
+    /// Drain the declared outputs from a value table into `(name, node,
+    /// tensor)` entries, cloning only when a node is declared again
+    /// later (or when the value is borrowed/shared rather than owned).
+    pub(crate) fn collect_outputs(
+        &self,
+        values: &mut [Option<Value<'_>>],
+    ) -> Vec<(String, NodeId, HostTensor)> {
         let mut entries = Vec::with_capacity(self.outputs.len());
         for (k, (name, id)) in self.outputs.iter().enumerate() {
             let declared_again = self.outputs[k + 1..].iter().any(|(_, id2)| id2 == id);
             let t = if declared_again {
-                values[id.0].clone().expect("outputs are never released")
+                values[id.0]
+                    .as_ref()
+                    .expect("outputs are never released")
+                    .tensor()
+                    .clone()
             } else {
-                values[id.0].take().expect("outputs are never released")
+                values[id.0]
+                    .take()
+                    .expect("outputs are never released")
+                    .into_tensor()
             };
             entries.push((name.clone(), *id, t));
         }
-        Ok(Outputs { entries })
+        entries
     }
 
     /// Run the fused step `steps[s]`: stage its data inputs into an
@@ -523,7 +710,7 @@ impl ExecutablePlan {
     fn run_fused_step(
         &self,
         s: usize,
-        values: &mut [Option<HostTensor>],
+        values: &mut [Option<Value<'_>>],
         arena: &mut BufferArena,
     ) -> Result<(), ExecError> {
         let Step::Fused {
@@ -540,7 +727,7 @@ impl ExecutablePlan {
         };
         let mut st = TensorStorage::for_program_in(program, arena);
         for (j, &node) in data_inputs.iter().enumerate() {
-            let src = values[node.0].as_ref().expect("topological order");
+            let src = values[node.0].as_ref().expect("topological order").tensor();
             // Transposition materializes a temporary; the common
             // non-transposed case copies straight into the arena buffer.
             // (Chain buffers are [batch, rows, cols]; graph tensors may
@@ -573,7 +760,7 @@ impl ExecutablePlan {
         })?;
         let out_data = std::mem::take(&mut st.tensors.last_mut().expect("output buffer").data);
         st.recycle(arena);
-        values[output.0] = Some(HostTensor::from_vec(out_shape, out_data));
+        values[output.0] = Some(Value::Owned(HostTensor::from_vec(out_shape, out_data)));
         Ok(())
     }
 
@@ -581,7 +768,14 @@ impl ExecutablePlan {
     /// the value slots: missing inputs, undeclared inputs,
     /// declared-shape mismatches, and wrong dtype tags are all
     /// structured errors (the serving API's strict contract).
-    fn bind_inputs(&self, inputs: &InputSet) -> Result<Vec<Option<HostTensor>>, ExecError> {
+    ///
+    /// The returned slots *borrow* the request tensors (`Cow`-style) —
+    /// binding no longer clones each input; a fused step stages the
+    /// borrowed data straight into its arena-backed kernel buffer.
+    pub(crate) fn bind_inputs<'a>(
+        &self,
+        inputs: &'a InputSet,
+    ) -> Result<Vec<Option<Value<'a>>>, ExecError> {
         for name in inputs.by_name.keys() {
             if !self.inputs.iter().any(|b| &b.name == name) {
                 return Err(ExecError::UnknownInput {
@@ -598,7 +792,8 @@ impl ExecutablePlan {
                 });
             }
         }
-        let mut values: Vec<Option<HostTensor>> = vec![None; self.graph.nodes.len()];
+        let mut values: Vec<Option<Value<'a>>> =
+            (0..self.graph.nodes.len()).map(|_| None).collect();
         for binding in &self.inputs {
             let tagged = inputs.lookup(&binding.name, binding.node).ok_or_else(|| {
                 ExecError::MissingInput {
@@ -624,7 +819,7 @@ impl ExecutablePlan {
                     got: tagged.tensor.shape.clone(),
                 });
             }
-            values[binding.node.0] = Some(tagged.tensor.clone());
+            values[binding.node.0] = Some(Value::Borrowed(&tagged.tensor));
         }
         Ok(values)
     }
@@ -853,6 +1048,7 @@ impl CompiledModel {
             virtual_time,
             bytes_per_request,
             graph: graph.clone(),
+            device: self.device.clone(),
         })
     }
 }

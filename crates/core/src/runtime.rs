@@ -7,6 +7,13 @@
 //! ledger. Requests are deterministic per `(model, seed)`: an 8-thread
 //! stress run produces bit-identical outputs to a serial one.
 //!
+//! [`ModelRuntime::submit`] serves the same contract through the
+//! continuous-batching admission queue (see [`crate::scheduler`]):
+//! pending same-`(model, seed)` requests coalesce into one widened
+//! fused launch (see [`crate::batch`]), with derived weights reused
+//! across requests through a bounded per-`(model, seed)` LRU cache
+//! ([`WEIGHT_CACHE_CAPACITY`]).
+//!
 //! The runtime tracks [`RuntimeStats`]: requests served, per-plan
 //! p50/p95 latency on the *virtual* clock (the same clock the tuner
 //! charges — see [`TuningClock`](mcfuser_sim::TuningClock)), and bytes
@@ -41,6 +48,7 @@
 //! assert_eq!(runtime.stats().requests, 1);
 //! ```
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
@@ -49,12 +57,19 @@ use rustc_hash::FxHashMap;
 
 use mcfuser_sim::BufferArena;
 
+use crate::batch::BatchedPlan;
 use crate::cache::TuningCache;
-use crate::plan::{ExecError, ExecutablePlan, InputSet, Outputs, RunOptions};
+use crate::plan::{ExecError, ExecutablePlan, InputSet, Outputs, RunOptions, WeightStore};
+use crate::scheduler::Scheduler;
 
 /// How many idle buffer arenas the runtime pools (roughly the number of
 /// concurrently executing requests worth keeping warm).
 const ARENA_POOL_LIMIT: usize = 32;
+
+/// How many `(model, seed)` weight stores the runtime retains. Each
+/// store holds every weight tensor of one plan at one seed, so the cap
+/// bounds runtime memory under a rolling-seed workload.
+pub const WEIGHT_CACHE_CAPACITY: usize = 32;
 
 /// Latency samples retained per plan — the reservoir size. The cap
 /// keeps a long-running runtime's memory (and the `stats()` sort)
@@ -141,6 +156,11 @@ pub struct PlanStats {
     pub p95_latency: f64,
     /// Total global-memory bytes moved by this plan's requests.
     pub bytes_moved: f64,
+    /// Total virtual device seconds this plan's launches occupied — a
+    /// width-`k` batch contributes its (amortized) span once, not `k`
+    /// per-request times, so `requests / virtual_busy` is the plan's
+    /// achieved throughput on the virtual clock.
+    pub virtual_busy: f64,
 }
 
 /// A snapshot of everything the runtime has served.
@@ -148,8 +168,25 @@ pub struct PlanStats {
 pub struct RuntimeStats {
     /// Requests served successfully, across all plans.
     pub requests: u64,
-    /// Requests rejected with an [`ExecError`].
+    /// Requests rejected with an [`ExecError`] (including admission
+    /// rejections and expired deadlines).
     pub failed: u64,
+    /// Requests currently admitted to the batching queue but not yet
+    /// completed.
+    pub queue_depth: u64,
+    /// Submissions rejected with [`ExecError::Overloaded`].
+    pub rejected: u64,
+    /// Queued requests expired with [`ExecError::DeadlineExceeded`].
+    pub expired: u64,
+    /// Histogram of drained batch widths, `(width, launches)`,
+    /// ascending by width.
+    pub batch_sizes: Vec<(usize, u64)>,
+    /// Weight tensors served from the runtime's weight cache.
+    pub weight_cache_hits: u64,
+    /// Weight tensors derived because the cache lacked them.
+    pub weight_cache_misses: u64,
+    /// `(model, seed)` weight stores evicted by the LRU bound.
+    pub weight_cache_evictions: u64,
     /// Per-plan breakdown, sorted by model name.
     pub plans: Vec<PlanStats>,
 }
@@ -166,6 +203,7 @@ struct PlanRecord {
     requests: u64,
     latencies: LatencyReservoir,
     bytes: f64,
+    busy: f64,
 }
 
 impl PlanRecord {
@@ -174,6 +212,7 @@ impl PlanRecord {
             requests: 0,
             latencies: LatencyReservoir::new(reservoir_seed(model)),
             bytes: 0.0,
+            busy: 0.0,
         }
     }
 }
@@ -183,8 +222,9 @@ impl PlanRecord {
 pub struct ShutdownError {
     /// One entry per cache that could not persist.
     pub failures: Vec<String>,
-    /// The final stats snapshot (shutdown still completes).
-    pub stats: RuntimeStats,
+    /// The final stats snapshot (shutdown still completes). Boxed so
+    /// the `Err` variant stays small next to `Ok(RuntimeStats)`.
+    pub stats: Box<RuntimeStats>,
 }
 
 impl std::fmt::Display for ShutdownError {
@@ -200,6 +240,97 @@ impl std::fmt::Display for ShutdownError {
 
 impl std::error::Error for ShutdownError {}
 
+struct WeightCacheInner {
+    map: FxHashMap<(String, u64), (Arc<WeightStore>, u64)>,
+    tick: u64,
+}
+
+/// LRU-bounded cache of per-`(model, seed)` [`WeightStore`]s: weight
+/// tensors are derived once per plan/seed pair and shared across every
+/// request (serial and batched) instead of re-materialized per request.
+/// Hit/miss counters are `Arc`-shared with the stores themselves, so
+/// evicting a store never loses its counts.
+pub(crate) struct WeightCache {
+    inner: Mutex<WeightCacheInner>,
+    capacity: usize,
+    hits: Arc<AtomicU64>,
+    misses: Arc<AtomicU64>,
+    evictions: AtomicU64,
+}
+
+impl Default for WeightCache {
+    fn default() -> Self {
+        WeightCache::with_capacity(WEIGHT_CACHE_CAPACITY)
+    }
+}
+
+impl WeightCache {
+    pub(crate) fn with_capacity(capacity: usize) -> Self {
+        WeightCache {
+            inner: Mutex::new(WeightCacheInner {
+                map: FxHashMap::default(),
+                tick: 0,
+            }),
+            capacity: capacity.max(1),
+            hits: Arc::new(AtomicU64::new(0)),
+            misses: Arc::new(AtomicU64::new(0)),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The store for `(model, seed)`, created on first use; touching a
+    /// store refreshes its LRU position, and inserting past capacity
+    /// evicts the least-recently-used other entry.
+    pub(crate) fn store(&self, model: &str, seed: u64) -> Arc<WeightStore> {
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some((store, last)) = inner.map.get_mut(&(model.to_string(), seed)) {
+            *last = tick;
+            return store.clone();
+        }
+        let store = Arc::new(WeightStore::with_counters(
+            self.hits.clone(),
+            self.misses.clone(),
+        ));
+        inner
+            .map
+            .insert((model.to_string(), seed), (store.clone(), tick));
+        if inner.map.len() > self.capacity {
+            let victim = inner
+                .map
+                .iter()
+                .filter(|(_, (_, t))| *t != tick)
+                .min_by_key(|(_, (_, t))| *t)
+                .map(|(k, _)| k.clone());
+            if let Some(victim) = victim {
+                inner.map.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        store
+    }
+
+    /// Drop every seed's store of `model` (the plan changed — its
+    /// weights no longer describe what will be served).
+    fn invalidate_model(&self, model: &str) {
+        self.inner.lock().map.retain(|(m, _), _| m != model);
+    }
+
+    fn counters(&self) -> (u64, u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+            self.evictions.load(Ordering::Relaxed),
+        )
+    }
+
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+}
+
 /// A thread-safe registry serving many [`ExecutablePlan`]s concurrently.
 ///
 /// All methods take `&self`; share the runtime behind an [`Arc`] across
@@ -212,6 +343,13 @@ pub struct ModelRuntime {
     failed: Mutex<u64>,
     arenas: Mutex<Vec<BufferArena>>,
     caches: Mutex<Vec<Arc<dyn TuningCache>>>,
+    /// Per-model widened-plan wrappers, built lazily and invalidated on
+    /// (de)registration.
+    batched: Mutex<FxHashMap<String, Arc<BatchedPlan>>>,
+    /// Per-`(model, seed)` weight stores shared by `infer` and `submit`.
+    pub(crate) weights: WeightCache,
+    /// The continuous-batching admission queue behind `submit`.
+    pub(crate) sched: Scheduler,
 }
 
 impl std::fmt::Debug for ModelRuntime {
@@ -230,6 +368,16 @@ impl ModelRuntime {
         Self::default()
     }
 
+    /// An empty runtime whose [`ModelRuntime::submit`] queue follows
+    /// `policy` instead of
+    /// [`BatchPolicy::default`](crate::BatchPolicy::default).
+    pub fn with_batch_policy(policy: crate::BatchPolicy) -> Self {
+        ModelRuntime {
+            sched: Scheduler::with_policy(policy),
+            ..ModelRuntime::default()
+        }
+    }
+
     /// Register a plan under a serving name (replacing any previous plan
     /// of that name) and return the shared handle.
     pub fn register(&self, name: impl Into<String>, plan: ExecutablePlan) -> Arc<ExecutablePlan> {
@@ -246,11 +394,16 @@ impl ModelRuntime {
         let name = name.into();
         self.plans.write().insert(name.clone(), plan);
         self.records.lock().remove(&name);
+        self.batched.lock().remove(&name);
+        self.weights.invalidate_model(&name);
     }
 
     /// Remove a plan. Returns it if it was registered.
     pub fn deregister(&self, name: &str) -> Option<Arc<ExecutablePlan>> {
-        self.plans.write().remove(name)
+        let plan = self.plans.write().remove(name);
+        self.batched.lock().remove(name);
+        self.weights.invalidate_model(name);
+        plan
     }
 
     /// Look up a registered plan.
@@ -287,27 +440,73 @@ impl ModelRuntime {
                 name: model.to_string(),
             });
         };
-        let mut arena = self.arenas.lock().pop().unwrap_or_default();
-        let result = plan.execute_in(inputs, opts, &mut arena);
-        {
-            let mut pool = self.arenas.lock();
-            if pool.len() < ARENA_POOL_LIMIT {
-                pool.push(arena);
-            }
-        }
+        let store = self.weights.store(model, opts.seed);
+        let mut arena = self.arena();
+        let result = plan.execute_cached(inputs, opts, &mut arena, Some(&store));
+        self.recycle_arena(arena);
         match &result {
             Ok(_) => {
-                let mut records = self.records.lock();
-                let rec = records
-                    .entry(model.to_string())
-                    .or_insert_with(|| PlanRecord::new(model));
-                rec.requests += 1;
-                rec.latencies.push(plan.virtual_time_per_request());
-                rec.bytes += plan.bytes_per_request();
+                self.record_success(
+                    model,
+                    plan.virtual_time_per_request(),
+                    plan.bytes_per_request(),
+                );
+                self.record_busy(model, plan.virtual_time_per_request());
             }
-            Err(_) => *self.failed.lock() += 1,
+            Err(_) => self.count_failure(),
         }
         result
+    }
+
+    /// The batched wrapper for a registered model, built on first use
+    /// and cached until the name is (de)registered.
+    pub(crate) fn batched_plan(&self, model: &str) -> Option<Arc<BatchedPlan>> {
+        if let Some(b) = self.batched.lock().get(model) {
+            return Some(b.clone());
+        }
+        let plan = self.plan(model)?;
+        let b = Arc::new(BatchedPlan::new(plan));
+        self.batched.lock().insert(model.to_string(), b.clone());
+        Some(b)
+    }
+
+    /// Pop a pooled buffer arena (or a fresh one).
+    pub(crate) fn arena(&self) -> BufferArena {
+        self.arenas.lock().pop().unwrap_or_default()
+    }
+
+    /// Return an arena to the pool, unless the pool is already warm.
+    pub(crate) fn recycle_arena(&self, arena: BufferArena) {
+        let mut pool = self.arenas.lock();
+        if pool.len() < ARENA_POOL_LIMIT {
+            pool.push(arena);
+        }
+    }
+
+    /// Ledger one successfully served request.
+    pub(crate) fn record_success(&self, model: &str, latency: f64, bytes: f64) {
+        let mut records = self.records.lock();
+        let rec = records
+            .entry(model.to_string())
+            .or_insert_with(|| PlanRecord::new(model));
+        rec.requests += 1;
+        rec.latencies.push(latency);
+        rec.bytes += bytes;
+    }
+
+    /// Ledger virtual device seconds occupied by a launch (once per
+    /// batch, not once per request).
+    pub(crate) fn record_busy(&self, model: &str, span: f64) {
+        let mut records = self.records.lock();
+        let rec = records
+            .entry(model.to_string())
+            .or_insert_with(|| PlanRecord::new(model));
+        rec.busy += span;
+    }
+
+    /// Ledger one failed request.
+    pub(crate) fn count_failure(&self) {
+        *self.failed.lock() += 1;
     }
 
     /// Snapshot the serving counters.
@@ -323,13 +522,24 @@ impl ModelRuntime {
                     p50_latency: percentile(&sorted, 0.50),
                     p95_latency: percentile(&sorted, 0.95),
                     bytes_moved: rec.bytes,
+                    virtual_busy: rec.busy,
                 }
             })
             .collect();
         plans.sort_by(|a, b| a.model.cmp(&b.model));
+        let (queue_depth, rejected, expired, batch_sizes) = self.sched.snapshot();
+        let (weight_cache_hits, weight_cache_misses, weight_cache_evictions) =
+            self.weights.counters();
         RuntimeStats {
             requests: plans.iter().map(|p| p.requests).sum(),
             failed: *self.failed.lock(),
+            queue_depth,
+            rejected,
+            expired,
+            batch_sizes,
+            weight_cache_hits,
+            weight_cache_misses,
+            weight_cache_evictions,
             plans,
         }
     }
@@ -351,7 +561,10 @@ impl ModelRuntime {
         if failures.is_empty() {
             Ok(stats)
         } else {
-            Err(ShutdownError { failures, stats })
+            Err(ShutdownError {
+                failures,
+                stats: Box::new(stats),
+            })
         }
     }
 }
@@ -399,6 +612,34 @@ mod tests {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<ModelRuntime>();
         assert_send_sync::<ExecutablePlan>();
+    }
+
+    #[test]
+    fn weight_cache_bounds_stores_and_counts_evictions() {
+        let cache = WeightCache::with_capacity(2);
+        let a = cache.store("m", 0);
+        let _b = cache.store("m", 1);
+        // Touch (m, 0) so (m, 1) is the LRU victim on overflow.
+        let a2 = cache.store("m", 0);
+        assert!(Arc::ptr_eq(&a, &a2), "touching must return the same store");
+        let _c = cache.store("n", 0);
+        let (_, _, evictions) = cache.counters();
+        assert_eq!(evictions, 1);
+        assert_eq!(cache.len(), 2);
+        // The touched store survived; the evicted one is rebuilt fresh.
+        assert!(Arc::ptr_eq(&a, &cache.store("m", 0)));
+        let rebuilt = cache.store("m", 1);
+        assert!(rebuilt.is_empty(), "evicted store must come back empty");
+    }
+
+    #[test]
+    fn invalidating_a_model_drops_every_seed() {
+        let cache = WeightCache::with_capacity(8);
+        cache.store("m", 0);
+        cache.store("m", 1);
+        cache.store("n", 0);
+        cache.invalidate_model("m");
+        assert_eq!(cache.len(), 1);
     }
 
     #[test]

@@ -856,27 +856,90 @@ pub fn space_fingerprint(
 /// shared space's interior decode cache is one small mutex-guarded
 /// block cache, so many *concurrent* searches over one huge-grid space
 /// contend on it — see the ROADMAP item on sharding it per thread.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct SpaceCache {
-    entries: Mutex<FxHashMap<String, Arc<OnceLock<Arc<CandidateSpace>>>>>,
+    entries: Mutex<SpaceCacheInner>,
     hits: AtomicU64,
+    evictions: AtomicU64,
+    capacity: usize,
+}
+
+#[derive(Debug, Default)]
+struct SpaceCacheInner {
+    map: FxHashMap<String, SpaceEntry>,
+    tick: u64,
+}
+
+#[derive(Debug, Default)]
+struct SpaceEntry {
+    cell: Arc<OnceLock<Arc<CandidateSpace>>>,
+    last_used: u64,
+}
+
+/// Default [`SpaceCache`] bound: distinct space fingerprints retained
+/// before least-recently-used eviction kicks in. Spaces rebuild
+/// deterministically, so eviction costs one Rule-4 scan, never
+/// correctness; the bound keeps a long-lived multi-tenant engine's
+/// memory proportional to its working set instead of its history.
+pub const SPACE_CACHE_CAPACITY: usize = 128;
+
+impl Default for SpaceCache {
+    fn default() -> Self {
+        Self::with_capacity(SPACE_CACHE_CAPACITY)
+    }
 }
 
 impl SpaceCache {
-    /// An empty cache.
+    /// An empty cache with the default LRU bound
+    /// ([`SPACE_CACHE_CAPACITY`]).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty cache retaining at most `capacity` spaces (≥ 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        SpaceCache {
+            entries: Mutex::new(SpaceCacheInner::default()),
+            hits: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            capacity: capacity.max(1),
+        }
     }
 
     /// The space for `fingerprint`, building it with `build` if this is
     /// the first request. A concurrent duplicate request waits for the
     /// in-flight build instead of scanning twice.
+    ///
+    /// Inserting past the capacity evicts the least-recently-used
+    /// *completed* space (in-flight builds are never evicted, so the
+    /// build-once guarantee holds; holders of an evicted `Arc` keep
+    /// using it, and a later request simply rebuilds).
     pub fn get_or_build(
         &self,
         fingerprint: String,
         build: impl FnOnce() -> CandidateSpace,
     ) -> Arc<CandidateSpace> {
-        let cell = self.entries.lock().entry(fingerprint).or_default().clone();
+        let cell = {
+            let mut inner = self.entries.lock();
+            inner.tick += 1;
+            let tick = inner.tick;
+            let entry = inner.map.entry(fingerprint).or_default();
+            entry.last_used = tick;
+            let cell = entry.cell.clone();
+            if inner.map.len() > self.capacity {
+                let victim = inner
+                    .map
+                    .iter()
+                    .filter(|(_, e)| e.last_used != tick && e.cell.get().is_some())
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(k, _)| k.clone());
+                if let Some(k) = victim {
+                    inner.map.remove(&k);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            cell
+        };
         let mut fresh = false;
         let space = cell
             .get_or_init(|| {
@@ -895,9 +958,14 @@ impl SpaceCache {
         self.hits.load(Ordering::Relaxed)
     }
 
+    /// Spaces dropped by the LRU bound.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
     /// Number of cached spaces.
     pub fn len(&self) -> usize {
-        self.entries.lock().len()
+        self.entries.lock().map.len()
     }
 
     /// Whether nothing has been cached yet.
@@ -961,6 +1029,34 @@ mod tests {
     fn pruned(chain: &ChainSpec) -> CandidateSpace {
         let space = SearchSpace::generate(chain);
         prune(chain, &DeviceSpec::a100(), &space)
+    }
+
+    #[test]
+    fn space_cache_evicts_lru_completed_spaces() {
+        let cache = SpaceCache::with_capacity(2);
+        let chains: Vec<ChainSpec> = (0..3)
+            .map(|i| ChainSpec::gemm_chain(format!("c{i}"), 1, 128 << i, 64, 32, 32))
+            .collect();
+        let build = |i: usize| {
+            cache.get_or_build(format!("fp{i}"), || {
+                let s = SearchSpace::generate(&chains[i]);
+                prune(&chains[i], &DeviceSpec::a100(), &s)
+            })
+        };
+        build(0);
+        build(1);
+        // Touch 0 so 1 is the LRU victim when 2 overflows the bound.
+        build(0);
+        assert_eq!(cache.hits(), 1);
+        build(2);
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(cache.len(), 2);
+        // 0 survived (touched); 1 rebuilds from scratch (no new hit).
+        let hits_before = cache.hits();
+        build(0);
+        assert_eq!(cache.hits(), hits_before + 1);
+        build(1);
+        assert_eq!(cache.hits(), hits_before + 1, "evicted space must rebuild");
     }
 
     #[test]

@@ -28,4 +28,4 @@ pub use chain::{
 };
 pub use graph::{Graph, GraphBuilder, GraphError, Node, NodeId, Op};
 pub use partition::{partition, FusedChain, Partition, CHAIN_MBCI_HEADROOM};
-pub use reference::{evaluate, evaluate_node, gelu, init_weight};
+pub use reference::{evaluate, evaluate_node, evaluate_node_with, gelu, init_weight, ValueLookup};

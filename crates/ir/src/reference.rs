@@ -45,6 +45,11 @@ pub fn evaluate(
     Ok(values.into_iter().map(Option::unwrap).collect())
 }
 
+/// Operand lookup used by [`evaluate_node_with`]: resolves a node id to
+/// its already-computed value, wherever the caller keeps it (a plain
+/// slot table, a borrowed request tensor, a shared weight cache entry).
+pub type ValueLookup<'f, 'v> = &'f dyn Fn(NodeId) -> Option<&'v HostTensor>;
+
 /// Evaluate a single node given the values of all earlier nodes (used by
 /// the fused-execution path in `mcfuser-core`, which overrides chain
 /// outputs with simulator results while evaluating everything else here).
@@ -52,6 +57,22 @@ pub fn evaluate_node(
     graph: &Graph,
     id: NodeId,
     values: &[Option<HostTensor>],
+    inputs: &FxHashMap<NodeId, HostTensor>,
+    seed: u64,
+) -> Result<HostTensor, GraphError> {
+    evaluate_node_with(graph, id, &|n| values[n.0].as_ref(), inputs, seed)
+}
+
+/// [`evaluate_node`] generalized over how operand values are stored: the
+/// caller supplies a lookup closure instead of a dense `Option` slice.
+/// `mcfuser-core`'s serving path keeps request inputs borrowed and
+/// weights behind a shared cache; this entry point lets it evaluate
+/// reference operators without first cloning every operand into an
+/// owned table.
+pub fn evaluate_node_with<'v>(
+    graph: &Graph,
+    id: NodeId,
+    values: ValueLookup<'_, 'v>,
     inputs: &FxHashMap<NodeId, HostTensor>,
     seed: u64,
 ) -> Result<HostTensor, GraphError> {
@@ -135,8 +156,8 @@ pub fn evaluate_node(
     }
 }
 
-fn value(values: &[Option<HostTensor>], id: NodeId) -> &HostTensor {
-    values[id.0].as_ref().expect("topological order violated")
+fn value<'v>(values: ValueLookup<'_, 'v>, id: NodeId) -> &'v HostTensor {
+    values(id).expect("topological order violated")
 }
 
 /// tanh-approximation GELU — delegates to the simulator's kernel
@@ -149,7 +170,7 @@ pub fn gelu(x: f32) -> f32 {
 fn eval_linear(
     _graph: &Graph,
     node: &crate::graph::Node,
-    values: &[Option<HostTensor>],
+    values: ValueLookup<'_, '_>,
 ) -> Result<HostTensor, GraphError> {
     let x = value(values, node.inputs[0]);
     let w = value(values, node.inputs[1]);
@@ -190,7 +211,7 @@ fn eval_linear(
 fn eval_bmm(
     _graph: &Graph,
     node: &crate::graph::Node,
-    values: &[Option<HostTensor>],
+    values: ValueLookup<'_, '_>,
     transpose_b: bool,
 ) -> Result<HostTensor, GraphError> {
     let a = value(values, node.inputs[0]);

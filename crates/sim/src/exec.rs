@@ -173,6 +173,29 @@ impl TensorStorage {
         }
     }
 
+    /// Stage `data` into buffer `buf` starting at element `offset` — the
+    /// batched-serving staging primitive. A widened launch packs each
+    /// request's tensor into its batch-slot range of the same input
+    /// buffer, so staging is a straight `memcpy` into the arena-backed
+    /// allocation at the slot offset (no intermediate per-request
+    /// tensor). Errors if the slice does not fit the buffer.
+    pub fn stage_at(&mut self, buf: usize, offset: usize, data: &[f32]) -> Result<(), ExecError> {
+        let t = self
+            .tensors
+            .get_mut(buf)
+            .ok_or_else(|| ExecError::StorageMismatch(format!("no buffer #{buf} to stage into")))?;
+        let end = offset.saturating_add(data.len());
+        if end > t.data.len() {
+            return Err(ExecError::StorageMismatch(format!(
+                "staging {} elements at offset {offset} overflows buffer #{buf} of {}",
+                data.len(),
+                t.data.len()
+            )));
+        }
+        t.data[offset..end].copy_from_slice(data);
+        Ok(())
+    }
+
     /// Zero every output/temp buffer (so a storage can be re-used across
     /// kernel invocations without stale results).
     pub fn clear_outputs(&mut self, p: &TileProgram) {
