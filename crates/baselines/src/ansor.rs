@@ -338,6 +338,19 @@ impl OpCostModel for Ansor {
         }
     }
 
+    fn op_time_standalone(&self, graph: &Graph, node: NodeId, dev: &DeviceSpec) -> f64 {
+        let n = graph.node(node);
+        // Ansor's memory-op fusion needs a standalone producer stage to
+        // inline into; a chain-fused producer leaves a full stream pass.
+        if matches!(n.op, Op::Relu | Op::Gelu | Op::Scale(_) | Op::Add) {
+            let elems: u64 = n.shape.iter().product();
+            return StreamKernel::elementwise(&n.name, elems, graph.dtype.size_bytes())
+                .with_l2_hot()
+                .time(dev);
+        }
+        self.op_time(graph, node, dev)
+    }
+
     fn tuning_seconds(&self, graph: &Graph, nodes: &[NodeId], dev: &DeviceSpec) -> f64 {
         // Tune every distinct compute task (cache makes repeats free),
         // plus a per-memory-task measurement budget.

@@ -234,6 +234,19 @@ impl OpCostModel for Bolt {
         }
     }
 
+    fn op_time_standalone(&self, graph: &Graph, node: NodeId, dev: &DeviceSpec) -> f64 {
+        let n = graph.node(node);
+        // BOLT's pattern table folds these into a GEMM epilogue; with the
+        // producer fused away the fold is impossible.
+        if matches!(n.op, Op::Relu | Op::Add | Op::Scale(_)) {
+            let elems: u64 = n.shape.iter().product();
+            return StreamKernel::elementwise(&n.name, elems, graph.dtype.size_bytes())
+                .with_l2_hot()
+                .time(dev);
+        }
+        self.op_time(graph, node, dev)
+    }
+
     fn tuning_seconds(&self, graph: &Graph, nodes: &[NodeId], dev: &DeviceSpec) -> f64 {
         // Template instantiation per distinct GEMM shape (heavy C++
         // compiles), plus Relay-level graph handling.

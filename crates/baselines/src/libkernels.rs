@@ -114,6 +114,7 @@ pub fn matmul_program(
                     b: sb,
                     acc: sc,
                     b_transposed: false,
+                    acc_col: 0,
                 },
             ],
         },

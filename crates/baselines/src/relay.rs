@@ -156,6 +156,19 @@ impl OpCostModel for Relay {
         }
     }
 
+    fn op_time_standalone(&self, graph: &Graph, node: NodeId, dev: &DeviceSpec) -> f64 {
+        let n = graph.node(node);
+        // With the producer fused away there is no GEMM epilogue to fold
+        // into: the element-wise op streams through memory on its own.
+        if matches!(n.op, Op::Relu | Op::Gelu | Op::Scale(_) | Op::Add) {
+            let elems: u64 = n.shape.iter().product();
+            return StreamKernel::elementwise(&n.name, elems, graph.dtype.size_bytes())
+                .with_l2_hot()
+                .time(dev);
+        }
+        self.op_time(graph, node, dev)
+    }
+
     fn tuning_seconds(&self, graph: &Graph, nodes: &[NodeId], _dev: &DeviceSpec) -> f64 {
         // Relay builds each operator instance once (no measurement-based
         // tuning): per-node codegen plus fixed graph-pass overhead.

@@ -17,6 +17,8 @@ fn bench(c: &mut Criterion) {
         epilogues: vec![Default::default(); 3],
         biases: vec![false; 3],
         dtype: mcfuser_sim::DType::F16,
+        prologue: None,
+        stitch_epilogue: None,
     };
     let mut g = c.benchmark_group("enumeration");
     g.bench_function("deep_2gemm_24", |b| {

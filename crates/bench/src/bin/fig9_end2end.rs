@@ -39,6 +39,17 @@ fn main() {
         "MCF+Relay vs Ansor",
         "MCF+Ansor vs Ansor",
     ]);
+    let mut stitch_table = TextTable::new(&[
+        "model",
+        "fused kernels",
+        "elementwise ref steps",
+        "unstitched MB/req",
+        "stitched MB/req",
+        "traffic saved",
+        "unstitched time",
+        "stitched time",
+        "time saved",
+    ]);
     let mut json_rows = Vec::new();
 
     for graph in &models {
@@ -61,6 +72,66 @@ fn main() {
             .compile(graph)
             .expect("compiles");
 
+        // Prologue/epilogue stitching: freeze the stitched plan and an
+        // unstitched baseline (same chains, glue on the interpreter) and
+        // compare step structure and per-request traffic.
+        let stitched_plan = mcf_relay.plan(graph).expect("plan freezes");
+        let unstitched_plan = FusionEngine::builder(dev.clone())
+            .fallback(Relay::new())
+            .stitching(false)
+            .build()
+            .compile_plan(graph)
+            .expect("unstitched plan freezes");
+        let sb = stitched_plan.step_breakdown();
+        let ub = unstitched_plan.step_breakdown();
+        if graph.name == "Bert-Small" {
+            // The paper-narrative acceptance bar: every encoder layer is
+            // exactly two fused kernels (attention + stitched FFN) with
+            // zero elementwise glue left on the reference interpreter.
+            assert_eq!(
+                stitched_plan.fused_kernels(),
+                8,
+                "Bert-Small: 2 fused kernels per layer"
+            );
+            assert_eq!(
+                sb.reference_elementwise, 0,
+                "Bert-Small: no elementwise Reference steps"
+            );
+            assert_eq!(mcf_relay.stitch_demotions, 0, "no degraded stitches");
+            assert!(
+                stitched_plan.bytes_per_request() < unstitched_plan.bytes_per_request(),
+                "stitching must save per-request traffic"
+            );
+            assert!(
+                stitched_plan.virtual_time_per_request()
+                    < unstitched_plan.virtual_time_per_request(),
+                "stitching must save per-request virtual time"
+            );
+        }
+        stitch_table.row(vec![
+            graph.name.clone(),
+            format!("{}", stitched_plan.fused_kernels()),
+            format!(
+                "{} -> {}",
+                ub.reference_elementwise, sb.reference_elementwise
+            ),
+            format!("{:.1}", unstitched_plan.bytes_per_request() / 1e6),
+            format!("{:.1}", stitched_plan.bytes_per_request() / 1e6),
+            format!(
+                "{:.1}%",
+                (1.0 - stitched_plan.bytes_per_request() / unstitched_plan.bytes_per_request())
+                    * 100.0
+            ),
+            fmt_time(unstitched_plan.virtual_time_per_request()),
+            fmt_time(stitched_plan.virtual_time_per_request()),
+            format!(
+                "{:.1}%",
+                (1.0 - stitched_plan.virtual_time_per_request()
+                    / unstitched_plan.virtual_time_per_request())
+                    * 100.0
+            ),
+        ]);
+
         let norm = |t: f64| t_relay / t;
         table.row(vec![
             graph.name.clone(),
@@ -73,6 +144,29 @@ fn main() {
             format!("{:.2}x", t_ansor / mcf_relay.total_time),
             format!("{:.2}x", t_ansor / mcf_ansor.total_time),
         ]);
+        let stitched_json = serde_json::json!({
+            "fused_steps": sb.fused_steps,
+            "reference_steps": sb.reference_steps,
+            "reference_elementwise": sb.reference_elementwise,
+            "fused_bytes": sb.fused_bytes,
+            "reference_bytes": sb.reference_bytes,
+            "bytes_per_request": stitched_plan.bytes_per_request(),
+            "virtual_time_s": stitched_plan.virtual_time_per_request(),
+        });
+        let unstitched_json = serde_json::json!({
+            "fused_steps": ub.fused_steps,
+            "reference_steps": ub.reference_steps,
+            "reference_elementwise": ub.reference_elementwise,
+            "fused_bytes": ub.fused_bytes,
+            "reference_bytes": ub.reference_bytes,
+            "bytes_per_request": unstitched_plan.bytes_per_request(),
+            "virtual_time_s": unstitched_plan.virtual_time_per_request(),
+        });
+        let stitching = serde_json::json!({
+            "stitch_demotions": mcf_relay.stitch_demotions,
+            "stitched": stitched_json,
+            "unstitched": unstitched_json,
+        });
         let tuning = serde_json::json!({
             "relay_s": tune_relay,
             "bolt_s": tune_bolt,
@@ -90,6 +184,7 @@ fn main() {
             "chains_fused": mcf_relay.chains.len(),
             "chain_time_s": mcf_relay.chain_time,
             "tuning": tuning,
+            "stitching": stitching,
         }));
     }
 
@@ -102,6 +197,8 @@ fn main() {
         "Paper shape: MCFuser+Relay ≈ 1.45x over Relay, ≈ 1.33x over Ansor;\n\
          MCFuser+Ansor ≈ 1.3-1.5x over Ansor alone."
     );
+    println!("\nPrologue/epilogue stitching (stitched vs unstitched plan):\n");
+    println!("{}", stitch_table.render());
     write_json(
         "fig9_end2end",
         &serde_json::json!({ "fast": fast, "rows": json_rows }),

@@ -110,13 +110,19 @@ fn summarize(mode: &str, stats: &RuntimeStats, wall: f64, issued: u64) -> serde_
     let mut plans = Vec::new();
     for p in &stats.plans {
         println!(
-            "  {:>9}: {} requests, p50 {:.1} us, p95 {:.1} us, {:.2} MB moved, busy {:.1} us",
+            "  {:>9}: {} requests, p50 {:.1} us, p95 {:.1} us, {:.2} MB moved, busy {:.1} us, \
+             {} fused / {} reference steps ({} elementwise), {:.2}/{:.2} MB per request",
             p.model,
             p.requests,
             p.p50_latency * 1e6,
             p.p95_latency * 1e6,
             p.bytes_moved / 1e6,
             p.virtual_busy * 1e6,
+            p.fused_steps,
+            p.reference_steps,
+            p.reference_elementwise,
+            p.fused_bytes_per_request / 1e6,
+            p.reference_bytes_per_request / 1e6,
         );
         assert!(p.p95_latency >= p.p50_latency && p.p50_latency > 0.0);
         plans.push(serde_json::json!({
@@ -126,6 +132,11 @@ fn summarize(mode: &str, stats: &RuntimeStats, wall: f64, issued: u64) -> serde_
             "p95_latency_s": p.p95_latency,
             "bytes_moved": p.bytes_moved,
             "virtual_busy_s": p.virtual_busy,
+            "fused_steps": p.fused_steps,
+            "reference_steps": p.reference_steps,
+            "reference_elementwise": p.reference_elementwise,
+            "fused_bytes_per_request": p.fused_bytes_per_request,
+            "reference_bytes_per_request": p.reference_bytes_per_request,
         }));
     }
     serde_json::json!({
@@ -203,12 +214,14 @@ fn main() {
         let plan = Arc::new(model.plan(graph).expect("plan freezes"));
         let probe = BatchedPlan::new(plan.clone());
         let (span4, _) = probe.batch_span(4);
+        let breakdown = plan.step_breakdown();
         println!(
-            "compiled {:>9}: {} steps, {} fused kernels, peak live {}/{} nodes, \
-             {:.1} us/request ({:.1} us per request at width 4)",
+            "compiled {:>9}: {} steps, {} fused kernels, {} elementwise reference steps, \
+             peak live {}/{} nodes, {:.1} us/request ({:.1} us per request at width 4)",
             graph.name,
             plan.steps().len(),
             plan.fused_kernels(),
+            breakdown.reference_elementwise,
             plan.buffer_plan().peak_live(),
             plan.buffer_plan().total_nodes(),
             plan.virtual_time_per_request() * 1e6,

@@ -449,13 +449,23 @@ fn leading_batch(a: &TileAccess) -> bool {
     )
 }
 
-/// Visit every global-buffer access of a statement list.
+/// Visit every global-buffer access of a statement list (including the
+/// raw-global reads of the stitched prologue/epilogue statements — missing
+/// one here would silently misclassify its buffer during widening).
 fn visit_accesses(body: &[BlockStmt], f: &mut impl FnMut(&TileAccess)) {
     for stmt in body {
         match stmt {
             BlockStmt::Loop { body, .. } => visit_accesses(body, f),
             BlockStmt::Load { src, .. } => f(src),
             BlockStmt::Store { dst, .. } => f(dst),
+            BlockStmt::AddGlobal { src, .. } => f(src),
+            BlockStmt::RowNormStats { a, residual, .. }
+            | BlockStmt::AddRecomputedNorm { a, residual, .. } => {
+                f(a);
+                if let Some(res) = residual {
+                    f(res);
+                }
+            }
             _ => {}
         }
     }
@@ -468,6 +478,14 @@ fn visit_accesses_mut(body: &mut [BlockStmt], f: &mut impl FnMut(&mut TileAccess
             BlockStmt::Loop { body, .. } => visit_accesses_mut(body, f),
             BlockStmt::Load { src, .. } => f(src),
             BlockStmt::Store { dst, .. } => f(dst),
+            BlockStmt::AddGlobal { src, .. } => f(src),
+            BlockStmt::RowNormStats { a, residual, .. }
+            | BlockStmt::AddRecomputedNorm { a, residual, .. } => {
+                f(a);
+                if let Some(res) = residual {
+                    f(res);
+                }
+            }
             _ => {}
         }
     }

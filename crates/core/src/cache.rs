@@ -59,6 +59,11 @@ pub struct CacheKey {
     pub biases: Vec<bool>,
     /// Canonical storage-precision name.
     pub dtype: String,
+    /// Canonical stitched prologue/epilogue description (`None|None` for
+    /// plain chains). A stitched chain loads extra operands and rounds
+    /// through different precision points, so it must never share a
+    /// schedule entry with its unstitched twin.
+    pub stitch: String,
     /// Per input: stored transposed in the graph relative to chain layout.
     pub transposed_inputs: Vec<bool>,
     /// Target-device fingerprint.
@@ -93,6 +98,7 @@ impl CacheKey {
             epilogues: chain.epilogues.iter().map(|e| format!("{e:?}")).collect(),
             biases: chain.biases.clone(),
             dtype: format!("{:?}", chain.dtype),
+            stitch: format!("{:?}|{:?}", chain.prologue, chain.stitch_epilogue),
             transposed_inputs,
             device: device_fingerprint(dev),
             config: format!(
@@ -117,13 +123,14 @@ impl CacheKey {
     /// Canonical string form — the map/JSON key.
     pub fn canonical(&self) -> String {
         format!(
-            "b{}|m{}|d{:?}|e{:?}|bi{:?}|t{}|x{:?}|dev[{}]|cfg[{}]",
+            "b{}|m{}|d{:?}|e{:?}|bi{:?}|t{}|st[{}]|x{:?}|dev[{}]|cfg[{}]",
             self.batch,
             self.m,
             self.dims,
             self.epilogues,
             self.biases,
             self.dtype,
+            self.stitch,
             self.transposed_inputs,
             self.device,
             self.config,

@@ -26,6 +26,15 @@ pub trait OpCostModel: Sync {
     fn name(&self) -> &str;
     /// Execution time of one graph node on the device.
     fn op_time(&self, graph: &Graph, node: NodeId, dev: &DeviceSpec) -> f64;
+    /// Execution time of one graph node when its producer has been fused
+    /// into an MCFuser chain. Backends whose `op_time` prices an
+    /// element-wise op at (near) zero by folding it into the producer's
+    /// epilogue must charge a real launch here — the producer kernel the
+    /// fold assumed no longer exists as a standalone launch. Defaults to
+    /// `op_time` for backends without epilogue-folding assumptions.
+    fn op_time_standalone(&self, graph: &Graph, node: NodeId, dev: &DeviceSpec) -> f64 {
+        self.op_time(graph, node, dev)
+    }
     /// Virtual tuning cost of preparing these nodes.
     fn tuning_seconds(&self, graph: &Graph, nodes: &[NodeId], dev: &DeviceSpec) -> f64;
 }

@@ -42,9 +42,9 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use rustc_hash::FxHashMap;
+use rustc_hash::{FxHashMap, FxHashSet};
 
-use mcfuser_ir::{partition, ChainSpec, Graph, NodeId};
+use mcfuser_ir::{partition_with, ChainSpec, Graph, NodeId, PartitionOptions};
 use mcfuser_sim::{measure_noisy, DeviceSpec, TuningClock, TuningReport};
 use mcfuser_tile::{lower, Candidate, LoweringOptions, TilingExpr};
 
@@ -103,6 +103,11 @@ pub struct CompiledModel {
     /// [`ExecutablePlan`] so the serving layer
     /// can price widened batched launches on the same timing model.
     pub device: DeviceSpec,
+    /// Stitched chains whose fused kernel could not be tuned and that
+    /// degraded to their plain twin, with the prologue/epilogue glue
+    /// returned to the fallback remainder. Outputs are unchanged by a
+    /// demotion — only the step structure and traffic differ.
+    pub stitch_demotions: u64,
 }
 
 /// Structural fingerprint of a graph (nodes, shapes, ops, outputs,
@@ -175,6 +180,7 @@ pub struct EngineBuilder {
     custom_cache: Option<Box<dyn TuningCache>>,
     parallelism: usize,
     space_caching: bool,
+    stitching: bool,
 }
 
 impl EngineBuilder {
@@ -189,6 +195,7 @@ impl EngineBuilder {
             custom_cache: None,
             parallelism: 1,
             space_caching: true,
+            stitching: true,
         }
     }
 
@@ -244,6 +251,16 @@ impl EngineBuilder {
         self
     }
 
+    /// Whether the partitioner stitches adjacent elementwise glue
+    /// (LayerNorm prologues, residual-Add/LayerNorm epilogues) into the
+    /// fused chains (default: on). Disabling it extracts the *same*
+    /// chains but emits each as its plain twin with the glue priced by
+    /// the fallback — the baseline a stitched plan is bit-identical to.
+    pub fn stitching(mut self, enabled: bool) -> Self {
+        self.stitching = enabled;
+        self
+    }
+
     /// Number of worker threads for independent chains (1 = serial;
     /// results are bit-identical at any degree). 0 selects the host's
     /// available parallelism.
@@ -276,6 +293,7 @@ impl EngineBuilder {
             cache,
             spaces: self.space_caching.then(SpaceCache::new),
             space_builds: AtomicU64::new(0),
+            stitching: self.stitching,
             parallelism: self.parallelism.max(1),
             clock: TuningClock::new(),
             stats: Mutex::new(EngineStats::default()),
@@ -297,6 +315,8 @@ pub struct FusionEngine {
     spaces: Option<SpaceCache>,
     /// Fresh space constructions, cache or not (the Rule-4 scan probe).
     space_builds: AtomicU64,
+    /// Whether compilation stitches prologue/epilogue glue into chains.
+    stitching: bool,
     parallelism: usize,
     clock: TuningClock,
     stats: Mutex<EngineStats>,
@@ -469,7 +489,13 @@ impl FusionEngine {
         graph: &Graph,
         fallback: &dyn OpCostModel,
     ) -> Result<CompiledModel, TuneError> {
-        let part = partition(graph, &self.device);
+        let part = partition_with(
+            graph,
+            &self.device,
+            PartitionOptions {
+                stitch: self.stitching,
+            },
+        );
 
         // Identical tuning tasks (e.g. the attention of every layer) are
         // deduplicated by tune_tasks and tuned once, then fanned back out
@@ -479,32 +505,71 @@ impl FusionEngine {
             .iter()
             .map(|fc| (&fc.chain, fc.transposed_inputs.as_slice()))
             .collect();
-        let (results, fresh_tuning_seconds) = self.tune_tasks(&tasks);
+        let (results, mut fresh_tuning_seconds) = self.tune_tasks(&tasks);
 
         let mut chains = Vec::with_capacity(part.chains.len());
         let mut chain_time = 0.0;
+        let mut stitch_demotions = 0u64;
+        let mut rest_nodes: Vec<NodeId> = part.rest.clone();
         for (fc, result) in part.chains.iter().zip(results) {
-            let (t, cache_hit) = result?;
+            let (src, t, cache_hit) = match result {
+                Ok((t, hit)) => (fc, t, hit),
+                Err(e) => {
+                    // A stitched chain whose fused kernel cannot be
+                    // tuned degrades to its plain twin: the core chain
+                    // still fuses, the glue it had claimed returns to
+                    // the fallback remainder, and outputs are unchanged.
+                    let Some(twin) = fc.unstitched.as_deref() else {
+                        return Err(e);
+                    };
+                    let (twin_results, twin_seconds) =
+                        self.tune_tasks(&[(&twin.chain, twin.transposed_inputs.as_slice())]);
+                    fresh_tuning_seconds += twin_seconds;
+                    let (t, hit) = twin_results.into_iter().next().expect("one twin task")?;
+                    stitch_demotions += 1;
+                    rest_nodes.extend(fc.stitched_glue());
+                    (twin, t, hit)
+                }
+            };
             chain_time += t.profile.time;
             chains.push(CompiledChain {
-                chain: fc.chain.clone(),
+                chain: src.chain.clone(),
                 tuned: t,
-                nodes: fc.nodes.clone(),
-                data_inputs: fc.data_inputs.clone(),
-                output: fc.output,
-                transposed_inputs: fc.transposed_inputs.clone(),
+                nodes: src.nodes.clone(),
+                data_inputs: src.data_inputs.clone(),
+                output: src.output,
+                transposed_inputs: src.transposed_inputs.clone(),
                 cache_hit,
             });
         }
+        rest_nodes.sort_unstable();
 
-        let rest_times: Vec<(NodeId, f64)> = part
-            .rest
+        // Glue whose producer was fused into a chain cannot fold into a
+        // producer epilogue — that kernel no longer launches standalone —
+        // so it is priced as its own launch.
+        let fused: FxHashSet<NodeId> = chains
             .iter()
-            .map(|&n| (n, fallback.op_time(graph, n, &self.device)))
+            .flat_map(|c| c.nodes.iter().copied())
+            .collect();
+        let rest_times: Vec<(NodeId, f64)> = rest_nodes
+            .iter()
+            .map(|&n| {
+                let producer_fused = graph
+                    .node(n)
+                    .inputs
+                    .first()
+                    .is_some_and(|p| fused.contains(p));
+                let t = if producer_fused {
+                    fallback.op_time_standalone(graph, n, &self.device)
+                } else {
+                    fallback.op_time(graph, n, &self.device)
+                };
+                (n, t)
+            })
             .collect();
         let rest_total: f64 = rest_times.iter().map(|(_, t)| t).sum();
         let tuning_seconds =
-            fresh_tuning_seconds + fallback.tuning_seconds(graph, &part.rest, &self.device);
+            fresh_tuning_seconds + fallback.tuning_seconds(graph, &rest_nodes, &self.device);
         self.stats.lock().graphs_compiled += 1;
         Ok(CompiledModel {
             name: graph.name.clone(),
@@ -516,6 +581,7 @@ impl FusionEngine {
             tuning_seconds,
             graph_fingerprint: graph_fingerprint(graph),
             device: self.device.clone(),
+            stitch_demotions,
         })
     }
 
@@ -787,6 +853,86 @@ mod tests {
         assert_eq!(engine.stats().cache_misses, 1);
         assert!(!model.chains[0].cache_hit);
         assert!(model.chains[1].cache_hit);
+    }
+
+    /// Transformer FFN block with affine LayerNorms on both sides — the
+    /// shape the stitching passes fold into one kernel.
+    fn ffn_block_graph(m: u64, d: u64, f: u64) -> Graph {
+        let mut gb = GraphBuilder::new("blk", DType::F16);
+        let proj = gb.input("proj", vec![m, d]);
+        let x = gb.input("x", vec![m, d]);
+        let res1 = gb.add("res1", proj, x);
+        let ln1 = gb.layer_norm_affine("ln1", res1);
+        let up = gb.linear("up", ln1, f, true);
+        let act = gb.gelu("act", up);
+        let down = gb.linear("down", act, d, true);
+        let res2 = gb.add("res2", down, ln1);
+        let ln2 = gb.layer_norm_affine("ln2", res2);
+        gb.finish(vec![ln2])
+    }
+
+    #[test]
+    fn ffn_block_compiles_to_one_stitched_kernel() {
+        let engine = FusionEngine::builder(DeviceSpec::a100())
+            .fallback(FlatCost)
+            .build();
+        let model = engine.compile(&ffn_block_graph(128, 64, 128)).unwrap();
+        assert_eq!(model.chains.len(), 1);
+        let c = &model.chains[0].chain;
+        assert!(c.prologue.is_some() && c.stitch_epilogue.is_some());
+        assert!(model.rest_times.is_empty(), "{:?}", model.rest_times);
+        assert_eq!(model.stitch_demotions, 0);
+        assert_eq!(model.total_time, model.chain_time);
+    }
+
+    #[test]
+    fn stitching_disabled_compiles_the_twin_with_glue_in_rest() {
+        let g = ffn_block_graph(128, 64, 128);
+        let engine = FusionEngine::builder(DeviceSpec::a100())
+            .fallback(FlatCost)
+            .stitching(false)
+            .build();
+        let model = engine.compile(&g).unwrap();
+        assert_eq!(model.chains.len(), 1);
+        let c = &model.chains[0].chain;
+        assert!(c.prologue.is_none() && c.stitch_epilogue.is_none());
+        // res1, ln1, res2, ln2 priced by the fallback.
+        assert_eq!(model.rest_times.len(), 4);
+        assert_eq!(model.stitch_demotions, 0);
+    }
+
+    #[test]
+    fn unstitchable_tail_degrades_to_the_plain_twin() {
+        // Tail LayerNorm width 72: tile options are multiples of 16, so
+        // no candidate can hold the full row in one tile and every
+        // stitched lowering fails. The compile must not error — the
+        // chain degrades to its plain twin and the glue returns to the
+        // fallback remainder.
+        let mut gb = GraphBuilder::new("degrade", DType::F16);
+        let x = gb.input("x", vec![512, 64]);
+        let y = gb.input("y", vec![512, 72]);
+        let h = gb.linear("fc1", x, 256, false);
+        let o = gb.linear("fc2", h, 72, false);
+        let r = gb.add("res", o, y);
+        let ln = gb.layer_norm_affine("ln2", r);
+        let g = gb.finish(vec![ln]);
+
+        let engine = FusionEngine::builder(DeviceSpec::a100())
+            .fallback(FlatCost)
+            .build();
+        let model = engine.compile(&g).unwrap();
+        assert_eq!(model.stitch_demotions, 1);
+        assert_eq!(model.chains.len(), 1);
+        let c = &model.chains[0].chain;
+        assert!(c.prologue.is_none() && c.stitch_epilogue.is_none());
+        // The demoted glue (res, ln2) is priced by the fallback again.
+        assert_eq!(model.rest_times.len(), 2);
+        // The degraded model still freezes into a runnable plan.
+        let plan = model.plan(&g).unwrap();
+        assert_eq!(plan.fused_kernels(), 1);
+        // res + ln2 run on the interpreter (weight materialization
+        // steps are counted separately as non-elementwise).
+        assert_eq!(plan.step_breakdown().reference_elementwise, 2);
     }
 
     #[test]

@@ -91,7 +91,7 @@ pub use perf_model::{
 };
 pub use plan::{
     BufferPlan, ExecError, ExecutablePlan, InputBinding, InputSet, Outputs, RunOptions, Step,
-    WeightStore,
+    StepBreakdown, WeightStore,
 };
 pub use prune::{prune, rule2_ok, rule3_tiles, PruneStats};
 pub use runtime::{ModelRuntime, PlanStats, RuntimeStats, ShutdownError, WEIGHT_CACHE_CAPACITY};

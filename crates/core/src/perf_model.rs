@@ -146,6 +146,61 @@ pub fn estimate_with(
         }
     }
 
+    // Stitched prologue/epilogue traffic. The stitch trades the unfused
+    // layout's full store+reload round-trips (priced by the plan as
+    // Reference glue) for raw-f32 reads folded into this kernel: the A
+    // tile arrives unquantized (+ a residual tile and per-k gamma/beta
+    // strips), the stats pass streams each block's rows once, and the
+    // tail re-reads its columns raw before the f32 store.
+    if chain.prologue.is_some() || chain.stitch_epilogue.is_some() {
+        let bw = dev.dram_bandwidth;
+        let trips_of = |s: Stmt| {
+            placement
+                .paths
+                .iter()
+                .find(|(st, _)| *st == s)
+                .map(|_| placement.block_trips(chain, cand, s) as f64 * nb)
+                .unwrap_or(nb)
+        };
+        let tm = cand.tiles[0] as f64;
+        if let Some(p) = chain.prologue {
+            let a_trips = trips_of(Stmt::Load(TensorRef::Input(0)));
+            let tk = cand.tiles[1] as f64;
+            t_mem += tm * tk * (4.0 - esz) * a_trips / bw;
+            if p.residual {
+                t_mem += tm * tk * 4.0 * a_trips / bw;
+            }
+            if p.affine {
+                t_mem += 2.0 * tk * 4.0 * a_trips / bw;
+            }
+            let d0 = chain.dims[0] as f64;
+            let passes = if p.residual { 2.0 } else { 1.0 };
+            t_mem += tm * d0 * 4.0 * passes * nb / bw;
+        }
+        if let Some(t) = chain.stitch_epilogue {
+            let s_trips = trips_of(Stmt::Store);
+            let tn = *cand.tiles.last().unwrap() as f64;
+            t_mem += tm * tn * (4.0 - esz) * s_trips / bw;
+            match t.residual {
+                mcfuser_ir::ResidualSource::External => {
+                    t_mem += tm * tn * 4.0 * s_trips / bw;
+                }
+                mcfuser_ir::ResidualSource::PrologueOut => {
+                    let passes = if chain.prologue.map(|p| p.residual).unwrap_or(false) {
+                        2.0
+                    } else {
+                        1.0
+                    };
+                    t_mem += tm * tn * 4.0 * passes * s_trips / bw;
+                    t_mem += 2.0 * tn * 4.0 * s_trips / bw;
+                }
+            }
+            if t.layer_norm && t.affine {
+                t_mem += 2.0 * tn * 4.0 * s_trips / bw;
+            }
+        }
+    }
+
     if !opts.include_compute {
         t_comp = 0.0;
     }
@@ -299,6 +354,36 @@ mod tests {
         let a = estimate(&plain, &cd, &dev).unwrap();
         let b = estimate(&biased, &cd, &dev).unwrap();
         assert!(b.t_mem > a.t_mem);
+    }
+
+    #[test]
+    fn stitched_traffic_is_accounted() {
+        // The stitched kernel moves strictly more bytes than its twin
+        // (raw f32 A, residual tile, stats pass, tail re-reads) — the
+        // saving shows up at plan level where the glue steps disappear.
+        let mut st = ChainSpec::gemm_chain("ffn", 1, 512, 64, 256, 256);
+        st.prologue = Some(mcfuser_ir::PrologueSpec {
+            residual: true,
+            affine: true,
+            a_half: false,
+            eps: 1e-5,
+        });
+        st.stitch_epilogue = Some(mcfuser_ir::EpilogueStitch {
+            residual: mcfuser_ir::ResidualSource::PrologueOut,
+            layer_norm: true,
+            affine: true,
+            eps: 1e-5,
+        });
+        let twin = st.unstitched();
+        let cd = Candidate::new(
+            TilingExpr::parse("mhnk", &st).unwrap(),
+            vec![64, 32, 64, 32],
+        );
+        let dev = DeviceSpec::a100();
+        let a = estimate(&st, &cd, &dev).unwrap();
+        let b = estimate(&twin, &cd, &dev).unwrap();
+        assert!(a.t_mem > b.t_mem, "{} !> {}", a.t_mem, b.t_mem);
+        assert_eq!(a.t_comp, b.t_comp);
     }
 
     #[test]

@@ -484,6 +484,26 @@ pub enum Step {
     },
 }
 
+/// How a plan's per-request work splits between fused kernels and
+/// reference-interpreted operators — the observable effect of
+/// prologue/epilogue stitching (a stitched plan moves elementwise
+/// round trips from the `reference_*` columns into its fused kernels).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StepBreakdown {
+    /// Fused-kernel steps per request.
+    pub fused_steps: usize,
+    /// Reference-interpreter steps per request (weights included).
+    pub reference_steps: usize,
+    /// Reference steps that are elementwise/normalization glue
+    /// ([`Op::is_elementwise`]) — the activation round trips stitching
+    /// exists to eliminate.
+    pub reference_elementwise: usize,
+    /// Global-memory bytes per request moved by fused kernels.
+    pub fused_bytes: f64,
+    /// Global-memory bytes per request moved by reference steps.
+    pub reference_bytes: f64,
+}
+
 /// Per-node buffer sizing and liveness, computed once at plan time.
 ///
 /// `release_after[s]` lists the nodes whose values have no consumer
@@ -574,6 +594,28 @@ impl ExecutablePlan {
     /// Number of fused-kernel steps.
     pub fn fused_kernels(&self) -> usize {
         self.fused_of.len()
+    }
+
+    /// How this plan's steps and bytes split between fused kernels and
+    /// the reference interpreter (see [`StepBreakdown`]).
+    pub fn step_breakdown(&self) -> StepBreakdown {
+        let mut b = StepBreakdown::default();
+        for step in &self.steps {
+            match step {
+                Step::Fused { bytes, .. } => {
+                    b.fused_steps += 1;
+                    b.fused_bytes += bytes;
+                }
+                Step::Reference { node, bytes, .. } => {
+                    b.reference_steps += 1;
+                    b.reference_bytes += bytes;
+                    if self.graph.node(*node).op.is_elementwise() {
+                        b.reference_elementwise += 1;
+                    }
+                }
+            }
+        }
+        b
     }
 
     /// The buffer plan (slot sizes + liveness).

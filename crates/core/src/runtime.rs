@@ -161,6 +161,21 @@ pub struct PlanStats {
     /// per-request times, so `requests / virtual_busy` is the plan's
     /// achieved throughput on the virtual clock.
     pub virtual_busy: f64,
+    /// Fused-kernel steps per request of the registered plan — static
+    /// structure from
+    /// [`ExecutablePlan::step_breakdown`], zero if the plan has been
+    /// deregistered since its last request.
+    pub fused_steps: usize,
+    /// Reference (interpreter) steps per request, weight
+    /// materialization included.
+    pub reference_steps: usize,
+    /// Reference steps that are elementwise glue (Add, LayerNorm, …) —
+    /// the traffic the prologue/epilogue stitcher exists to eliminate.
+    pub reference_elementwise: usize,
+    /// Per-request bytes moved by fused steps.
+    pub fused_bytes_per_request: f64,
+    /// Per-request bytes moved by reference steps.
+    pub reference_bytes_per_request: f64,
 }
 
 /// A snapshot of everything the runtime has served.
@@ -512,10 +527,17 @@ impl ModelRuntime {
     /// Snapshot the serving counters.
     pub fn stats(&self) -> RuntimeStats {
         let records = self.records.lock();
+        let registered = self.plans.read();
         let mut plans: Vec<PlanStats> = records
             .iter()
             .map(|(model, rec)| {
                 let sorted = rec.latencies.sorted();
+                // Static per-request step structure of the plan as
+                // registered right now (deregistered → all zero).
+                let breakdown = registered
+                    .get(model)
+                    .map(|p| p.step_breakdown())
+                    .unwrap_or_default();
                 PlanStats {
                     model: model.clone(),
                     requests: rec.requests,
@@ -523,6 +545,11 @@ impl ModelRuntime {
                     p95_latency: percentile(&sorted, 0.95),
                     bytes_moved: rec.bytes,
                     virtual_busy: rec.busy,
+                    fused_steps: breakdown.fused_steps,
+                    reference_steps: breakdown.reference_steps,
+                    reference_elementwise: breakdown.reference_elementwise,
+                    fused_bytes_per_request: breakdown.fused_bytes,
+                    reference_bytes_per_request: breakdown.reference_bytes,
                 }
             })
             .collect();

@@ -392,8 +392,14 @@ impl CandidateSpace {
 
     /// The survivor ids of `block`, decoded through the small block
     /// cache: a hit is O(1) (and refreshes the entry's recency); a miss
-    /// re-filters the block (O(`RANK_BLOCK`)), inserts it most-recent
-    /// first, and evicts the oldest entry past [`DECODE_CACHE_SLOTS`].
+    /// re-filters the block, inserts it most-recent first, and evicts the
+    /// oldest entry past [`DECODE_CACHE_SLOTS`]. The re-filter mirrors
+    /// the build-time scan split: when axis 0 offers at least
+    /// [`FRONTIER_MIN_AXIS`] options the block is rebuilt row-by-row with
+    /// one `partition_point` binary search per row (each row's survivors
+    /// are a prefix of axis 0 — Eq. 1 is monotone and the domains
+    /// ascend), `O(rows · log |axis₀|)` estimates instead of
+    /// O(`RANK_BLOCK`); narrow axes keep the dense odometer sweep.
     fn decoded_block_ids<'a>(&self, cached: &'a mut Vec<DecodedBlock>, block: u64) -> &'a [u64] {
         if let Some(pos) = cached.iter().position(|d| d.block == block) {
             let hit = cached.remove(pos);
@@ -403,12 +409,58 @@ impl CandidateSpace {
             let lo = block * RANK_BLOCK;
             let hi = (lo + RANK_BLOCK).min(self.grid);
             let mut ids = Vec::new();
-            let mut odo = Odometer::at(&self.tile_domains, lo);
-            for id in lo..hi {
-                if combo_fits(&self.chain, odo.tiles(), limit) {
-                    ids.push(id);
+            let d0 = &self.tile_domains[0];
+            if d0.len() >= FRONTIER_MIN_AXIS {
+                let row_len = d0.len() as u64;
+                let mut row = lo / row_len;
+                let mut rest = row;
+                let mut digits: Vec<usize> = self.tile_domains[1..]
+                    .iter()
+                    .map(|d| {
+                        let i = (rest % d.len() as u64) as usize;
+                        rest /= d.len() as u64;
+                        i
+                    })
+                    .collect();
+                let mut tiles: Vec<u64> = std::iter::once(d0[0])
+                    .chain(
+                        digits
+                            .iter()
+                            .zip(&self.tile_domains[1..])
+                            .map(|(&i, d)| d[i]),
+                    )
+                    .collect();
+                while row * row_len < hi {
+                    let base = row * row_len;
+                    let cnt = d0.partition_point(|&t| {
+                        tiles[0] = t;
+                        combo_fits(&self.chain, &tiles, limit)
+                    }) as u64;
+                    // Clip the surviving prefix run to the block.
+                    let s = base.max(lo);
+                    let e = (base + cnt).min(hi);
+                    if s < e {
+                        ids.extend(s..e);
+                    }
+                    row += 1;
+                    for (a, d) in self.tile_domains[1..].iter().enumerate() {
+                        digits[a] += 1;
+                        if digits[a] < d.len() {
+                            tiles[a + 1] = d[digits[a]];
+                            break;
+                        }
+                        digits[a] = 0;
+                        tiles[a + 1] = d[0];
+                    }
                 }
-                odo.step();
+            } else {
+                let mut odo = Odometer::at(&self.tile_domains, lo);
+                for id in lo..hi {
+                    if combo_fits(&self.chain, odo.tiles(), limit) {
+                        ids.push(id);
+                    }
+                    odo.step();
+                }
             }
             self.decodes.fetch_add(1, Ordering::Relaxed);
             cached.insert(0, DecodedBlock { block, ids });
@@ -826,13 +878,15 @@ pub fn space_fingerprint(
 ) -> String {
     let smem_limit = policy.shared_memory_pruning.then_some(dev.smem_per_block);
     format!(
-        "b{}|m{}|d{:?}|e{:?}|bi{:?}|t{:?}|deep{}|smem{:?}",
+        "b{}|m{}|d{:?}|e{:?}|bi{:?}|t{:?}|st{:?}{:?}|deep{}|smem{:?}",
         chain.batch,
         chain.m,
         chain.dims,
         chain.epilogues,
         chain.biases,
         chain.dtype,
+        chain.prologue,
+        chain.stitch_epilogue,
         policy.deep_tiling_only,
         smem_limit,
     )
@@ -1247,6 +1301,60 @@ mod tests {
             forced.candidate(rng.gen_range(0..forced.len()));
         }
         assert!(forced.ranked_block_decodes() <= before + 32);
+    }
+
+    #[test]
+    fn ranked_refilter_frontier_and_dense_paths_agree() {
+        // m = 512 gives axis 0 ≥ FRONTIER_MIN_AXIS options (binary-search
+        // re-filter); m = 48 gives 3 (dense odometer fallback). Both must
+        // decode exactly what the compact index decodes.
+        for m in [512u64, 48] {
+            let chain = ChainSpec::gemm_chain("g", 1, m, 512, 256, 256);
+            let compact = pruned(&chain);
+            assert!(!compact.is_empty());
+            let forced = force_ranked(&compact);
+            let step = (compact.len() / 61).max(1);
+            let mut idx = 0;
+            while idx < compact.len() {
+                assert_eq!(
+                    compact.candidate(idx),
+                    forced.candidate(idx),
+                    "m={m} idx={idx}"
+                );
+                assert_eq!(forced.index_of(&compact.candidate(idx)), Some(idx));
+                idx += step;
+            }
+        }
+    }
+
+    #[test]
+    fn stitched_chains_get_their_own_fingerprint() {
+        // A stitched chain and its unstitched twin share batch/m/dims/
+        // epilogues but must not share a Rule-4 space (different Eq. 1).
+        let plain = ChainSpec::gemm_chain("g", 1, 512, 64, 256, 256);
+        let mut st = plain.clone();
+        st.prologue = Some(mcfuser_ir::PrologueSpec {
+            residual: true,
+            affine: true,
+            a_half: false,
+            eps: 1e-5,
+        });
+        st.stitch_epilogue = Some(mcfuser_ir::EpilogueStitch {
+            residual: mcfuser_ir::ResidualSource::PrologueOut,
+            layer_norm: true,
+            affine: true,
+            eps: 1e-5,
+        });
+        let dev = DeviceSpec::a100();
+        let pol = crate::tuner::SpacePolicy::default();
+        assert_ne!(
+            space_fingerprint(&plain, &dev, &pol),
+            space_fingerprint(&st, &dev, &pol)
+        );
+        assert_eq!(
+            space_fingerprint(&st.unstitched(), &dev, &pol),
+            space_fingerprint(&plain, &dev, &pol)
+        );
     }
 
     #[test]

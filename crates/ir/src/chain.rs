@@ -74,7 +74,8 @@ impl Epilogue {
 }
 
 /// One auxiliary data input of a chain beyond `A` and the weights:
-/// a per-stage bias vector or an attention mask.
+/// a per-stage bias vector, an attention mask, or a stitched
+/// prologue/epilogue operand.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum AuxInput {
     /// Bias vector `[d_{stage+1}]`, added to stage `stage`'s output
@@ -89,6 +90,83 @@ pub enum AuxInput {
         /// The compute block this mask belongs to.
         stage: usize,
     },
+    /// Raw (f32) residual `[batch, m, d₀]` added to the raw chain input
+    /// before the [`PrologueSpec`] normalization.
+    PrologueResidual,
+    /// Prologue LayerNorm scale `[d₀]` (stored in f32).
+    PrologueGamma,
+    /// Prologue LayerNorm shift `[d₀]` (stored in f32).
+    PrologueBeta,
+    /// Raw (f32) residual `[batch, m, d_L]` added to the quantized chain
+    /// output by an [`EpilogueStitch`] with
+    /// [`ResidualSource::External`]. A [`ResidualSource::PrologueOut`]
+    /// residual is recomputed in-kernel from the prologue operands and
+    /// needs no extra input.
+    TailResidual,
+    /// Tail LayerNorm scale `[d_L]` (stored in f32).
+    TailGamma,
+    /// Tail LayerNorm shift `[d_L]` (stored in f32).
+    TailBeta,
+}
+
+/// A fused prologue stitched before the chain's first matmul: the chain
+/// input `A` arrives *raw* (pre-normalization, f32) and the kernel
+/// applies `LayerNorm((A + residual?))` per row of `d₀` before
+/// quantizing to the chain dtype and feeding the first GEMM. This folds
+/// the `residual Add → LayerNorm → Linear` glue of a transformer layer
+/// into the chain kernel, eliminating one round trip of the activation
+/// through global memory.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrologueSpec {
+    /// Whether a raw residual tensor ([`AuxInput::PrologueResidual`]) is
+    /// added to `A` before normalization.
+    pub residual: bool,
+    /// Whether the normalization has affine scale/shift weights
+    /// ([`AuxInput::PrologueGamma`]/[`AuxInput::PrologueBeta`]).
+    /// Stitched prologues require affine weights: zero-padded strips
+    /// make out-of-range tile columns exactly zero, matching the
+    /// zero-padded loads of the unstitched layout bit-for-bit.
+    pub affine: bool,
+    /// The raw `A` operand is *stored* at the chain's element precision:
+    /// its producer is another fused chain without a tail stitch, which
+    /// quantizes its output on store. Values are unaffected (loads pass
+    /// through the f32 tile), but global traffic moves half the bytes.
+    /// `false` for operands crossing the unfused boundary (graph inputs,
+    /// reference-step values, stitched-tail outputs), which live in f32.
+    pub a_half: bool,
+    /// LayerNorm epsilon.
+    pub eps: f32,
+}
+
+/// Where a stitched tail residual comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ResidualSource {
+    /// An [`AuxInput::TailResidual`] tensor read from global memory.
+    External,
+    /// The raw prologue output (e.g. `ln1` in a BERT FFN block), which
+    /// the kernel recomputes element-wise from the prologue operands
+    /// using whole-row statistics. Requires `d₀ == d_L` and a
+    /// [`ChainSpec::prologue`].
+    PrologueOut,
+}
+
+/// A fused epilogue stitched after the chain's last matmul: the
+/// accumulator is quantized to the chain dtype (bit-matching the store
+/// the unstitched layout would have performed), a raw residual is added,
+/// an optional full-row LayerNorm is applied, and the result is stored
+/// *raw* (f32) — exactly the value the downstream graph would have seen
+/// from the unstitched `Add (→ LayerNorm)` reference steps.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EpilogueStitch {
+    /// Source of the residual added to the quantized chain output.
+    pub residual: ResidualSource,
+    /// Whether a trailing full-row LayerNorm over `d_L` is fused.
+    pub layer_norm: bool,
+    /// Whether that LayerNorm has affine weights
+    /// ([`AuxInput::TailGamma`]/[`AuxInput::TailBeta`]).
+    pub affine: bool,
+    /// LayerNorm epsilon.
+    pub eps: f32,
 }
 
 /// A chain of `L = dims.len() - 1` batched matmuls.
@@ -113,6 +191,12 @@ pub struct ChainSpec {
     pub biases: Vec<bool>,
     /// Storage precision of all tensors.
     pub dtype: DType,
+    /// Stitched normalization prologue before the first matmul (`None`
+    /// for plain chains).
+    pub prologue: Option<PrologueSpec>,
+    /// Stitched residual/LayerNorm epilogue after the last matmul
+    /// (`None` for plain chains).
+    pub stitch_epilogue: Option<EpilogueStitch>,
 }
 
 /// Canonical axis names used in tiling expressions: `m`, then `k, n, h,
@@ -131,6 +215,8 @@ impl ChainSpec {
             epilogues: vec![Epilogue::None, Epilogue::None],
             biases: vec![false, false],
             dtype: DType::F16,
+            prologue: None,
+            stitch_epilogue: None,
         }
     }
 
@@ -160,6 +246,8 @@ impl ChainSpec {
             epilogues,
             biases: vec![false; ops],
             dtype: DType::F16,
+            prologue: None,
+            stitch_epilogue: None,
         }
     }
 
@@ -179,6 +267,8 @@ impl ChainSpec {
             ],
             biases: vec![false, false],
             dtype: DType::F16,
+            prologue: None,
+            stitch_epilogue: None,
         }
     }
 
@@ -215,6 +305,8 @@ impl ChainSpec {
             epilogues: vec![Epilogue::None],
             biases: vec![false],
             dtype: DType::F16,
+            prologue: None,
+            stitch_epilogue: None,
         }
     }
 
@@ -249,7 +341,9 @@ impl ChainSpec {
 
     /// Auxiliary data inputs beyond `A` and the weights, in canonical
     /// order: for each stage `i` (ascending), its bias (if any) then its
-    /// mask (if any).
+    /// mask (if any); then the stitched prologue operands (residual,
+    /// gamma, beta); then the stitched tail operands (residual, gamma,
+    /// beta).
     pub fn aux_inputs(&self) -> Vec<AuxInput> {
         let mut v = Vec::new();
         for i in 0..self.num_ops() {
@@ -260,6 +354,24 @@ impl ChainSpec {
                 v.push(AuxInput::Mask { stage: i });
             }
         }
+        if let Some(p) = &self.prologue {
+            if p.residual {
+                v.push(AuxInput::PrologueResidual);
+            }
+            if p.affine {
+                v.push(AuxInput::PrologueGamma);
+                v.push(AuxInput::PrologueBeta);
+            }
+        }
+        if let Some(e) = &self.stitch_epilogue {
+            if e.residual == ResidualSource::External {
+                v.push(AuxInput::TailResidual);
+            }
+            if e.layer_norm && e.affine {
+                v.push(AuxInput::TailGamma);
+                v.push(AuxInput::TailBeta);
+            }
+        }
         v
     }
 
@@ -268,6 +380,10 @@ impl ChainSpec {
         match aux {
             AuxInput::Bias { stage } => vec![self.dims[stage + 1]],
             AuxInput::Mask { stage } => vec![self.batch, self.m, self.dims[stage + 1]],
+            AuxInput::PrologueResidual => vec![self.batch, self.m, self.dims[0]],
+            AuxInput::PrologueGamma | AuxInput::PrologueBeta => vec![self.dims[0]],
+            AuxInput::TailResidual => vec![self.batch, self.m, *self.dims.last().unwrap()],
+            AuxInput::TailGamma | AuxInput::TailBeta => vec![*self.dims.last().unwrap()],
         }
     }
 
@@ -311,16 +427,33 @@ impl ChainSpec {
     }
 
     /// Compulsory global traffic of a perfectly fused kernel: inputs once
-    /// in, output once out.
+    /// in, output once out. Stitched operands (the raw chain input, the
+    /// prologue/tail residuals and LayerNorm weights, and the stitched
+    /// output) live in f32 regardless of the chain dtype.
     pub fn min_traffic_bytes(&self) -> f64 {
         let e = self.dtype.size_bytes() as f64;
-        let mut b: f64 = self
-            .input_shapes()
-            .iter()
-            .map(|s| s.iter().product::<u64>() as f64)
-            .sum();
-        b += self.output_shape().iter().product::<u64>() as f64;
-        b * e
+        let raw = 4.0;
+        let a_elems = (self.batch * self.m * self.dims[0]) as f64;
+        let mut b = a_elems * if self.prologue.is_some() { raw } else { e };
+        for i in 0..self.num_ops() {
+            b += (self.batch * self.dims[i] * self.dims[i + 1]) as f64 * e;
+        }
+        for aux in self.aux_inputs() {
+            let elems = self.aux_shape(aux).iter().product::<u64>() as f64;
+            let sz = match aux {
+                AuxInput::Bias { .. } | AuxInput::Mask { .. } => e,
+                _ => raw,
+            };
+            b += elems * sz;
+        }
+        let out_elems = self.output_shape().iter().product::<u64>() as f64;
+        b += out_elems
+            * if self.stitch_epilogue.is_some() {
+                raw
+            } else {
+                e
+            };
+        b
     }
 
     /// Additional traffic an unfused pipeline pays: every intermediate
@@ -355,6 +488,55 @@ impl ChainSpec {
         let n = self.dims[i + 1] as f64;
         let esz = self.dtype.size_bytes() as f64;
         2.0 * m * n * k / ((m * k + k * n + m * n) * esz)
+    }
+
+    /// Arithmetic intensity of operator `i` *inside the stitched kernel*:
+    /// the prologue makes the first op read its `A` operand (and the
+    /// optional residual) raw in f32, twice — once for the row-statistics
+    /// pass, once for the normalize-and-load pass — while the tail makes
+    /// the last op store raw f32 (plus an external residual read). The
+    /// element-wise recompute reads of a [`ResidualSource::PrologueOut`]
+    /// tail are streaming loads overlapped with the store and are charged
+    /// by the timing model, not here.
+    pub fn stitched_op_intensity(&self, i: usize) -> f64 {
+        const F32: f64 = 4.0;
+        let m = self.m as f64;
+        let k = self.dims[i] as f64;
+        let n = self.dims[i + 1] as f64;
+        let esz = self.dtype.size_bytes() as f64;
+        let mut a_term = m * k * esz;
+        let w_term = k * n * esz;
+        let mut o_term = m * n * esz;
+        if i == 0 {
+            if let Some(p) = &self.prologue {
+                let tensors = if p.residual { 2.0 } else { 1.0 };
+                a_term = m * k * F32 * 2.0 * tensors;
+            }
+        }
+        if i + 1 == self.num_ops() {
+            if let Some(e) = &self.stitch_epilogue {
+                o_term = m * n * F32;
+                if e.residual == ResidualSource::External {
+                    o_term += m * n * F32;
+                }
+            }
+        }
+        2.0 * m * n * k / (a_term + w_term + o_term)
+    }
+
+    /// Whether this chain carries a stitched prologue or epilogue.
+    pub fn is_stitched(&self) -> bool {
+        self.prologue.is_some() || self.stitch_epilogue.is_some()
+    }
+
+    /// The same chain with the stitched prologue/epilogue stripped — the
+    /// baseline the stitched kernel must match bit-for-bit once the
+    /// demoted glue ops are applied outside the kernel.
+    pub fn unstitched(&self) -> ChainSpec {
+        let mut c = self.clone();
+        c.prologue = None;
+        c.stitch_epilogue = None;
+        c
     }
 
     /// The paper's MBCI test (§II-A): each compute-intensive operator of
@@ -396,12 +578,39 @@ impl ChainSpec {
     /// CPU reference execution — the correctness oracle for fused kernels.
     ///
     /// Computes every matmul naively in f32 with the declared biases and
-    /// epilogues.
+    /// epilogues. Stitched chains mirror the kernel's quantization points
+    /// exactly: the prologue output is rounded to the chain dtype before
+    /// entering the first GEMM (as a `load` from an f16 buffer would
+    /// round it), and the last accumulator is rounded before the tail
+    /// residual add (as the unstitched `store` would round it) — so the
+    /// stitched result is bit-identical to running the unstitched chain
+    /// plus reference glue ops.
     pub fn reference(&self, inputs: &[HostTensor]) -> HostTensor {
         assert_eq!(inputs.len(), self.num_inputs());
         let b = self.batch as usize;
         let m = self.m as usize;
+        let mut prologue_raw: Option<Vec<f32>> = None;
         let mut cur: Vec<f32> = inputs[0].data.clone(); // [b, m, d0]
+        if let Some(p) = self.prologue {
+            let d0 = self.dims[0] as usize;
+            if p.residual {
+                let res = &inputs[self.aux_index(AuxInput::PrologueResidual).unwrap()].data;
+                for (v, r) in cur.iter_mut().zip(res) {
+                    *v += *r;
+                }
+            }
+            let gamma = p
+                .affine
+                .then(|| &inputs[self.aux_index(AuxInput::PrologueGamma).unwrap()].data[..]);
+            let beta = p
+                .affine
+                .then(|| &inputs[self.aux_index(AuxInput::PrologueBeta).unwrap()].data[..]);
+            layer_norm_rows(&mut cur, b * m, d0, p.eps, gamma, beta);
+            prologue_raw = Some(cur.clone());
+            for v in cur.iter_mut() {
+                *v = self.dtype.quantize(*v);
+            }
+        }
         let mut cur_cols = self.dims[0] as usize;
         for op in 0..self.num_ops() {
             let kd = self.dims[op] as usize;
@@ -442,7 +651,71 @@ impl ChainSpec {
             cur = out;
             cur_cols = nd;
         }
+        if let Some(e) = self.stitch_epilogue {
+            let dl = *self.dims.last().unwrap() as usize;
+            // The unstitched layout would store the chain output in the
+            // chain dtype; round before the residual add so the stitched
+            // value matches it bit-for-bit.
+            for v in cur.iter_mut() {
+                *v = self.dtype.quantize(*v);
+            }
+            match e.residual {
+                ResidualSource::PrologueOut => {
+                    let raw = prologue_raw
+                        .as_ref()
+                        .expect("PrologueOut tail requires a stitched prologue");
+                    for (v, r) in cur.iter_mut().zip(raw) {
+                        *v += *r;
+                    }
+                }
+                ResidualSource::External => {
+                    let res = &inputs[self.aux_index(AuxInput::TailResidual).unwrap()].data;
+                    for (v, r) in cur.iter_mut().zip(res) {
+                        *v += *r;
+                    }
+                }
+            }
+            if e.layer_norm {
+                let gamma = e
+                    .affine
+                    .then(|| &inputs[self.aux_index(AuxInput::TailGamma).unwrap()].data[..]);
+                let beta = e
+                    .affine
+                    .then(|| &inputs[self.aux_index(AuxInput::TailBeta).unwrap()].data[..]);
+                layer_norm_rows(&mut cur, b * m, dl, e.eps, gamma, beta);
+            }
+        }
         HostTensor::from_vec(&self.output_shape(), cur)
+    }
+}
+
+/// Row-wise LayerNorm over a `rows × cols` row-major matrix, matching
+/// the graph reference evaluator's operation order exactly (sequential
+/// sums; `n = (v - mean)·inv`, then `n *= γ`, then `n += β`) so that
+/// chain-level and graph-level references agree bit-for-bit.
+pub fn layer_norm_rows(
+    data: &mut [f32],
+    rows: usize,
+    cols: usize,
+    eps: f32,
+    gamma: Option<&[f32]>,
+    beta: Option<&[f32]>,
+) {
+    for r in 0..rows {
+        let row = &mut data[r * cols..(r + 1) * cols];
+        let mean = row.iter().sum::<f32>() / cols as f32;
+        let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / cols as f32;
+        let inv = 1.0 / (var + eps).sqrt();
+        for (c, v) in row.iter_mut().enumerate() {
+            let mut n = (*v - mean) * inv;
+            if let Some(g) = gamma {
+                n *= g[c];
+            }
+            if let Some(b) = beta {
+                n += b[c];
+            }
+            *v = n;
+        }
     }
 }
 
@@ -538,6 +811,12 @@ impl std::fmt::Display for ChainSpec {
         )?;
         if self.has_softmax() {
             write!(f, " (softmax)")?;
+        }
+        if self.prologue.is_some() {
+            write!(f, " (+prologue)")?;
+        }
+        if self.stitch_epilogue.is_some() {
+            write!(f, " (+epilogue)")?;
         }
         Ok(())
     }
@@ -759,6 +1038,118 @@ mod tests {
         let c = ChainSpec::chain("c", 2, 64, vec![32, 48, 32], vec![Epilogue::Relu; 2]);
         assert_eq!(c.num_ops(), 2);
         assert_eq!(c.biases, vec![false, false]);
+    }
+
+    fn stitched_ffn(m: u64, d: u64, f: u64) -> ChainSpec {
+        let mut c = ChainSpec::chain(
+            "ffn",
+            1,
+            m,
+            vec![d, f, d],
+            vec![Epilogue::Gelu, Epilogue::None],
+        );
+        c.biases = vec![true, true];
+        c.prologue = Some(PrologueSpec {
+            residual: true,
+            affine: true,
+            a_half: false,
+            eps: 1e-5,
+        });
+        c.stitch_epilogue = Some(EpilogueStitch {
+            residual: ResidualSource::PrologueOut,
+            layer_norm: true,
+            affine: true,
+            eps: 1e-5,
+        });
+        c
+    }
+
+    #[test]
+    fn stitched_aux_inputs_follow_bias_and_mask() {
+        let c = stitched_ffn(64, 32, 48);
+        assert_eq!(
+            c.aux_inputs(),
+            vec![
+                AuxInput::Bias { stage: 0 },
+                AuxInput::Bias { stage: 1 },
+                AuxInput::PrologueResidual,
+                AuxInput::PrologueGamma,
+                AuxInput::PrologueBeta,
+                AuxInput::TailGamma,
+                AuxInput::TailBeta,
+            ]
+        );
+        // A + 2 weights + 7 aux.
+        assert_eq!(c.num_inputs(), 10);
+        assert_eq!(c.aux_shape(AuxInput::PrologueResidual), vec![1, 64, 32]);
+        assert_eq!(c.aux_shape(AuxInput::PrologueGamma), vec![32]);
+        assert_eq!(c.aux_shape(AuxInput::TailGamma), vec![32]);
+    }
+
+    #[test]
+    fn stitched_reference_equals_unstitched_plus_glue() {
+        // Composing the unstitched chain with hand-applied glue ops
+        // (residual add + LN in, quantize + residual add + LN out) must
+        // reproduce the stitched reference bit-for-bit.
+        let c = stitched_ffn(16, 8, 24);
+        let inputs = c.random_inputs(42);
+        let stitched = c.reference(&inputs);
+
+        let u = c.unstitched();
+        // Build the unstitched A: quantize(LN(A + res)).
+        let mut a = inputs[0].data.clone();
+        let res = &inputs[c.aux_index(AuxInput::PrologueResidual).unwrap()].data;
+        for (v, r) in a.iter_mut().zip(res) {
+            *v += *r;
+        }
+        let g1 = &inputs[c.aux_index(AuxInput::PrologueGamma).unwrap()].data;
+        let b1 = &inputs[c.aux_index(AuxInput::PrologueBeta).unwrap()].data;
+        layer_norm_rows(&mut a, 16, 8, 1e-5, Some(g1), Some(b1));
+        let ln1_raw = a.clone();
+        for v in a.iter_mut() {
+            *v = c.dtype.quantize(*v);
+        }
+        let mut u_inputs = vec![HostTensor::from_vec(&[1, 16, 8], a)];
+        u_inputs.extend_from_slice(&inputs[1..1 + u.num_inputs() - 1]);
+        let mut out = u.reference(&u_inputs).data;
+        for (v, r) in out.iter_mut().zip(&ln1_raw) {
+            *v = c.dtype.quantize(*v) + *r;
+        }
+        let g2 = &inputs[c.aux_index(AuxInput::TailGamma).unwrap()].data;
+        let b2 = &inputs[c.aux_index(AuxInput::TailBeta).unwrap()].data;
+        layer_norm_rows(&mut out, 16, 8, 1e-5, Some(g2), Some(b2));
+        assert_eq!(stitched.data, out);
+    }
+
+    #[test]
+    fn external_tail_residual_uses_aux_input() {
+        let mut c = ChainSpec::gemm_chain("g", 1, 8, 8, 8, 8);
+        c.stitch_epilogue = Some(EpilogueStitch {
+            residual: ResidualSource::External,
+            layer_norm: false,
+            affine: false,
+            eps: 1e-5,
+        });
+        assert_eq!(c.aux_inputs(), vec![AuxInput::TailResidual]);
+        let inputs = c.random_inputs(3);
+        let out = c.reference(&inputs);
+        let plain = c.unstitched().reference(&inputs[..3]);
+        let res = &inputs[3];
+        for ((o, p), r) in out.data.iter().zip(&plain.data).zip(&res.data) {
+            assert_eq!(*o, c.dtype.quantize(*p) + *r);
+        }
+    }
+
+    #[test]
+    fn stitched_intensity_below_plain_intensity() {
+        // The raw f32 double-pass reads fatten the denominator: stitching
+        // lowers the first op's standalone intensity.
+        let c = stitched_ffn(512, 512, 2048);
+        assert!(c.stitched_op_intensity(0) < c.op_intensity(0));
+        // Unstitched chains agree with the plain measure.
+        let u = c.unstitched();
+        assert_eq!(u.stitched_op_intensity(0), u.op_intensity(0));
+        assert_eq!(u.stitched_op_intensity(1), u.op_intensity(1));
     }
 
     #[test]

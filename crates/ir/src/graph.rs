@@ -40,7 +40,8 @@ pub enum Op {
     Relu,
     /// Element-wise GELU (tanh approximation).
     Gelu,
-    /// Layer normalization over the last dim (affine params folded).
+    /// Layer normalization over the last dim. Inputs are `[x]` (plain) or
+    /// `[x, gamma, beta]` (affine, with rank-1 `[d]` scale/shift weights).
     LayerNorm,
     /// Multiply by a constant.
     Scale(f32),
@@ -67,6 +68,16 @@ impl Op {
     /// Compute-intensive operators (GEMM family).
     pub fn is_compute_intensive(&self) -> bool {
         matches!(self, Op::Linear | Op::BatchMatMul { .. })
+    }
+
+    /// True element-wise / normalization glue — the memory-intensive ops
+    /// that actually move activation bytes when left unfused. `Reshape` is
+    /// excluded: it is pure metadata, not a round trip.
+    pub fn is_elementwise(&self) -> bool {
+        matches!(
+            self,
+            Op::Softmax { .. } | Op::Add | Op::Relu | Op::Gelu | Op::LayerNorm | Op::Scale(_)
+        )
     }
 }
 
@@ -317,6 +328,16 @@ impl GraphBuilder {
     pub fn layer_norm(&mut self, name: &str, x: NodeId) -> NodeId {
         let shape = self.graph.node(x).shape.clone();
         self.push(name.to_string(), Op::LayerNorm, vec![x], shape)
+    }
+
+    /// Affine LayerNorm over the last dim; creates rank-1 `gamma`/`beta`
+    /// weight nodes of the normalized width.
+    pub fn layer_norm_affine(&mut self, name: &str, x: NodeId) -> NodeId {
+        let shape = self.graph.node(x).shape.clone();
+        let d = *shape.last().unwrap();
+        let g = self.weight(format!("{name}.g"), vec![d]);
+        let b = self.weight(format!("{name}.b"), vec![d]);
+        self.push(name.to_string(), Op::LayerNorm, vec![x, g, b], shape)
     }
 
     /// Metadata reshape.

@@ -24,8 +24,11 @@ pub mod partition;
 pub mod reference;
 
 pub use chain::{
-    apply_epilogue, apply_masked_softmax, causal_mask, AuxInput, ChainSpec, Epilogue, AXIS_NAMES,
+    apply_epilogue, apply_masked_softmax, causal_mask, layer_norm_rows, AuxInput, ChainSpec,
+    Epilogue, EpilogueStitch, PrologueSpec, ResidualSource, AXIS_NAMES,
 };
 pub use graph::{Graph, GraphBuilder, GraphError, Node, NodeId, Op};
-pub use partition::{partition, FusedChain, Partition, CHAIN_MBCI_HEADROOM};
+pub use partition::{
+    partition, partition_with, FusedChain, Partition, PartitionOptions, CHAIN_MBCI_HEADROOM, LN_EPS,
+};
 pub use reference::{evaluate, evaluate_node, evaluate_node_with, gelu, init_weight, ValueLookup};

@@ -19,6 +19,23 @@
 //!    per-prefix MBCI test at every extension, so a chain only grows
 //!    while fusion still pays.
 //!
+//! A second **stitching** pass then attaches the elementwise glue
+//! around each extracted Linear chain to the chain kernel itself:
+//!
+//! * a `(residual Add →)? LayerNorm(affine)` feeding the chain's first
+//!   matmul becomes a fused *prologue* ([`crate::chain::PrologueSpec`]),
+//! * a trailing `residual Add (→ LayerNorm)` consuming the chain output
+//!   becomes a fused *epilogue* ([`crate::chain::EpilogueStitch`]),
+//!
+//! and a *second-chance* pass re-visits Linear chains the MBCI gate
+//! rejected: with the prologue/epilogue reads folded in, the stitched
+//! per-op intensity drops below the ridge for transformer FFN blocks,
+//! so e.g. a full BERT layer lowers to exactly two fused kernels with
+//! zero elementwise reference steps. Every stitched chain carries its
+//! *unstitched twin* ([`FusedChain::unstitched`]) so a failed lowering
+//! or tuning run degrades to the plain chain plus reference glue —
+//! which the stitched kernel matches bit-for-bit by construction.
+//!
 //! Every node is claimed by at most one chain (`in_chain` guards on
 //! every hop), and all shape constraints are validated before a pattern
 //! is accepted — a mismatched graph degrades to "leave it to the
@@ -28,8 +45,12 @@ use serde::{Deserialize, Serialize};
 
 use mcfuser_sim::DeviceSpec;
 
-use crate::chain::{ChainSpec, Epilogue};
+use crate::chain::{ChainSpec, Epilogue, EpilogueStitch, PrologueSpec, ResidualSource};
 use crate::graph::{Graph, NodeId, Op};
+
+/// LayerNorm epsilon used by the graph reference evaluator; stitched
+/// kernels must use the same value to stay bit-identical.
+pub const LN_EPS: f32 = 1e-5;
 
 /// One fused MBCI sub-graph.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -48,6 +69,46 @@ pub struct FusedChain {
     /// the chain layout (e.g. attention's K is `[N, K]` but the chain's
     /// `W₀` is `[K, N]`).
     pub transposed_inputs: Vec<bool>,
+    /// For a stitched chain: the same chain without the fused
+    /// prologue/epilogue (the glue nodes evaluated as reference steps
+    /// instead). Compilation degrades to this twin when the stitched
+    /// kernel fails to lower or tune; the two plans produce bit-identical
+    /// values by construction.
+    pub unstitched: Option<Box<FusedChain>>,
+}
+
+impl FusedChain {
+    /// Graph nodes the stitched kernel absorbs beyond its unstitched
+    /// twin (the demoted glue ops, in topological order). Empty for
+    /// plain chains.
+    pub fn stitched_glue(&self) -> Vec<NodeId> {
+        let Some(twin) = &self.unstitched else {
+            return Vec::new();
+        };
+        self.nodes
+            .iter()
+            .copied()
+            .filter(|n| !twin.nodes.contains(n))
+            .collect()
+    }
+}
+
+/// Options controlling [`partition_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionOptions {
+    /// Attach prologue/epilogue stitches (default). When `false`, the
+    /// stitching passes still run their matching — so the *same* chains
+    /// are extracted, including second-chance FFN chains — but each
+    /// would-be-stitched chain is emitted as its unstitched twin with
+    /// the glue left to the reference backend. This is the baseline a
+    /// stitched plan is bit-compared against.
+    pub stitch: bool,
+}
+
+impl Default for PartitionOptions {
+    fn default() -> Self {
+        PartitionOptions { stitch: true }
+    }
 }
 
 /// Result of partitioning.
@@ -60,8 +121,14 @@ pub struct Partition {
     pub rest: Vec<NodeId>,
 }
 
-/// Partition a graph for a target device.
+/// Partition a graph for a target device with default options
+/// (stitching enabled).
 pub fn partition(graph: &Graph, dev: &DeviceSpec) -> Partition {
+    partition_with(graph, dev, PartitionOptions::default())
+}
+
+/// Partition a graph for a target device.
+pub fn partition_with(graph: &Graph, dev: &DeviceSpec, opts: PartitionOptions) -> Partition {
     let consumers = graph.consumers();
     let mut in_chain = vec![false; graph.nodes.len()];
     let mut chains = Vec::new();
@@ -75,11 +142,89 @@ pub fn partition(graph: &Graph, dev: &DeviceSpec) -> Partition {
         }
     }
     for i in 0..graph.nodes.len() {
-        if let Some(fc) = match_linear_chain(graph, dev, &consumers, &in_chain, NodeId(i)) {
+        if let Some(fc) = match_linear_chain(graph, dev, &consumers, &in_chain, NodeId(i), true) {
             for id in &fc.nodes {
                 in_chain[id.0] = true;
             }
             chains.push(fc);
+        }
+    }
+
+    // Stitching pass 1: attach prologue/epilogue glue to the chains the
+    // gated matcher already extracted (pure traffic saving, no re-gate).
+    // `chain_outputs` is kept current as stitches land: an epilogue
+    // moves a chain's output (e.g. `down` → `ln2`), and downstream
+    // chains must see the *new* output as materialized — a BERT layer's
+    // `res1 = proj + ln2_prev` folds its residual only if the previous
+    // layer's stitched output counts as available.
+    let mut chain_outputs: Vec<NodeId> = chains.iter().map(|c| c.output).collect();
+    for (ci, fc) in chains.iter_mut().enumerate() {
+        if fc.chain.has_softmax() {
+            continue; // attention keeps its seed shape (and rest split)
+        }
+        if let Some(st) = attach_stitch(graph, &consumers, &in_chain, &chain_outputs, fc) {
+            if opts.stitch {
+                for id in &st.nodes {
+                    in_chain[id.0] = true;
+                }
+                chain_outputs[ci] = st.output;
+                *fc = st;
+            }
+            // !opts.stitch: keep the plain chain; glue stays in `rest`.
+        }
+    }
+
+    // Stitching pass 2 (second chance): re-visit Linear chains the MBCI
+    // headroom gate rejected. Grown un-gated and stitched, the raw-f32
+    // prologue/epilogue reads fatten each op's denominator — a
+    // transformer FFN drops below the ridge once its `LayerNorm → … →
+    // residual Add (→ LayerNorm)` round trips are folded in. A chain is
+    // only accepted here if at least one stitch attaches AND every op's
+    // stitched intensity sits below the (full, headroom-free) ridge.
+    let ridge = dev.ridge_flops_per_byte(graph.dtype);
+    for i in 0..graph.nodes.len() {
+        if in_chain[i] {
+            continue;
+        }
+        let Some(fc) = match_linear_chain(graph, dev, &consumers, &in_chain, NodeId(i), false)
+        else {
+            continue;
+        };
+        let Some(st) = attach_stitch(graph, &consumers, &in_chain, &chain_outputs, &fc) else {
+            continue;
+        };
+        if !(0..st.chain.num_ops()).all(|op| st.chain.stitched_op_intensity(op) < ridge) {
+            continue;
+        }
+        for id in &fc.nodes {
+            in_chain[id.0] = true;
+        }
+        if opts.stitch {
+            for id in &st.nodes {
+                in_chain[id.0] = true;
+            }
+            chain_outputs.push(st.output);
+            chains.push(st);
+        } else {
+            chain_outputs.push(fc.output);
+            chains.push(fc);
+        }
+    }
+
+    // Storage-precision fixup, once every stitching decision has
+    // landed: a prologue's raw A operand is read at the precision its
+    // producer actually stores. A fused chain without a tail stitch
+    // quantizes its output to the chain dtype on store; everything else
+    // (graph inputs, reference-step values, stitched-tail outputs)
+    // crosses the unfused boundary in f32.
+    let half_outputs: Vec<NodeId> = chains
+        .iter()
+        .filter(|c| c.chain.stitch_epilogue.is_none())
+        .map(|c| c.output)
+        .collect();
+    for fc in &mut chains {
+        if let Some(p) = fc.chain.prologue.as_mut() {
+            p.a_half = half_outputs.contains(&fc.data_inputs[0]);
         }
     }
 
@@ -92,6 +237,188 @@ pub fn partition(graph: &Graph, dev: &DeviceSpec) -> Partition {
         .collect();
 
     Partition { chains, rest }
+}
+
+/// Try to stitch the elementwise glue around `fc` into the chain
+/// kernel. Returns the stitched chain (with `fc` as its unstitched
+/// twin) if at least one of prologue/epilogue attaches, `None`
+/// otherwise. Claim guards: every absorbed node must be unclaimed, not
+/// a graph output, and consumed only inside the stitched kernel; every
+/// new data input must be *materialized* (a leaf, a rest node, or
+/// another chain's output — never a fused interior value).
+fn attach_stitch(
+    graph: &Graph,
+    consumers: &[Vec<NodeId>],
+    in_chain: &[bool],
+    chain_outputs: &[NodeId],
+    fc: &FusedChain,
+) -> Option<FusedChain> {
+    let available =
+        |n: NodeId| -> bool { !in_chain[n.0] || chain_outputs.contains(&n) || n == fc.output };
+    let is_output = |n: NodeId| graph.outputs.contains(&n);
+
+    // --- Epilogue candidate: chain-out → sole-consumer Add (→ LN). ---
+    let mut epi: Option<(NodeId, Option<NodeId>, NodeId)> = None; // (add, ln2, other)
+    if !is_output(fc.output) {
+        if let Some(add) = sole_consumer(consumers, fc.output) {
+            if matches!(graph.node(add).op, Op::Add) && !in_chain[add.0] {
+                let ins = &graph.node(add).inputs;
+                let other = if ins[0] == fc.output && ins[1] != fc.output {
+                    Some(ins[1])
+                } else if ins[1] == fc.output && ins[0] != fc.output {
+                    Some(ins[0])
+                } else {
+                    None
+                };
+                if let Some(other) = other {
+                    if graph.node(other).shape == graph.node(fc.output).shape {
+                        let mut ln2 = None;
+                        if !is_output(add) {
+                            if let Some(l) = sole_consumer(consumers, add) {
+                                let ln_node = graph.node(l);
+                                let affine_ok = match ln_node.inputs.len() {
+                                    1 => true,
+                                    3 => {
+                                        let dl = *fc.chain.dims.last().unwrap();
+                                        graph.node(ln_node.inputs[1]).shape == [dl]
+                                            && graph.node(ln_node.inputs[2]).shape == [dl]
+                                    }
+                                    _ => false,
+                                };
+                                if matches!(ln_node.op, Op::LayerNorm)
+                                    && !in_chain[l.0]
+                                    && affine_ok
+                                {
+                                    ln2 = Some(l);
+                                }
+                            }
+                        }
+                        epi = Some((add, ln2, other));
+                    }
+                }
+            }
+        }
+    }
+
+    // --- Prologue candidate: (Add →)? affine LayerNorm → chain A. ---
+    // Affine is required: the zero-padded γ/β strips zero out-of-range
+    // tile columns exactly, matching the unstitched layout's zero-padded
+    // loads bit-for-bit; a plain LN would leave `-mean·rstd` residue in
+    // padding.
+    let mut pro: Option<(Option<NodeId>, NodeId, NodeId, Option<NodeId>)> = None; // (res1, ln, raw, x)
+    let a0 = fc.data_inputs[0];
+    let a0_node = graph.node(a0);
+    if !fc.transposed_inputs[0]
+        && matches!(a0_node.op, Op::LayerNorm)
+        && a0_node.inputs.len() == 3
+        && !in_chain[a0.0]
+        && !is_output(a0)
+        && graph.node(a0_node.inputs[1]).shape == [fc.chain.dims[0]]
+        && graph.node(a0_node.inputs[2]).shape == [fc.chain.dims[0]]
+    {
+        let first = fc.nodes[0];
+        let tail_add = epi.map(|(a, _, _)| a);
+        let consumed_in_kernel = consumers[a0.0]
+            .iter()
+            .all(|c| *c == first || Some(*c) == tail_add);
+        if consumed_in_kernel {
+            let src = a0_node.inputs[0];
+            if matches!(graph.node(src).op, Op::Add)
+                && !in_chain[src.0]
+                && !is_output(src)
+                && sole_consumer(consumers, src) == Some(a0)
+            {
+                let (p, x) = (graph.node(src).inputs[0], graph.node(src).inputs[1]);
+                if available(p)
+                    && available(x)
+                    && graph.node(p).shape == a0_node.shape
+                    && graph.node(x).shape == a0_node.shape
+                {
+                    pro = Some((Some(src), a0, p, Some(x)));
+                }
+            }
+            if pro.is_none() && available(src) && graph.node(src).shape == a0_node.shape {
+                pro = Some((None, a0, src, None));
+            }
+        }
+    }
+
+    // --- Resolve the epilogue's residual source. ---
+    let epi = epi.and_then(|(add, ln2, other)| {
+        let source = match &pro {
+            Some((_, ln, _, _)) if other == *ln => ResidualSource::PrologueOut,
+            _ => {
+                if !available(other) {
+                    return None; // residual value never materialized
+                }
+                ResidualSource::External
+            }
+        };
+        Some((add, ln2, other, source))
+    });
+
+    if pro.is_none() && epi.is_none() {
+        return None;
+    }
+
+    let mut chain = fc.chain.clone();
+    let mut nodes = Vec::new();
+    let mut data_inputs = fc.data_inputs.clone();
+    let mut output = fc.output;
+    if let Some((res1, ln, raw, x)) = pro {
+        chain.prologue = Some(PrologueSpec {
+            residual: x.is_some(),
+            affine: true,
+            a_half: false, // storage precision resolved after all passes
+            eps: LN_EPS,
+        });
+        data_inputs[0] = raw;
+        nodes.extend(res1);
+        nodes.push(ln);
+    }
+    nodes.extend_from_slice(&fc.nodes);
+    if let Some((add, ln2, _, source)) = epi {
+        chain.stitch_epilogue = Some(EpilogueStitch {
+            residual: source,
+            layer_norm: ln2.is_some(),
+            affine: ln2
+                .map(|l| graph.node(l).inputs.len() == 3)
+                .unwrap_or(false),
+            eps: LN_EPS,
+        });
+        nodes.push(add);
+        nodes.extend(ln2);
+        output = ln2.unwrap_or(add);
+    }
+    // Append the stitched aux operands in `ChainSpec::aux_inputs` order:
+    // prologue (residual, γ, β) then tail (residual, γ, β).
+    if let Some((_, ln, _, x)) = pro {
+        data_inputs.extend(x);
+        data_inputs.push(graph.node(ln).inputs[1]);
+        data_inputs.push(graph.node(ln).inputs[2]);
+    }
+    if let Some((_, ln2, other, source)) = epi {
+        if source == ResidualSource::External {
+            data_inputs.push(other);
+        }
+        if let Some(l) = ln2 {
+            if graph.node(l).inputs.len() == 3 {
+                data_inputs.push(graph.node(l).inputs[1]);
+                data_inputs.push(graph.node(l).inputs[2]);
+            }
+        }
+    }
+    let mut transposed = fc.transposed_inputs.clone();
+    transposed.resize(data_inputs.len(), false);
+    debug_assert_eq!(data_inputs.len(), chain.num_inputs());
+    Some(FusedChain {
+        chain,
+        nodes,
+        data_inputs,
+        output,
+        transposed_inputs: transposed,
+        unstitched: Some(Box::new(fc.clone())),
+    })
 }
 
 /// The single consumer of `id`, if it has exactly one.
@@ -212,6 +539,8 @@ fn match_attention(
         epilogues: vec![epilogue0, Epilogue::None],
         biases: vec![false, false],
         dtype: graph.dtype,
+        prologue: None,
+        stitch_epilogue: None,
     };
     if !chain.is_memory_bound(dev) {
         return None;
@@ -232,6 +561,7 @@ fn match_attention(
         data_inputs,
         output: pv,
         transposed_inputs: transposed,
+        unstitched: None,
     })
 }
 
@@ -260,14 +590,18 @@ struct Stage {
     epilogue: Epilogue,
 }
 
-/// Greedily grow a Linear chain forward from `start`, keeping a stage
-/// only while the whole prefix still classifies as memory bound.
+/// Greedily grow a Linear chain forward from `start`. With `gated`,
+/// a stage only joins while the whole prefix still classifies as
+/// memory bound (the seed behavior); un-gated growth is used by the
+/// second-chance stitching pass, which applies its own stitched-
+/// intensity gate afterwards.
 fn match_linear_chain(
     graph: &Graph,
     dev: &DeviceSpec,
     consumers: &[Vec<NodeId>],
     in_chain: &[bool],
     start: NodeId,
+    gated: bool,
 ) -> Option<FusedChain> {
     let linear_parts = |id: NodeId| -> Option<(NodeId, NodeId, Option<NodeId>, u64)> {
         let n = graph.node(id);
@@ -308,6 +642,9 @@ fn match_linear_chain(
     let gated_ridge = dev.ridge_flops_per_byte(graph.dtype) * CHAIN_MBCI_HEADROOM;
     let esz = graph.dtype.size_bytes() as f64;
     let op_is_mbci = |kd: u64, nd: u64| -> bool {
+        if !gated {
+            return true;
+        }
         let (mf, kf, nf) = (m as f64, kd as f64, nd as f64);
         let phi = 2.0 * mf * nf * kf / ((mf * kf + kf * nf + mf * nf) * esz);
         phi < gated_ridge
@@ -395,6 +732,8 @@ fn match_linear_chain(
         epilogues: stages.iter().map(|s| s.epilogue).collect(),
         biases: stages.iter().map(|s| s.bias.is_some()).collect(),
         dtype: graph.dtype,
+        prologue: None,
+        stitch_epilogue: None,
     };
 
     let mut nodes = Vec::new();
@@ -413,6 +752,7 @@ fn match_linear_chain(
         data_inputs,
         output,
         transposed_inputs: transposed,
+        unstitched: None,
     })
 }
 
@@ -783,6 +1123,171 @@ mod tests {
             assert!(fc.data_inputs.contains(&wb));
         }
         assert!(part.rest.is_empty());
+    }
+
+    /// A BERT-style FFN block with its residual/LayerNorm glue:
+    /// `res1 = proj + x; ln1 = LN(res1); ffn = fc2(gelu(fc1(ln1)));
+    /// ln2 = LN(ffn + ln1)`.
+    fn ffn_block_graph(m: u64, d: u64, f: u64) -> (Graph, NodeId) {
+        let mut gb = GraphBuilder::new("blk", DType::F16);
+        let proj = gb.input("proj", vec![m, d]);
+        let x = gb.input("x", vec![m, d]);
+        let res1 = gb.add("res1", proj, x);
+        let ln1 = gb.layer_norm_affine("ln1", res1);
+        let up = gb.linear("up", ln1, f, true);
+        let act = gb.gelu("act", up);
+        let down = gb.linear("down", act, d, true);
+        let res2 = gb.add("res2", down, ln1);
+        let ln2 = gb.layer_norm_affine("ln2", res2);
+        (gb.finish(vec![ln2]), ln2)
+    }
+
+    #[test]
+    fn ffn_block_is_stitched_into_one_kernel() {
+        // The bare FFN is rejected by the headroom gate (see
+        // `compute_bound_chain_is_rejected`), but with the prologue and
+        // epilogue round trips folded in, the second-chance pass accepts
+        // it — the whole block becomes ONE fused kernel, zero rest.
+        let (g, ln2) = ffn_block_graph(512, 512, 2048);
+        let part = partition(&g, &DeviceSpec::a100());
+        assert_eq!(part.chains.len(), 1);
+        let fc = &part.chains[0];
+        let c = &fc.chain;
+        assert_eq!(c.dims, vec![512, 2048, 512]);
+        let p = c.prologue.expect("prologue attached");
+        assert!(p.residual && p.affine);
+        let e = c.stitch_epilogue.expect("epilogue attached");
+        assert_eq!(e.residual, ResidualSource::PrologueOut);
+        assert!(e.layer_norm && e.affine);
+        assert_eq!(fc.output, ln2);
+        // res1, ln1, up, act, down, res2, ln2 all claimed.
+        assert_eq!(fc.nodes.len(), 7);
+        assert!(part.rest.is_empty(), "{:?}", part.rest);
+        // A, W_up, W_down, b_up, b_down, x, γ1, β1, γ2, β2.
+        assert_eq!(fc.data_inputs.len(), 10);
+        assert_eq!(fc.data_inputs.len(), c.num_inputs());
+        // The twin is the plain (unstitched) chain over the same 3 core
+        // nodes.
+        let twin = fc.unstitched.as_ref().expect("twin present");
+        assert!(!twin.chain.is_stitched());
+        assert_eq!(twin.nodes.len(), 3);
+        assert_eq!(fc.stitched_glue().len(), 4); // res1, ln1, res2, ln2
+    }
+
+    #[test]
+    fn stitch_disabled_emits_the_twin_with_glue_in_rest() {
+        let (g, _) = ffn_block_graph(512, 512, 2048);
+        let part = partition_with(&g, &DeviceSpec::a100(), PartitionOptions { stitch: false });
+        assert_eq!(part.chains.len(), 1);
+        let fc = &part.chains[0];
+        assert!(!fc.chain.is_stitched());
+        assert!(fc.unstitched.is_none());
+        assert_eq!(fc.nodes.len(), 3); // up, act, down only
+                                       // res1, ln1, res2, ln2 demoted to reference steps.
+        assert_eq!(part.rest.len(), 4);
+    }
+
+    #[test]
+    fn non_affine_layernorm_blocks_the_prologue() {
+        // A plain LN cannot zero padded tile columns, so the prologue
+        // must not attach; the epilogue still can.
+        let mut gb = GraphBuilder::new("blk", DType::F16);
+        let x = gb.input("x", vec![512, 512]);
+        let ln1 = gb.layer_norm("ln1", x);
+        let up = gb.linear("up", ln1, 2048, false);
+        let down = gb.linear("down", up, 512, false);
+        let res2 = gb.add("res2", down, ln1);
+        let g = gb.finish(vec![res2]);
+        let part = partition(&g, &DeviceSpec::a100());
+        assert_eq!(part.chains.len(), 1);
+        let c = &part.chains[0].chain;
+        assert!(c.prologue.is_none());
+        // ln1 is consumed by up AND res2 but stays a materialized rest
+        // node, so the tail residual reads it as an External aux.
+        let e = c.stitch_epilogue.expect("epilogue attached");
+        assert_eq!(e.residual, ResidualSource::External);
+        assert!(!e.layer_norm);
+        assert_eq!(part.rest, vec![ln1]);
+    }
+
+    #[test]
+    fn graph_output_glue_is_not_claimed() {
+        // res2 is ALSO a graph output: claiming ln2 would hide it, so
+        // the epilogue must stop at the Add (which is the chain output,
+        // hence still visible).
+        let mut gb = GraphBuilder::new("blk", DType::F16);
+        let proj = gb.input("proj", vec![512, 512]);
+        let x = gb.input("x", vec![512, 512]);
+        let res1 = gb.add("res1", proj, x);
+        let ln1 = gb.layer_norm_affine("ln1", res1);
+        let up = gb.linear("up", ln1, 2048, true);
+        let down = gb.linear("down", up, 512, true);
+        let res2 = gb.add("res2", down, ln1);
+        let ln2 = gb.layer_norm_affine("ln2", res2);
+        let g = gb.finish(vec![res2, ln2]);
+        let part = partition(&g, &DeviceSpec::a100());
+        assert_eq!(part.chains.len(), 1);
+        let fc = &part.chains[0];
+        let e = fc.chain.stitch_epilogue.expect("epilogue attached");
+        assert!(!e.layer_norm, "ln2 must stay outside the kernel");
+        assert_eq!(fc.output, res2);
+        assert_eq!(part.rest, vec![ln2]);
+    }
+
+    #[test]
+    fn second_chance_requires_a_stitch() {
+        // Identical FFN shapes but fed by a plain Input: nothing to
+        // stitch, so the second-chance pass must keep rejecting it.
+        let mut gb = GraphBuilder::new("ffn", DType::F16);
+        let x = gb.input("x", vec![512, 512]);
+        let y = gb.linear("fc1", x, 2048, false);
+        let r = gb.gelu("act", y);
+        let z = gb.linear("fc2", r, 512, false);
+        let g = gb.finish(vec![z]);
+        let part = partition(&g, &DeviceSpec::a100());
+        assert!(part.chains.is_empty());
+        assert_eq!(part.rest.len(), 3);
+    }
+
+    #[test]
+    fn stitched_partition_reference_matches_graph_reference() {
+        // End-to-end value check: evaluating the stitched ChainSpec on
+        // the graph's tensors must reproduce the graph evaluator's ln2
+        // output except for the two fused-kernel quantization points —
+        // which vanish when the values round-trip f16 exactly.
+        use crate::reference::evaluate;
+        use rand::{Rng, SeedableRng};
+        let (g, ln2) = ffn_block_graph(64, 32, 128);
+        let part = partition(&g, &DeviceSpec::a100());
+        assert_eq!(part.chains.len(), 1);
+        let fc = &part.chains[0];
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut feeds = rustc_hash::FxHashMap::default();
+        for (i, n) in g.nodes.iter().enumerate() {
+            if matches!(n.op, Op::Input) {
+                let len = n.shape.iter().product::<u64>() as usize;
+                feeds.insert(
+                    NodeId(i),
+                    mcfuser_sim::HostTensor::from_vec(
+                        &n.shape,
+                        (0..len).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+                    ),
+                );
+            }
+        }
+        let values = evaluate(&g, &feeds, 123).unwrap();
+        let inputs: Vec<_> = fc
+            .data_inputs
+            .iter()
+            .map(|id| values[id.0].clone())
+            .collect();
+        let got = fc.chain.reference(&inputs);
+        let want =
+            mcfuser_sim::HostTensor::from_vec(&fc.chain.output_shape(), values[ln2.0].data.clone());
+        // Not bit-identical to the *graph* (the graph never quantizes),
+        // but within f16 rounding of it.
+        let err = got.rel_l2_error(&want);
+        assert!(err < 5e-3, "{err}");
     }
 
     #[test]

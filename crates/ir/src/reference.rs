@@ -128,6 +128,11 @@ pub fn evaluate_node_with<'v>(
             }
             Op::LayerNorm => {
                 let x = value(values, node.inputs[0]);
+                let affine = if node.inputs.len() > 2 {
+                    Some((value(values, node.inputs[1]), value(values, node.inputs[2])))
+                } else {
+                    None
+                };
                 let cols = *x.shape.last().unwrap() as usize;
                 let rows = x.len() / cols;
                 let mut out = x.data.clone();
@@ -137,8 +142,16 @@ pub fn evaluate_node_with<'v>(
                     let var: f32 =
                         row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / cols as f32;
                     let inv = 1.0 / (var + 1e-5).sqrt();
-                    for v in row.iter_mut() {
-                        *v = (*v - mean) * inv;
+                    // Op order must match the stitched kernel's
+                    // `NormalizeTile`: normalize, then `* gamma`, then
+                    // `+ beta` — bit-identity depends on it.
+                    for (c, v) in row.iter_mut().enumerate() {
+                        let mut n = (*v - mean) * inv;
+                        if let Some((g, b)) = affine {
+                            n *= g.data[c];
+                            n += b.data[c];
+                        }
+                        *v = n;
                     }
                 }
                 HostTensor::from_vec(&x.shape, out)

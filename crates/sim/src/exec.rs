@@ -399,6 +399,7 @@ fn resolve(var: VarRef, block_idx: &[u64], env: &[u64]) -> u64 {
         VarRef::Grid(i) => block_idx[i],
         VarRef::Loop(h) => env[h.0],
         VarRef::Zero => 0,
+        VarRef::Const(c) => c,
     }
 }
 
@@ -464,8 +465,9 @@ fn run_stmts(
                 b,
                 acc,
                 b_transposed,
+                acc_col,
             } => {
-                gemm_tiles(smem, *a, *b, *acc, *b_transposed);
+                gemm_tiles(smem, *a, *b, *acc, *b_transposed, *acc_col as usize);
             }
             BlockStmt::OnlineSoftmax {
                 scores,
@@ -543,7 +545,228 @@ fn run_stmts(
                     }
                 }
             }
+            BlockStmt::Quantize { target, dtype } => {
+                for v in smem.bufs[target.0].iter_mut() {
+                    *v = dtype.quantize(*v);
+                }
+            }
+            BlockStmt::RowNormStats {
+                a,
+                residual,
+                rows,
+                cols,
+                mean,
+                rstd,
+                eps,
+            } => {
+                let a_origin = tile_origin(a, block_idx, env);
+                let av = RawView::new(&storage.tensors[a.buf.0], &a_origin);
+                let resv = residual.as_ref().map(|racc| {
+                    let o = tile_origin(racc, block_idx, env);
+                    RawView::new(&storage.tensors[racc.buf.0], &o)
+                });
+                let mcols = smem.cols[mean.0] as usize;
+                let rcols = smem.cols[rstd.0] as usize;
+                for r in 0..*rows {
+                    // Sequential row sums in column order so the stats match
+                    // the graph reference's `row.iter().sum()` bit-for-bit.
+                    let (m_val, s_val) = if av.row_in_bounds(r) {
+                        let mut sum = 0.0f32;
+                        for c in 0..*cols {
+                            let mut v = av.get(r, c);
+                            if let Some(rv) = &resv {
+                                v += rv.get(r, c);
+                            }
+                            sum += v;
+                        }
+                        let mean_v = sum / *cols as f32;
+                        let mut var = 0.0f32;
+                        for c in 0..*cols {
+                            let mut v = av.get(r, c);
+                            if let Some(rv) = &resv {
+                                v += rv.get(r, c);
+                            }
+                            let d = v - mean_v;
+                            var += d * d;
+                        }
+                        (mean_v, 1.0 / (var / *cols as f32 + eps).sqrt())
+                    } else {
+                        (0.0, 1.0)
+                    };
+                    smem.bufs[mean.0][r as usize * mcols] = m_val;
+                    smem.bufs[rstd.0][r as usize * rcols] = s_val;
+                }
+            }
+            BlockStmt::NormalizeTile {
+                target,
+                mean,
+                rstd,
+                gamma,
+                beta,
+                round,
+            } => {
+                let rows = smem.rows[target.0] as usize;
+                let cols = smem.cols[target.0] as usize;
+                let mcols = smem.cols[mean.0] as usize;
+                let rcols = smem.cols[rstd.0] as usize;
+                let means: Vec<f32> = (0..rows).map(|r| smem.bufs[mean.0][r * mcols]).collect();
+                let rstds: Vec<f32> = (0..rows).map(|r| smem.bufs[rstd.0][r * rcols]).collect();
+                let gvals = gamma.map(|g| smem.bufs[g.0][..cols].to_vec());
+                let bvals = beta.map(|b| smem.bufs[b.0][..cols].to_vec());
+                let t = &mut smem.bufs[target.0];
+                for r in 0..rows {
+                    for c in 0..cols {
+                        let mut v = (t[r * cols + c] - means[r]) * rstds[r];
+                        if let Some(g) = &gvals {
+                            v *= g[c];
+                        }
+                        if let Some(b) = &bvals {
+                            v += b[c];
+                        }
+                        t[r * cols + c] = round.quantize(v);
+                    }
+                }
+            }
+            BlockStmt::AddGlobal { target, src } => {
+                let origin = tile_origin(src, block_idx, env);
+                let view = RawView::new(&storage.tensors[src.buf.0], &origin);
+                let rows = smem.rows[target.0];
+                let cols = smem.cols[target.0];
+                let t = &mut smem.bufs[target.0];
+                for r in 0..rows {
+                    for c in 0..cols {
+                        t[(r * cols + c) as usize] += view.get(r, c);
+                    }
+                }
+            }
+            BlockStmt::AddRecomputedNorm {
+                target,
+                a,
+                residual,
+                mean,
+                rstd,
+                gamma,
+                beta,
+            } => {
+                let a_origin = tile_origin(a, block_idx, env);
+                let av = RawView::new(&storage.tensors[a.buf.0], &a_origin);
+                let resv = residual.as_ref().map(|racc| {
+                    let o = tile_origin(racc, block_idx, env);
+                    RawView::new(&storage.tensors[racc.buf.0], &o)
+                });
+                let rows = smem.rows[target.0] as usize;
+                let cols = smem.cols[target.0] as usize;
+                let mcols = smem.cols[mean.0] as usize;
+                let rcols = smem.cols[rstd.0] as usize;
+                let means: Vec<f32> = (0..rows).map(|r| smem.bufs[mean.0][r * mcols]).collect();
+                let rstds: Vec<f32> = (0..rows).map(|r| smem.bufs[rstd.0][r * rcols]).collect();
+                let gvals = gamma.map(|g| smem.bufs[g.0][..cols].to_vec());
+                let bvals = beta.map(|b| smem.bufs[b.0][..cols].to_vec());
+                let t = &mut smem.bufs[target.0];
+                for r in 0..rows {
+                    if !av.row_in_bounds(r as u64) {
+                        continue;
+                    }
+                    for c in 0..cols {
+                        let mut v = av.get(r as u64, c as u64);
+                        if let Some(rv) = &resv {
+                            v += rv.get(r as u64, c as u64);
+                        }
+                        let mut n = (v - means[r]) * rstds[r];
+                        if let Some(g) = &gvals {
+                            n *= g[c];
+                        }
+                        if let Some(b) = &bvals {
+                            n += b[c];
+                        }
+                        t[r * cols + c] += n;
+                    }
+                }
+            }
+            BlockStmt::LayerNormTile {
+                target,
+                gamma,
+                beta,
+                eps,
+            } => {
+                let rows = smem.rows[target.0] as usize;
+                let cols = smem.cols[target.0] as usize;
+                let gvals = gamma.map(|g| smem.bufs[g.0][..cols].to_vec());
+                let bvals = beta.map(|b| smem.bufs[b.0][..cols].to_vec());
+                let t = &mut smem.bufs[target.0];
+                for r in 0..rows {
+                    let row = &mut t[r * cols..(r + 1) * cols];
+                    let mean = row.iter().sum::<f32>() / cols as f32;
+                    let var =
+                        row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / cols as f32;
+                    let inv = 1.0 / (var + eps).sqrt();
+                    for (c, v) in row.iter_mut().enumerate() {
+                        let mut n = (*v - mean) * inv;
+                        if let Some(g) = &gvals {
+                            n *= g[c];
+                        }
+                        if let Some(b) = &bvals {
+                            n += b[c];
+                        }
+                        *v = n;
+                    }
+                }
+            }
         }
+    }
+}
+
+/// An unquantized window into the trailing two dims of a global tensor,
+/// positioned at a tile origin. The stitched prologue/epilogue statements
+/// read activations raw (f32) so their numerics mirror the graph
+/// reference exactly; out-of-bounds elements read as zero.
+struct RawView<'a> {
+    data: &'a [f32],
+    base: u64,
+    ro: u64,
+    co: u64,
+    rdim: u64,
+    cdim: u64,
+    rstride: u64,
+    in_bounds: bool,
+}
+
+impl<'a> RawView<'a> {
+    fn new(src: &'a HostTensor, origin: &[u64]) -> Self {
+        let strides = src.strides();
+        let rank = src.shape.len();
+        debug_assert!(rank >= 2, "RawView needs a matrix-shaped tensor");
+        let lead = rank - 2;
+        let mut base = 0u64;
+        let mut in_bounds = true;
+        for d in 0..lead {
+            if origin[d] >= src.shape[d] {
+                in_bounds = false;
+            }
+            base += origin[d] * strides[d];
+        }
+        RawView {
+            data: &src.data,
+            base,
+            ro: origin[rank - 2],
+            co: origin[rank - 1],
+            rdim: src.shape[rank - 2],
+            cdim: src.shape[rank - 1],
+            rstride: strides[rank - 2],
+            in_bounds,
+        }
+    }
+
+    fn row_in_bounds(&self, r: u64) -> bool {
+        self.in_bounds && self.ro + r < self.rdim
+    }
+
+    fn get(&self, r: u64, c: u64) -> f32 {
+        let (gr, gc) = (self.ro + r, self.co + c);
+        if !self.in_bounds || gr >= self.rdim || gc >= self.cdim {
+            return 0.0;
+        }
+        self.data[(self.base + gr * self.rstride + gc) as usize]
     }
 }
 
@@ -660,10 +883,24 @@ fn store_tile(src: &[f32], rows: u64, cols: u64, dt: DType, dst: &mut HostTensor
 }
 
 /// `acc += a × b` on dense tiles (f32 accumulate, mirroring tensor cores).
-fn gemm_tiles(smem: &mut Smem, a: SmemId, b: SmemId, acc: SmemId, b_transposed: bool) {
+/// `acc_col` offsets the written columns inside `acc` (chunked panels).
+fn gemm_tiles(
+    smem: &mut Smem,
+    a: SmemId,
+    b: SmemId,
+    acc: SmemId,
+    b_transposed: bool,
+    acc_col: usize,
+) {
     let (m, k) = (smem.rows[a.0] as usize, smem.cols[a.0] as usize);
-    let n = smem.cols[acc.0] as usize;
+    let n = if b_transposed {
+        smem.rows[b.0] as usize
+    } else {
+        smem.cols[b.0] as usize
+    };
+    let stride = smem.cols[acc.0] as usize;
     debug_assert_eq!(smem.rows[acc.0] as usize, m);
+    debug_assert!(acc_col + n <= stride);
     // Borrow juggling: copy nothing — index via raw splits.
     // a, b, acc are guaranteed distinct by lowering; fall back to clone if
     // aliased (never happens in practice, but keep the interpreter total).
@@ -671,7 +908,7 @@ fn gemm_tiles(smem: &mut Smem, a: SmemId, b: SmemId, acc: SmemId, b_transposed: 
         let av = smem.bufs[a.0].clone();
         let bv = smem.bufs[b.0].clone();
         let accv = &mut smem.bufs[acc.0];
-        gemm_inner(&av, &bv, accv, m, n, k, b_transposed);
+        gemm_inner(&av, &bv, accv, m, n, k, b_transposed, stride, acc_col);
         return;
     }
     let (av, bv, accv) = {
@@ -692,10 +929,11 @@ fn gemm_tiles(smem: &mut Smem, a: SmemId, b: SmemId, acc: SmemId, b_transposed: 
             )
         }
     };
-    gemm_inner(av, bv, accv, m, n, k, b_transposed);
+    gemm_inner(av, bv, accv, m, n, k, b_transposed, stride, acc_col);
 }
 
 #[inline]
+#[allow(clippy::too_many_arguments)]
 fn gemm_inner(
     a: &[f32],
     b: &[f32],
@@ -704,6 +942,8 @@ fn gemm_inner(
     n: usize,
     k: usize,
     b_transposed: bool,
+    stride: usize,
+    acc_col: usize,
 ) {
     if b_transposed {
         // b is n×k.
@@ -715,14 +955,14 @@ fn gemm_inner(
                 for kk in 0..k {
                     s += arow[kk] * brow[kk];
                 }
-                acc[i * n + j] += s;
+                acc[i * stride + acc_col + j] += s;
             }
         }
     } else {
         // b is k×n; loop order i-k-j for cache friendliness.
         for i in 0..m {
             let arow = &a[i * k..(i + 1) * k];
-            let crow = &mut acc[i * n..(i + 1) * n];
+            let crow = &mut acc[i * stride + acc_col..i * stride + acc_col + n];
             for (kk, &aval) in arow.iter().enumerate() {
                 if aval == 0.0 {
                     continue;
@@ -871,6 +1111,7 @@ mod tests {
                         b: sb,
                         acc: sc,
                         b_transposed: false,
+                        acc_col: 0,
                     },
                 ],
             },
@@ -1132,6 +1373,7 @@ mod tests {
                 b: sb,
                 acc: sc,
                 b_transposed: true,
+                acc_col: 0,
             },
             BlockStmt::Store {
                 dst: TileAccess {

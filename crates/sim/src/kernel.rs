@@ -92,6 +92,14 @@ pub struct SmemDecl {
     pub pad_cols: u64,
     /// Whether the lowering allocated two copies for load/compute overlap.
     pub double_buffered: bool,
+    /// Register stream: the tile flows global->register through the
+    /// cp.async pipeline and is consumed by the MMA as fragments arrive —
+    /// only the in-flight window is ever resident, so the tile occupies
+    /// no shared memory. Only legal for single-use operands whose tile
+    /// coordinates are compile-time constants (a statically unrolled loop
+    /// lets each thread address its fragments in registers; a dynamically
+    /// indexed loop would have to bounce through smem).
+    pub streamed: bool,
 }
 
 impl SmemDecl {
@@ -103,6 +111,9 @@ impl SmemDecl {
     /// Physical byte footprint including padding and double buffering —
     /// the "actual" shared memory of the paper's Fig. 10.
     pub fn alloc_bytes(&self) -> u64 {
+        if self.streamed {
+            return 0; // lives in the register file, not shared memory
+        }
         let copies = if self.double_buffered { 2 } else { 1 };
         self.rows * (self.cols + self.pad_cols) * self.dtype.size_bytes() * copies
     }
@@ -117,6 +128,9 @@ pub enum VarRef {
     Loop(LoopHandle),
     /// Constant zero (the dimension is covered by a single tile).
     Zero,
+    /// A compile-time-known tile coordinate (statically unrolled loops,
+    /// e.g. the column chunks of a streamed weight panel).
+    Const(u64),
 }
 
 /// One dimension of a tile access: element offset = `var * tile`.
@@ -167,6 +181,11 @@ pub enum BlockStmt {
         acc: SmemId,
         /// Interpret `b` as transposed (`rows` = N, `cols` = K).
         b_transposed: bool,
+        /// Column offset into `acc` where this GEMM's `N` columns land.
+        /// A chunked final stage streams its weight panel in column
+        /// slices and fills the accumulator slice by slice; whole-tile
+        /// GEMMs use 0.
+        acc_col: u64,
     },
     /// FlashAttention-style streaming softmax update over `scores`:
     /// rescales the running accumulators listed in `rescale` and replaces
@@ -196,6 +215,59 @@ pub enum BlockStmt {
     AddBias { target: SmemId, bias: SmemId },
     /// Exponentiate every element (two-pass softmax building block).
     Exp { target: SmemId },
+    /// Per-row mean and reciprocal-σ over the *full* rows of a global
+    /// tensor (optionally summed element-wise with a second tensor), written
+    /// into `rows × 1` shared buffers. Block-root statement backing the
+    /// prologue-LayerNorm stitch: it reads raw f32 global memory in row
+    /// order so the stats are bit-identical to the graph reference.
+    /// Out-of-range rows get `mean = 0`, `rstd = 1`.
+    RowNormStats {
+        a: TileAccess,
+        residual: Option<TileAccess>,
+        rows: u64,
+        cols: u64,
+        mean: SmemId,
+        rstd: SmemId,
+        eps: f32,
+    },
+    /// In-place row normalization of `target` with per-row stats and an
+    /// optional affine transform, rounding each element to `round`:
+    /// `t[r,c] = round(((t[r,c] - mean[r]) * rstd[r]) * gamma[c] + beta[c])`.
+    NormalizeTile {
+        target: SmemId,
+        mean: SmemId,
+        rstd: SmemId,
+        gamma: Option<SmemId>,
+        beta: Option<SmemId>,
+        round: DType,
+    },
+    /// Round every element of `target` to `dtype` in place — mirrors the
+    /// store-then-reload precision loss at an unfused kernel boundary.
+    Quantize { target: SmemId, dtype: DType },
+    /// `target[r,c] += src[r,c]` read raw (f32) from global memory; rows
+    /// past the tensor extent contribute zero. Epilogue residual stitch.
+    AddGlobal { target: SmemId, src: TileAccess },
+    /// Recompute the prologue LayerNorm output at this block's tail columns
+    /// from raw global memory and add it to `target` in f32 (the
+    /// `PrologueOut` epilogue residual — the unfused layout consumes the
+    /// *unquantized* LayerNorm values, so they are rebuilt exactly).
+    AddRecomputedNorm {
+        target: SmemId,
+        a: TileAccess,
+        residual: Option<TileAccess>,
+        mean: SmemId,
+        rstd: SmemId,
+        gamma: Option<SmemId>,
+        beta: Option<SmemId>,
+    },
+    /// Full-row LayerNorm of `target` in f32. The tile's columns must span
+    /// the whole normalized axis (lowering enforces `t_n == d_L`).
+    LayerNormTile {
+        target: SmemId,
+        gamma: Option<SmemId>,
+        beta: Option<SmemId>,
+        eps: f32,
+    },
 }
 
 /// A complete virtual kernel.
@@ -346,6 +418,7 @@ impl TileProgram {
                     b,
                     acc,
                     b_transposed,
+                    acc_col,
                 } => {
                     let (da, db, dacc) = (
                         self.smem_decl(*a)?,
@@ -357,7 +430,7 @@ impl TileProgram {
                     } else {
                         (db.rows, db.cols)
                     };
-                    if da.cols != bk || da.rows != dacc.rows || bn != dacc.cols {
+                    if da.cols != bk || da.rows != dacc.rows || *acc_col + bn > dacc.cols {
                         return Err(ProgramError::GemmShapeMismatch {
                             a: *a,
                             b: *b,
@@ -429,8 +502,116 @@ impl TileProgram {
                 BlockStmt::Relu { target }
                 | BlockStmt::Gelu { target }
                 | BlockStmt::Scale { target, .. }
-                | BlockStmt::Exp { target } => {
+                | BlockStmt::Exp { target }
+                | BlockStmt::Quantize { target, .. } => {
                     self.smem_decl(*target)?;
+                }
+                BlockStmt::RowNormStats {
+                    a,
+                    residual,
+                    rows,
+                    mean,
+                    rstd,
+                    ..
+                } => {
+                    self.validate_access(a)?;
+                    if let Some(res) = residual {
+                        self.validate_access(res)?;
+                    }
+                    let dm = self.smem_decl(*mean)?;
+                    let dr = self.smem_decl(*rstd)?;
+                    if dm.rows < *rows || dr.rows < *rows {
+                        return Err(ProgramError::GemmShapeMismatch {
+                            a: *mean,
+                            b: *rstd,
+                            acc: *mean,
+                        });
+                    }
+                }
+                BlockStmt::NormalizeTile {
+                    target,
+                    mean,
+                    rstd,
+                    gamma,
+                    beta,
+                    ..
+                } => {
+                    let dt = self.smem_decl(*target)?;
+                    let dm = self.smem_decl(*mean)?;
+                    let dr = self.smem_decl(*rstd)?;
+                    if dm.rows < dt.rows || dr.rows < dt.rows {
+                        return Err(ProgramError::GemmShapeMismatch {
+                            a: *target,
+                            b: *mean,
+                            acc: *rstd,
+                        });
+                    }
+                    for aff in [gamma, beta].into_iter().flatten() {
+                        let da = self.smem_decl(*aff)?;
+                        if da.cols != dt.cols {
+                            return Err(ProgramError::GemmShapeMismatch {
+                                a: *target,
+                                b: *aff,
+                                acc: *aff,
+                            });
+                        }
+                    }
+                }
+                BlockStmt::AddGlobal { target, src } => {
+                    self.smem_decl(*target)?;
+                    self.validate_access(src)?;
+                }
+                BlockStmt::AddRecomputedNorm {
+                    target,
+                    a,
+                    residual,
+                    mean,
+                    rstd,
+                    gamma,
+                    beta,
+                } => {
+                    let dt = self.smem_decl(*target)?;
+                    self.validate_access(a)?;
+                    if let Some(res) = residual {
+                        self.validate_access(res)?;
+                    }
+                    let dm = self.smem_decl(*mean)?;
+                    let dr = self.smem_decl(*rstd)?;
+                    if dm.rows < dt.rows || dr.rows < dt.rows {
+                        return Err(ProgramError::GemmShapeMismatch {
+                            a: *target,
+                            b: *mean,
+                            acc: *rstd,
+                        });
+                    }
+                    for aff in [gamma, beta].into_iter().flatten() {
+                        let da = self.smem_decl(*aff)?;
+                        if da.cols != dt.cols {
+                            return Err(ProgramError::GemmShapeMismatch {
+                                a: *target,
+                                b: *aff,
+                                acc: *aff,
+                            });
+                        }
+                    }
+                }
+                BlockStmt::LayerNormTile {
+                    target,
+                    gamma,
+                    beta,
+                    ..
+                } => {
+                    let dt = self.smem_decl(*target)?;
+                    for aff in [gamma, beta].into_iter().flatten() {
+                        let da = self.smem_decl(*aff)?;
+                        if da.cols != dt.cols {
+                            return Err(ProgramError::GemmShapeMismatch {
+                                a: *target,
+                                b: *aff,
+                                acc: *aff,
+                            });
+                        }
+                    }
                 }
             }
         }
@@ -486,6 +667,7 @@ impl ProgramBuilder {
             dtype,
             pad_cols: 0,
             double_buffered: false,
+            streamed: false,
         });
         SmemId(self.smem.len() - 1)
     }
@@ -507,6 +689,7 @@ impl ProgramBuilder {
             dtype,
             pad_cols,
             double_buffered,
+            streamed: false,
         });
         SmemId(self.smem.len() - 1)
     }
@@ -597,6 +780,7 @@ mod tests {
                 b: sb,
                 acc: sc,
                 b_transposed: false,
+                acc_col: 0,
             },
             BlockStmt::Store {
                 dst: TileAccess {
@@ -711,8 +895,14 @@ mod tests {
             dtype: DType::F16,
             pad_cols: 8,
             double_buffered: true,
+            streamed: false,
         };
         assert_eq!(d.alloc_bytes(), 16 * 24 * 2 * 2);
+        let s = SmemDecl {
+            streamed: true,
+            ..d
+        };
+        assert_eq!(s.alloc_bytes(), 0);
     }
 
     #[test]

@@ -22,7 +22,8 @@ fn render_stmts(p: &TileProgram, stmts: &[BlockStmt], indent: usize, out: &mut S
             BlockStmt::Load { src, dst } => {
                 let d = &p.smem[dst.0];
                 out.push_str(&format!(
-                    "{pad}load {} <- {} tile {}x{} ({} B)\n",
+                    "{pad}{} {} <- {} tile {}x{} ({} B)\n",
+                    if d.streamed { "stream" } else { "load" },
                     d.name,
                     p.buffers[src.buf.0].name,
                     d.rows,
@@ -37,11 +38,23 @@ fn render_stmts(p: &TileProgram, stmts: &[BlockStmt], indent: usize, out: &mut S
                     d.name, p.buffers[dst.buf.0].name, d.rows, d.cols
                 ));
             }
-            BlockStmt::Gemm { a, b, acc, .. } => {
+            BlockStmt::Gemm {
+                a,
+                b,
+                acc,
+                b_transposed,
+                acc_col,
+            } => {
                 let (da, db, dacc) = (&p.smem[a.0], &p.smem[b.0], &p.smem[acc.0]);
+                let n = if *b_transposed { db.rows } else { db.cols };
+                let at = if *acc_col > 0 {
+                    format!(" @col {acc_col}")
+                } else {
+                    String::new()
+                };
                 out.push_str(&format!(
-                    "{pad}mma {} += {} x {}   [{}x{}x{}]\n",
-                    dacc.name, da.name, db.name, da.rows, dacc.cols, da.cols
+                    "{pad}mma {}{at} += {} x {}   [{}x{}x{}]\n",
+                    dacc.name, da.name, db.name, da.rows, n, da.cols
                 ));
             }
             BlockStmt::Fill { dst, value } => {
@@ -79,6 +92,36 @@ fn render_stmts(p: &TileProgram, stmts: &[BlockStmt], indent: usize, out: &mut S
             }
             BlockStmt::Exp { target } => {
                 out.push_str(&format!("{pad}exp {}\n", p.smem[target.0].name));
+            }
+            BlockStmt::Quantize { target, dtype } => {
+                out.push_str(&format!(
+                    "{pad}quantize {} -> {:?}\n",
+                    p.smem[target.0].name, dtype
+                ));
+            }
+            BlockStmt::RowNormStats { a, rows, cols, .. } => {
+                out.push_str(&format!(
+                    "{pad}rownorm-stats over {} rows x {} cols of {}\n",
+                    rows, cols, p.buffers[a.buf.0].name
+                ));
+            }
+            BlockStmt::NormalizeTile { target, .. } => {
+                out.push_str(&format!("{pad}normalize {}\n", p.smem[target.0].name));
+            }
+            BlockStmt::AddGlobal { target, src } => {
+                out.push_str(&format!(
+                    "{pad}add-global {} += {}\n",
+                    p.smem[target.0].name, p.buffers[src.buf.0].name
+                ));
+            }
+            BlockStmt::AddRecomputedNorm { target, a, .. } => {
+                out.push_str(&format!(
+                    "{pad}add-recomputed-norm {} += LN({})\n",
+                    p.smem[target.0].name, p.buffers[a.buf.0].name
+                ));
+            }
+            BlockStmt::LayerNormTile { target, .. } => {
+                out.push_str(&format!("{pad}layernorm {}\n", p.smem[target.0].name));
             }
         }
     }
@@ -194,6 +237,7 @@ mod tests {
                         b: sw,
                         acc: so,
                         b_transposed: false,
+                        acc_col: 0,
                     },
                 ],
             },

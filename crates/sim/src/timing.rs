@@ -128,12 +128,22 @@ fn walk(p: &TileProgram, stmts: &[BlockStmt], trips: f64, st: &mut BlockStats) {
             }
             BlockStmt::Load { src, dst } => {
                 let d = &p.smem[dst.0];
-                let bytes = (d.rows * d.cols * d.dtype.size_bytes()) as f64 * trips;
-                *st.load_bytes.entry(src.buf).or_default() += bytes;
-                st.smem_traffic += bytes;
+                // Global traffic moves the buffer's *storage* precision;
+                // the conversion to the tile's precision happens in
+                // registers on the way into shared memory.
+                let gmem =
+                    (d.rows * d.cols * p.buffers[src.buf.0].dtype.size_bytes()) as f64 * trips;
+                *st.load_bytes.entry(src.buf).or_default() += gmem;
                 st.any_load = true;
-                if !d.double_buffered {
-                    st.all_loads_buffered = false;
+                if d.streamed {
+                    // Global->register stream: no smem staging, and the
+                    // cp.async pipeline overlaps it like a buffered load.
+                } else {
+                    let bytes = (d.rows * d.cols * d.dtype.size_bytes()) as f64 * trips;
+                    st.smem_traffic += bytes;
+                    if !d.double_buffered {
+                        st.all_loads_buffered = false;
+                    }
                 }
             }
             BlockStmt::Store { dst, src } => {
@@ -143,18 +153,26 @@ fn walk(p: &TileProgram, stmts: &[BlockStmt], trips: f64, st: &mut BlockStats) {
                 *st.store_bytes.entry(dst.buf).or_default() += bytes;
                 st.smem_traffic += bytes;
             }
-            BlockStmt::Gemm { a, b, acc, .. } => {
-                let (da, dacc) = (&p.smem[a.0], &p.smem[acc.0]);
-                let (m, k, n) = (da.rows, da.cols, dacc.cols);
+            BlockStmt::Gemm {
+                a, b, b_transposed, ..
+            } => {
+                let (da, db) = (&p.smem[a.0], &p.smem[b.0]);
+                let (m, k) = (da.rows, da.cols);
+                // A chunked final stage writes a column slice of the
+                // accumulator, so the MAC count follows the B tile.
+                let n = if *b_transposed { db.rows } else { db.cols };
                 let flops = 2.0 * (m * n * k) as f64 * trips;
                 st.gemm_flops.push((flops, mma_efficiency(m, n, k)));
                 // Operand reads from smem (accumulator lives in registers).
+                // A streamed B panel is already in registers and costs no
+                // smem bandwidth.
                 let dt = p.dtype.size_bytes() as f64;
-                st.smem_traffic += ((m * k) as f64 + (k * n) as f64)
-                    * dt
-                    * trips
-                    * (1.0 + n as f64 / 256.0).min(2.0);
-                let _ = b;
+                let operands = if db.streamed {
+                    (m * k) as f64
+                } else {
+                    (m * k) as f64 + (k * n) as f64
+                };
+                st.smem_traffic += operands * dt * trips * (1.0 + n as f64 / 256.0).min(2.0);
             }
             BlockStmt::OnlineSoftmax { scores, .. } => {
                 let d = &p.smem[scores.0];
@@ -177,6 +195,60 @@ fn walk(p: &TileProgram, stmts: &[BlockStmt], trips: f64, st: &mut BlockStats) {
             BlockStmt::Fill { dst, .. } => {
                 let d = &p.smem[dst.0];
                 st.misc_flops += 0.25 * (d.rows * d.cols) as f64 * trips;
+            }
+            BlockStmt::Quantize { target, .. } => {
+                let d = &p.smem[target.0];
+                st.misc_flops += (d.rows * d.cols) as f64 * trips;
+            }
+            BlockStmt::RowNormStats {
+                a,
+                residual,
+                rows,
+                cols,
+                ..
+            } => {
+                // Two raw passes over the full rows, straight from global
+                // memory at each operand's storage precision (the stitched
+                // prologue's extra traffic).
+                let pass = |buf: BufId| (rows * cols * p.buffers[buf.0].dtype.size_bytes()) as f64;
+                *st.load_bytes.entry(a.buf).or_default() += pass(a.buf) * trips * 2.0;
+                if let Some(res) = residual {
+                    *st.load_bytes.entry(res.buf).or_default() += pass(res.buf) * trips * 2.0;
+                }
+                st.misc_flops += 4.0 * (rows * cols) as f64 * trips;
+            }
+            BlockStmt::NormalizeTile { target, .. } => {
+                let d = &p.smem[target.0];
+                st.misc_flops += 4.0 * (d.rows * d.cols) as f64 * trips;
+                st.smem_traffic += (d.rows * d.cols * 4) as f64 * trips;
+            }
+            BlockStmt::AddGlobal { target, src } => {
+                let d = &p.smem[target.0];
+                let bytes =
+                    (d.rows * d.cols * p.buffers[src.buf.0].dtype.size_bytes()) as f64 * trips;
+                *st.load_bytes.entry(src.buf).or_default() += bytes;
+                st.misc_flops += (d.rows * d.cols) as f64 * trips;
+            }
+            BlockStmt::AddRecomputedNorm {
+                target,
+                a,
+                residual,
+                ..
+            } => {
+                let d = &p.smem[target.0];
+                let tile = (d.rows * d.cols) as f64 * trips;
+                *st.load_bytes.entry(a.buf).or_default() +=
+                    tile * p.buffers[a.buf.0].dtype.size_bytes() as f64;
+                if let Some(res) = residual {
+                    *st.load_bytes.entry(res.buf).or_default() +=
+                        tile * p.buffers[res.buf.0].dtype.size_bytes() as f64;
+                }
+                st.misc_flops += 5.0 * tile;
+            }
+            BlockStmt::LayerNormTile { target, .. } => {
+                let d = &p.smem[target.0];
+                st.misc_flops += 8.0 * (d.rows * d.cols) as f64 * trips;
+                st.smem_traffic += (d.rows * d.cols * 4) as f64 * trips;
             }
         }
     }
@@ -443,6 +515,7 @@ mod tests {
                         b: sb,
                         acc: sc,
                         b_transposed: false,
+                        acc_col: 0,
                     },
                 ],
             },

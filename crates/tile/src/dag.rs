@@ -625,6 +625,8 @@ mod tests {
             epilogues: vec![Default::default(); 3],
             biases: vec![false; 3],
             dtype: mcfuser_sim::DType::F16,
+            prologue: None,
+            stitch_epilogue: None,
         };
         // Deep expr over m,k,n,h,p — use identity order.
         let perm: Vec<LoopId> = (0..5).map(LoopId).collect();

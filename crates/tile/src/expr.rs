@@ -391,6 +391,8 @@ mod tests {
             epilogues: vec![Default::default(); 3],
             biases: vec![false; 3],
             dtype: mcfuser_sim::DType::F16,
+            prologue: None,
+            stitch_epilogue: None,
         };
         assert_eq!(enumerate_deep(&c).len(), 120);
         assert_eq!(enumerate_flat(&c).len(), 6);

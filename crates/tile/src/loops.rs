@@ -188,6 +188,8 @@ mod tests {
             epilogues: vec![Default::default(); 3],
             biases: vec![false; 3],
             dtype: mcfuser_sim::DType::F16,
+            prologue: None,
+            stitch_epilogue: None,
         };
         assert_eq!(axis_role(&c, LoopId(2)), AxisRole::Intermediate);
         assert_eq!(axis_role(&c, LoopId(3)), AxisRole::Intermediate);

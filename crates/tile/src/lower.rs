@@ -17,7 +17,7 @@
 //! * a softmax epilogue requires completed score tiles and a streaming
 //!   (online) update for the downstream accumulator.
 
-use mcfuser_ir::{AuxInput, ChainSpec, Epilogue};
+use mcfuser_ir::{AuxInput, ChainSpec, Epilogue, ResidualSource};
 use mcfuser_sim::{
     BlockStmt, BufferRole, DType, LoopHandle, ProgramBuilder, SmemId, TileAccess, TileIndex,
     TileProgram, VarRef,
@@ -50,6 +50,11 @@ pub enum LoweringError {
     /// Softmax epilogue in an unsupported position (only the final
     /// producer→consumer hop supports streaming softmax).
     SoftmaxUnsupported(String),
+    /// A prologue/epilogue stitch cannot be honoured by this candidate
+    /// (e.g. a tail LayerNorm whose tile does not span the full row).
+    /// The tuner skips such candidates; the chain's unstitched twin
+    /// remains available as a fallback.
+    StitchUnsupported(String),
 }
 
 impl std::fmt::Display for LoweringError {
@@ -66,6 +71,7 @@ impl std::fmt::Display for LoweringError {
                 )
             }
             LoweringError::SoftmaxUnsupported(m) => write!(f, "softmax: {m}"),
+            LoweringError::StitchUnsupported(m) => write!(f, "stitch: {m}"),
         }
     }
 }
@@ -179,6 +185,51 @@ pub fn lower(
             }
         }
     }
+    // Stitched prologue/epilogue legality. The partitioner only attaches
+    // stitches to softmax-free chains with an affine prologue LayerNorm
+    // (zero-padded gamma/beta strips keep out-of-range columns exactly 0);
+    // a tail LayerNorm additionally needs its whole row in one tile.
+    let pro = chain.prologue;
+    let tail = chain.stitch_epilogue;
+    let last_axis = LoopId(chain.num_axes() - 1);
+    if (pro.is_some() || tail.is_some()) && chain.has_softmax() {
+        return Err(LoweringError::StitchUnsupported(
+            "stitches cannot share a kernel with a streaming softmax".into(),
+        ));
+    }
+    if let Some(p) = pro {
+        if !p.affine {
+            return Err(LoweringError::StitchUnsupported(
+                "prologue LayerNorm must be affine".into(),
+            ));
+        }
+    }
+    if let Some(t) = tail {
+        let d_last = *chain.dims.last().expect("chain has dims");
+        if t.layer_norm && cand.tile(last_axis) != d_last {
+            return Err(LoweringError::StitchUnsupported(format!(
+                "tail LayerNorm needs the full row in one tile (t={} < d_L={})",
+                cand.tile(last_axis),
+                d_last
+            )));
+        }
+        if t.residual == ResidualSource::PrologueOut
+            && (pro.is_none() || chain.dims.first() != chain.dims.last())
+        {
+            return Err(LoweringError::StitchUnsupported(
+                "PrologueOut residual needs a prologue with d_0 == d_L".into(),
+            ));
+        }
+    }
+    // A tail LayerNorm pins the last axis to the full row, which would
+    // force the final weight tile to hold a whole `t_k × d_L` panel.
+    // Stream that panel in column chunks instead: only one `t_k × chunk`
+    // slice is resident, and each slice fills its accumulator columns.
+    let tail_chunk: Option<(u64, u64)> = tail.filter(|t| t.layer_norm).and_then(|_| {
+        let d_l = *chain.dims.last().expect("chain has dims");
+        let chunk = crate::shmem::tail_panel_chunk(d_l);
+        (chunk < d_l).then_some((chunk, d_l / chunk))
+    });
 
     // ---- Declarations ----------------------------------------------------
     let esz = chain.dtype;
@@ -195,26 +246,49 @@ pub fn lower(
         } else {
             format!("W{}", i - 1)
         };
-        input_bufs.push(b.buffer(name, shape.clone(), esz, BufferRole::Input));
+        // A stitched prologue reads the raw (pre-LayerNorm) activation —
+        // stored at chain precision when its producer is a fused chain
+        // that quantizes on store, at boundary f32 otherwise. The smem
+        // tile is f32 either way, so values are identical; only the
+        // global-traffic accounting follows the storage width.
+        let dt = match pro {
+            Some(p) if i == 0 => {
+                if p.a_half {
+                    esz
+                } else {
+                    DType::F32
+                }
+            }
+            _ => esz,
+        };
+        input_bufs.push(b.buffer(name, shape.clone(), dt, BufferRole::Input));
     }
     let aux_list = chain.aux_inputs();
     let mut aux_bufs = Vec::with_capacity(aux_list.len());
     for (j, aux) in aux_list.iter().enumerate() {
-        let name = match aux {
-            AuxInput::Bias { stage } => format!("b{stage}"),
-            AuxInput::Mask { stage } => format!("mask{stage}"),
+        let (name, dt) = match aux {
+            AuxInput::Bias { stage } => (format!("b{stage}"), esz),
+            AuxInput::Mask { stage } => (format!("mask{stage}"), esz),
+            // Stitched operands live at unfused-boundary precision: raw f32.
+            AuxInput::PrologueResidual => ("p_res".to_string(), DType::F32),
+            AuxInput::PrologueGamma => ("p_gamma".to_string(), DType::F32),
+            AuxInput::PrologueBeta => ("p_beta".to_string(), DType::F32),
+            AuxInput::TailResidual => ("t_res".to_string(), DType::F32),
+            AuxInput::TailGamma => ("t_gamma".to_string(), DType::F32),
+            AuxInput::TailBeta => ("t_beta".to_string(), DType::F32),
         };
         aux_bufs.push((
             *aux,
-            b.buffer(name, shapes[num_data + j].clone(), esz, BufferRole::Input),
+            b.buffer(name, shapes[num_data + j].clone(), dt, BufferRole::Input),
         ));
     }
-    let out_buf = b.buffer("out", chain.output_shape(), esz, BufferRole::Output);
+    // A stitched epilogue stores the unfused layout's f32 result.
+    let out_dt = if tail.is_some() { DType::F32 } else { esz };
+    let out_buf = b.buffer("out", chain.output_shape(), out_dt, BufferRole::Output);
 
     // Grid: batch, m, d_L.
     let g_batch = b.grid_dim(chain.batch);
     let g_m = b.grid_dim(cand.trips(chain, LoopId(0)));
-    let last_axis = LoopId(chain.num_axes() - 1);
     let g_last = b.grid_dim(cand.trips(chain, last_axis));
 
     // Live block loops → handles (the placement's expression decides
@@ -263,12 +337,24 @@ pub fn lower(
             TensorRef::Input(i)
         };
         let ax = tensor_axes(chain, t);
-        let (r, c) = (cand.tile(ax[0]), cand.tile(ax[1]));
+        let (r, mut c) = (cand.tile(ax[0]), cand.tile(ax[1]));
+        if i == num_ops {
+            if let Some((chunk, _)) = tail_chunk {
+                c = chunk;
+            }
+        }
+        // The prologue normalizes the raw f32 A tile in shared memory
+        // before the first GEMM consumes it.
+        let dt = if i == 0 && pro.is_some() {
+            DType::F32
+        } else {
+            esz
+        };
         let id = b.smem_with(
             format!("tile_{}", i),
             r,
             c,
-            esz,
+            dt,
             pad(c),
             false, // double buffering decided below
         );
@@ -290,18 +376,89 @@ pub fn lower(
         (mx, sm)
     });
     // Aux tiles: a bias strip `1 × t_cols` per biased stage, a mask tile
-    // `t_m × t_cols` per masked softmax.
+    // `t_m × t_cols` per masked softmax. Stitched aux operands get their
+    // own tiles below.
     let aux_tiles: Vec<(AuxInput, SmemId, mcfuser_sim::BufId)> = aux_bufs
         .iter()
-        .map(|&(aux, buf)| {
+        .filter_map(|&(aux, buf)| {
             let (name, rows, stage) = match aux {
                 AuxInput::Bias { stage } => (format!("bias_{stage}"), 1, stage),
                 AuxInput::Mask { stage } => (format!("mask_{stage}"), cand.tile(LoopId(0)), stage),
+                _ => return None,
             };
             let cols = cand.tile(LoopId(stage + 2));
-            (aux, b.smem_with(name, rows, cols, esz, 0, false), buf)
+            Some((aux, b.smem_with(name, rows, cols, esz, 0, false), buf))
         })
         .collect();
+    // Stitch tiles: raw-f32 prologue residual (A-shaped), per-row LayerNorm
+    // stats, and `1 × tile` gamma/beta strips for each normalization site.
+    let aux_buf = |aux: AuxInput| -> mcfuser_sim::BufId {
+        aux_bufs
+            .iter()
+            .find(|(a, _)| *a == aux)
+            .expect("stitched aux buffer declared")
+            .1
+    };
+    let stitch = if pro.is_some() || tail.is_some() {
+        let tm = cand.tile(LoopId(0));
+        let tk = cand.tile(LoopId(1));
+        let tn = cand.tile(last_axis);
+        let pro_emit = pro.map(|p| {
+            let res = p.residual.then(|| {
+                let id = b.smem_with("p_res_tile", tm, tk, DType::F32, pad(tk), false);
+                (id, aux_buf(AuxInput::PrologueResidual))
+            });
+            ProEmit {
+                eps: p.eps,
+                mean: b.smem_with("row_mean", tm, 1, DType::F32, 0, false),
+                rstd: b.smem_with("row_rstd", tm, 1, DType::F32, 0, false),
+                res,
+                gamma: (
+                    b.smem_with("p_gamma_tile", 1, tk, DType::F32, 0, false),
+                    aux_buf(AuxInput::PrologueGamma),
+                ),
+                beta: (
+                    b.smem_with("p_beta_tile", 1, tk, DType::F32, 0, false),
+                    aux_buf(AuxInput::PrologueBeta),
+                ),
+            }
+        });
+        let tail_emit = tail.map(|t| {
+            let rec = (t.residual == ResidualSource::PrologueOut).then(|| {
+                (
+                    b.smem_with("rec_gamma_tile", 1, tn, DType::F32, 0, false),
+                    b.smem_with("rec_beta_tile", 1, tn, DType::F32, 0, false),
+                )
+            });
+            let ext_buf =
+                (t.residual == ResidualSource::External).then(|| aux_buf(AuxInput::TailResidual));
+            let ln_affine = (t.layer_norm && t.affine).then(|| {
+                (
+                    (
+                        b.smem_with("t_gamma_tile", 1, tn, DType::F32, 0, false),
+                        aux_buf(AuxInput::TailGamma),
+                    ),
+                    (
+                        b.smem_with("t_beta_tile", 1, tn, DType::F32, 0, false),
+                        aux_buf(AuxInput::TailBeta),
+                    ),
+                )
+            });
+            TailEmit {
+                spec: t,
+                rec,
+                ext_buf,
+                ln_affine,
+            }
+        });
+        Some(StitchEmit {
+            a_buf: input_bufs[0],
+            pro: pro_emit,
+            tail: tail_emit,
+        })
+    } else {
+        None
+    };
 
     // ---- Fill anchoring ---------------------------------------------------
     // acc_i is zeroed at the body start of the deepest live loop on C_i's
@@ -357,21 +514,73 @@ pub fn lower(
         out_buf,
         softmax_pos,
         fills_at: &fills_at,
+        stitch: stitch.as_ref(),
+        tail_chunk,
     };
-    let body = emit_scope(&placement.tree.root, None, &ctx);
+    let mut body = emit_scope(&placement.tree.root, None, &ctx);
+    // Prologue row statistics: one pass over the block's raw rows (full
+    // d0 width, straight from global memory) before any tile work.
+    if let Some(p) = stitch.as_ref().and_then(|s| s.pro.as_ref()) {
+        let d0 = chain.dims[0];
+        let row_access = |buf: mcfuser_sim::BufId| TileAccess {
+            buf,
+            indices: vec![
+                TileIndex {
+                    var: g_batch,
+                    tile: 1,
+                },
+                TileIndex {
+                    var: g_m,
+                    tile: cand.tile(LoopId(0)),
+                },
+                TileIndex {
+                    var: VarRef::Zero,
+                    tile: d0,
+                },
+            ],
+        };
+        body.insert(
+            0,
+            BlockStmt::RowNormStats {
+                a: row_access(input_bufs[0]),
+                residual: p.res.map(|(_, buf)| row_access(buf)),
+                rows: cand.tile(LoopId(0)),
+                cols: d0,
+                mean: p.mean,
+                rstd: p.rstd,
+                eps: p.eps,
+            },
+        );
+    }
 
     let mut program = b.finish(body);
 
+    // The chunked tail panel is a single-use operand addressed by
+    // compile-time chunk offsets, so it streams global->register and
+    // never occupies shared memory (see `SmemDecl::streamed`).
+    if tail_chunk.is_some() {
+        program.smem[load_tiles[num_ops].0 .0].streamed = true;
+    }
+
     // ---- Intra-tile policy: double buffering ------------------------------
+    // Overlap requires *every* load target double buffered — the strips
+    // and residual tiles of a stitch included — so the policy is
+    // all-or-nothing over the program's actual load destinations.
+    // Streamed tiles overlap via the cp.async pipeline and need no copy.
     let mut double_buffered = false;
     if let Some(budget) = opts.double_buffer_budget {
+        let mut targets = Vec::new();
+        collect_load_targets(&program.body, &mut targets);
+        targets.retain(|id| !program.smem[id.0].streamed);
+        targets.sort_unstable_by_key(|id| id.0);
+        targets.dedup();
         let base = program.smem_bytes();
-        let extra: u64 = load_tiles
+        let extra: u64 = targets
             .iter()
-            .map(|(id, _, _)| program.smem[id.0].alloc_bytes())
+            .map(|id| program.smem[id.0].alloc_bytes())
             .sum();
-        if base + extra <= budget {
-            for (id, _, _) in &load_tiles {
+        if !targets.is_empty() && base + extra <= budget {
+            for id in &targets {
                 program.smem[id.0].double_buffered = true;
             }
             double_buffered = true;
@@ -399,6 +608,48 @@ struct EmitCtx<'a> {
     out_buf: mcfuser_sim::BufId,
     softmax_pos: Option<usize>,
     fills_at: &'a [(Option<LoopId>, BlockStmt)],
+    stitch: Option<&'a StitchEmit>,
+    /// `(chunk, n_chunks)` of a streamed final-stage weight panel.
+    tail_chunk: Option<(u64, u64)>,
+}
+
+/// Declared tiles/buffers of a stitched prologue/epilogue.
+struct StitchEmit {
+    /// The raw A input buffer (read again by the tail recompute).
+    a_buf: mcfuser_sim::BufId,
+    pro: Option<ProEmit>,
+    tail: Option<TailEmit>,
+}
+
+/// Prologue LayerNorm state: per-row stats, optional residual tile and
+/// the affine gamma/beta strips (`1 × t_k`, reloaded per k-tile).
+struct ProEmit {
+    eps: f32,
+    mean: SmemId,
+    rstd: SmemId,
+    res: Option<(SmemId, mcfuser_sim::BufId)>,
+    gamma: (SmemId, mcfuser_sim::BufId),
+    beta: (SmemId, mcfuser_sim::BufId),
+}
+
+/// Tail residual/LayerNorm state: recompute strips (`1 × t_n`, indexed by
+/// the output column axis) for `PrologueOut`, the external residual
+/// buffer otherwise, and the tail LayerNorm's affine strips.
+struct TailEmit {
+    spec: mcfuser_ir::EpilogueStitch,
+    rec: Option<(SmemId, SmemId)>,
+    ext_buf: Option<mcfuser_sim::BufId>,
+    ln_affine: Option<((SmemId, mcfuser_sim::BufId), (SmemId, mcfuser_sim::BufId))>,
+}
+
+fn collect_load_targets(stmts: &[BlockStmt], out: &mut Vec<SmemId>) {
+    for s in stmts {
+        match s {
+            BlockStmt::Loop { body, .. } => collect_load_targets(body, out),
+            BlockStmt::Load { dst, .. } => out.push(*dst),
+            _ => {}
+        }
+    }
 }
 
 fn tile_access(ctx: &EmitCtx<'_>, t: TensorRef, buf: mcfuser_sim::BufId) -> TileAccess {
@@ -449,6 +700,11 @@ fn emit_stmt(s: Stmt, ctx: &EmitCtx<'_>, out: &mut Vec<BlockStmt>) {
     let num_ops = ctx.chain.num_ops();
     match s {
         Stmt::Load(t) => {
+            if ctx.tail_chunk.is_some() && t == TensorRef::Input(num_ops) {
+                // The chunked final weight panel is streamed slice by
+                // slice at the GEMM site (see `Stmt::Compute`).
+                return;
+            }
             let (id, buf, _) = ctx
                 .load_tiles
                 .iter()
@@ -458,6 +714,11 @@ fn emit_stmt(s: Stmt, ctx: &EmitCtx<'_>, out: &mut Vec<BlockStmt>) {
                 src: tile_access(ctx, t, *buf),
                 dst: *id,
             });
+            if t == TensorRef::Input(0) {
+                if let Some(p) = ctx.stitch.and_then(|s| s.pro.as_ref()) {
+                    emit_prologue_normalize(p, *id, ctx, out);
+                }
+            }
         }
         Stmt::Compute(op) => {
             // Producer epilogue (applied once per completed producer tile).
@@ -469,12 +730,34 @@ fn emit_stmt(s: Stmt, ctx: &EmitCtx<'_>, out: &mut Vec<BlockStmt>) {
             } else {
                 ctx.accs[op - 1]
             };
-            let b_tile = ctx.load_tiles[op + 1].0;
+            let (b_tile, b_buf, b_ref) = ctx.load_tiles[op + 1];
+            if op == num_ops - 1 {
+                if let Some((chunk, n_chunks)) = ctx.tail_chunk {
+                    for c in 0..n_chunks {
+                        let mut src = tile_access(ctx, b_ref, b_buf);
+                        let col = src.indices.len() - 1;
+                        src.indices[col] = TileIndex {
+                            var: VarRef::Const(c),
+                            tile: chunk,
+                        };
+                        out.push(BlockStmt::Load { src, dst: b_tile });
+                        out.push(BlockStmt::Gemm {
+                            a,
+                            b: b_tile,
+                            acc: ctx.accs[op],
+                            b_transposed: false,
+                            acc_col: c * chunk,
+                        });
+                    }
+                    return;
+                }
+            }
             out.push(BlockStmt::Gemm {
                 a,
                 b: b_tile,
                 acc: ctx.accs[op],
                 b_transposed: false,
+                acc_col: 0,
             });
         }
         Stmt::Store => {
@@ -487,11 +770,132 @@ fn emit_stmt(s: Stmt, ctx: &EmitCtx<'_>, out: &mut Vec<BlockStmt>) {
                     denom: sm,
                 });
             }
+            if let Some(s) = ctx.stitch {
+                if let Some(t) = s.tail.as_ref() {
+                    emit_tail_stitch(s, t, ctx, out);
+                }
+            }
             out.push(BlockStmt::Store {
                 dst: tile_access(ctx, TensorRef::Output, ctx.out_buf),
                 src: ctx.accs[num_ops - 1],
             });
         }
+    }
+}
+
+/// A rank-1 strip access indexed by one axis' tile variable.
+fn strip_access(ctx: &EmitCtx<'_>, axis: LoopId, buf: mcfuser_sim::BufId) -> TileAccess {
+    TileAccess {
+        buf,
+        indices: vec![TileIndex {
+            var: (ctx.var_of)(axis),
+            tile: ctx.cand.tile(axis),
+        }],
+    }
+}
+
+/// Stitched prologue: fold the residual into the freshly loaded raw A
+/// tile, then normalize it in place with the block's row stats and the
+/// current k-strip of gamma/beta, rounding to the chain's GEMM precision
+/// (so the first GEMM sees exactly `quantize(LN(a + res))`, bit-identical
+/// to the unstitched kernel's staged A operand).
+fn emit_prologue_normalize(
+    p: &ProEmit,
+    a_tile: SmemId,
+    ctx: &EmitCtx<'_>,
+    out: &mut Vec<BlockStmt>,
+) {
+    if let Some((res_tile, res_buf)) = p.res {
+        out.push(BlockStmt::Load {
+            src: tile_access(ctx, TensorRef::Input(0), res_buf),
+            dst: res_tile,
+        });
+        out.push(BlockStmt::AddTile {
+            target: a_tile,
+            other: res_tile,
+        });
+    }
+    let k = LoopId(1);
+    out.push(BlockStmt::Load {
+        src: strip_access(ctx, k, p.gamma.1),
+        dst: p.gamma.0,
+    });
+    out.push(BlockStmt::Load {
+        src: strip_access(ctx, k, p.beta.1),
+        dst: p.beta.0,
+    });
+    out.push(BlockStmt::NormalizeTile {
+        target: a_tile,
+        mean: p.mean,
+        rstd: p.rstd,
+        gamma: Some(p.gamma.0),
+        beta: Some(p.beta.0),
+        round: ctx.chain.dtype,
+    });
+}
+
+/// Stitched tail: quantize the final accumulator to the chain precision
+/// (mirroring the unfused store), add the residual — recomputed prologue
+/// LayerNorm output or an external tensor, both read raw from global
+/// memory — and optionally apply a full-row tail LayerNorm.
+fn emit_tail_stitch(s: &StitchEmit, t: &TailEmit, ctx: &EmitCtx<'_>, out: &mut Vec<BlockStmt>) {
+    let acc = ctx.accs[ctx.chain.num_ops() - 1];
+    out.push(BlockStmt::Quantize {
+        target: acc,
+        dtype: ctx.chain.dtype,
+    });
+    let last_axis = LoopId(ctx.chain.num_axes() - 1);
+    match t.spec.residual {
+        ResidualSource::PrologueOut => {
+            let p = s.pro.as_ref().expect("PrologueOut requires a prologue");
+            let (g_rec, b_rec) = t.rec.expect("recompute strips declared");
+            out.push(BlockStmt::Load {
+                src: strip_access(ctx, last_axis, p.gamma.1),
+                dst: g_rec,
+            });
+            out.push(BlockStmt::Load {
+                src: strip_access(ctx, last_axis, p.beta.1),
+                dst: b_rec,
+            });
+            out.push(BlockStmt::AddRecomputedNorm {
+                target: acc,
+                a: tile_access(ctx, TensorRef::Output, s.a_buf),
+                residual: p.res.map(|(_, rb)| tile_access(ctx, TensorRef::Output, rb)),
+                mean: p.mean,
+                rstd: p.rstd,
+                gamma: Some(g_rec),
+                beta: Some(b_rec),
+            });
+        }
+        ResidualSource::External => {
+            let buf = t.ext_buf.expect("external residual buffer declared");
+            out.push(BlockStmt::AddGlobal {
+                target: acc,
+                src: tile_access(ctx, TensorRef::Output, buf),
+            });
+        }
+    }
+    if t.spec.layer_norm {
+        let (gamma, beta) = match &t.ln_affine {
+            Some(((g, g_buf), (bt, b_buf))) => {
+                out.push(BlockStmt::Load {
+                    src: strip_access(ctx, last_axis, *g_buf),
+                    dst: *g,
+                });
+                out.push(BlockStmt::Load {
+                    src: strip_access(ctx, last_axis, *b_buf),
+                    dst: *bt,
+                });
+                (Some(*g), Some(*bt))
+            }
+            None => (None, None),
+        };
+        out.push(BlockStmt::LayerNormTile {
+            target: acc,
+            gamma,
+            beta,
+            eps: t.spec.eps,
+        });
     }
 }
 
@@ -601,6 +1005,9 @@ fn aux_access(ctx: &EmitCtx<'_>, aux: AuxInput, buf: mcfuser_sim::BufId) -> Tile
                 ],
             }
         }
+        // Stitched aux operands are accessed through their dedicated
+        // emitters, never through the generic bias/mask path.
+        _ => unreachable!("stitched aux has no generic access"),
     }
 }
 
@@ -816,6 +1223,129 @@ mod tests {
         perm.extend((1..c.num_axes()).rev().map(crate::loops::LoopId));
         let cd = Candidate::new(TilingExpr::deep(&perm), vec![32, 32, 32, 32, 32, 32]);
         check_numerics(&c, &cd, 16);
+    }
+
+    #[test]
+    fn stitched_ffn_kernel_matches_reference() {
+        let c = stitched_ffn(64, 64, 96);
+        check_numerics(&c, &cand_for(&c, "mhnk", vec![32, 32, 32, 64]), 17);
+    }
+
+    #[test]
+    fn stitched_partial_m_and_k_tiles_correct() {
+        // m and k not divisible by their tiles: exercises the zero-padded
+        // gamma/beta strips and the OOB row guards of the stats pass.
+        let c = stitched_ffn(100, 72, 48);
+        check_numerics(&c, &cand_for(&c, "mhnk", vec![32, 32, 16, 72]), 18);
+    }
+
+    #[test]
+    fn prologue_only_chain_correct() {
+        let mut c = stitched_ffn(64, 64, 96);
+        c.stitch_epilogue = None;
+        check_numerics(&c, &cand_for(&c, "mhnk", vec![32, 32, 32, 16]), 19);
+    }
+
+    #[test]
+    fn external_residual_tail_correct() {
+        let mut c = gemm_chain();
+        c.stitch_epilogue = Some(mcfuser_ir::EpilogueStitch {
+            residual: mcfuser_ir::ResidualSource::External,
+            layer_norm: false,
+            affine: false,
+            eps: 1e-5,
+        });
+        check_numerics(&c, &cand_for(&c, "mhnk", vec![32, 32, 32, 16]), 20);
+    }
+
+    #[test]
+    fn external_residual_with_tail_layernorm_correct() {
+        let mut c = gemm_chain();
+        c.stitch_epilogue = Some(mcfuser_ir::EpilogueStitch {
+            residual: mcfuser_ir::ResidualSource::External,
+            layer_norm: true,
+            affine: true,
+            eps: 1e-5,
+        });
+        // h = 80 → the tail LN needs t_h = 80.
+        check_numerics(&c, &cand_for(&c, "mhnk", vec![32, 32, 32, 80]), 21);
+    }
+
+    #[test]
+    fn tail_layernorm_partial_tile_rejected() {
+        let c = stitched_ffn(64, 64, 96);
+        let cd = cand_for(&c, "mhnk", vec![32, 32, 32, 32]);
+        let err = lower(&c, &cd, &LoweringOptions::default()).unwrap_err();
+        assert!(
+            matches!(err, LoweringError::StitchUnsupported(_)),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn stitched_kernel_bit_identical_to_unstitched_plus_glue() {
+        // The stitched kernel must reproduce exactly what the unstitched
+        // twin + f32 reference glue (residual adds and LayerNorms around
+        // the kernel) computes: same quantization points, same stats
+        // accumulation order → bitwise-equal outputs.
+        let (m, d, f) = (64usize, 64usize, 96u64);
+        let c = stitched_ffn(m as u64, d as u64, f);
+        let cd = cand_for(&c, "mhnk", vec![32, 32, 32, d as u64]);
+        let inputs = c.random_inputs(22);
+        let k = lower(&c, &cd, &LoweringOptions::default()).unwrap();
+        k.program.validate().unwrap();
+        let mut st = TensorStorage::for_program(&k.program);
+        for (i, t) in inputs.iter().enumerate() {
+            st.tensors[i] = t.clone();
+        }
+        execute(&k.program, &mut st).unwrap();
+        let got = st.tensors.last().unwrap().clone();
+
+        // Host glue around the unstitched twin. Aux order of the stitched
+        // chain: b0, b1, p_res, p_gamma, p_beta, t_gamma, t_beta.
+        let (a, res) = (&inputs[0], &inputs[5]);
+        let (g1, b1) = (&inputs[6], &inputs[7]);
+        let (g2, b2) = (&inputs[8], &inputs[9]);
+        let mut ln1 = a.data.clone();
+        for (v, r) in ln1.iter_mut().zip(&res.data) {
+            *v += *r;
+        }
+        mcfuser_ir::layer_norm_rows(&mut ln1, m, d, 1e-5, Some(&g1.data), Some(&b1.data));
+
+        let u = c.unstitched();
+        let ku = lower(&u, &cd, &LoweringOptions::default()).unwrap();
+        let mut stu = TensorStorage::for_program(&ku.program);
+        stu.tensors[0] = mcfuser_sim::HostTensor::from_vec(&u.input_shapes()[0], ln1.clone());
+        stu.tensors[1..u.num_inputs()].clone_from_slice(&inputs[1..u.num_inputs()]);
+        execute(&ku.program, &mut stu).unwrap();
+        let out_u = stu.tensors.last().unwrap();
+
+        let mut fin = out_u.data.clone();
+        for (v, l) in fin.iter_mut().zip(&ln1) {
+            *v += *l;
+        }
+        mcfuser_ir::layer_norm_rows(&mut fin, m, d, 1e-5, Some(&g2.data), Some(&b2.data));
+        assert_eq!(got.data, fin);
+    }
+
+    fn stitched_ffn(m: u64, d: u64, f: u64) -> ChainSpec {
+        // gemm_chain args are (m, n, k, h) → dims [d, f, d].
+        let mut c = ChainSpec::gemm_chain("ffn", 1, m, f, d, d);
+        c.biases = vec![true, true];
+        c.epilogues[0] = Epilogue::Gelu;
+        c.prologue = Some(mcfuser_ir::PrologueSpec {
+            residual: true,
+            affine: true,
+            a_half: false,
+            eps: 1e-5,
+        });
+        c.stitch_epilogue = Some(mcfuser_ir::EpilogueStitch {
+            residual: mcfuser_ir::ResidualSource::PrologueOut,
+            layer_norm: true,
+            affine: true,
+            eps: 1e-5,
+        });
+        c
     }
 
     #[test]

@@ -31,18 +31,61 @@ pub fn chain_tensors(chain: &ChainSpec) -> Vec<TensorRef> {
 /// candidate space's survivor index uses the same constant.
 pub const RULE4_MARGIN: f64 = 1.2;
 
+/// Column chunk width of a streamed final-stage weight panel.
+///
+/// A tail LayerNorm pins the last axis to the full row (`tile = d_L`),
+/// which would force the final weight tile to hold a whole `t_k × d_L`
+/// panel. The lowering streams that panel in column slices of this width
+/// — the largest divisor of `d_L` that is ≤ 128 — so only one slice is
+/// resident at a time. Constant per chain, so the Rule-4 estimate stays
+/// monotone in every tile size.
+pub fn tail_panel_chunk(d_last: u64) -> u64 {
+    if d_last <= 128 {
+        return d_last;
+    }
+    (1..=128u64)
+        .rev()
+        .find(|c| d_last.is_multiple_of(*c))
+        .unwrap_or(1)
+}
+
 /// Eq. (1) from a bare tile vector (`tiles[a]` = tile size of axis `a`).
 /// The estimate is expression-independent, so pruning can evaluate it
 /// without constructing a `Candidate`.
 pub fn estimate_shmem_bytes_for_tiles(chain: &ChainSpec, tiles: &[u64]) -> u64 {
     let esz = chain.dtype.size_bytes();
-    chain_tensors(chain)
+    let mut sum: u64 = chain_tensors(chain)
         .iter()
         .map(|&t| {
             let ax = tensor_axes(chain, t);
             tiles[ax[0].0] * tiles[ax[1].0] * esz
         })
-        .sum()
+        .sum();
+    // A stitched prologue holds the A tile raw in f32 and, with a fused
+    // residual, a second A-shaped tile next to it. Strips and per-row
+    // stats stay below the estimate's resolution (Eq. 1 is coarse).
+    if let Some(p) = chain.prologue {
+        let a_tile = tiles[0] * tiles[1];
+        sum += a_tile * (4 - esz);
+        if p.residual {
+            sum += a_tile * 4;
+        }
+    }
+    // A tail LayerNorm's full-row weight panel is streamed in column
+    // chunks straight into registers (see `tail_panel_chunk` and
+    // `SmemDecl::streamed`): it occupies no shared memory at all.
+    if let Some(t) = chain.stitch_epilogue {
+        let last = chain.num_axes() - 1;
+        let d_l = *chain.dims.last().expect("chain has dims");
+        if t.layer_norm && tiles[last] == d_l {
+            let chunk = tail_panel_chunk(d_l);
+            if chunk < d_l {
+                let ax = tensor_axes(chain, TensorRef::Input(chain.num_ops()));
+                sum -= tiles[ax[0].0] * d_l * esz;
+            }
+        }
+    }
+    sum
 }
 
 /// Eq. (1): estimated shared-memory bytes per thread block for a

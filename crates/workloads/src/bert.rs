@@ -80,14 +80,16 @@ fn encoder_layer(gb: &mut GraphBuilder, cfg: &BertConfig, x: NodeId, l: u32) -> 
     let ctx = gb.batch_matmul(&format!("l{l}.pv"), probs, vh, false);
     let merged = gb.reshape(&format!("l{l}.merge"), ctx, vec![seq, hidden]);
     let proj = gb.linear(&format!("l{l}.o"), merged, hidden, true);
+    // Affine LayerNorms, like the real model — and what lets the
+    // partitioner stitch `res1→ln1` and `res2→ln2` into the FFN chain.
     let res1 = gb.add(&format!("l{l}.res1"), proj, x);
-    let ln1 = gb.layer_norm(&format!("l{l}.ln1"), res1);
+    let ln1 = gb.layer_norm_affine(&format!("l{l}.ln1"), res1);
     // FFN.
     let up = gb.linear(&format!("l{l}.up"), ln1, cfg.intermediate, true);
     let act = gb.gelu(&format!("l{l}.gelu"), up);
     let down = gb.linear(&format!("l{l}.down"), act, hidden, true);
     let res2 = gb.add(&format!("l{l}.res2"), down, ln1);
-    gb.layer_norm(&format!("l{l}.ln2"), res2)
+    gb.layer_norm_affine(&format!("l{l}.ln2"), res2)
 }
 
 /// Build a BERT encoder graph.
@@ -167,26 +169,52 @@ mod tests {
     }
 
     #[test]
-    fn partitioner_finds_all_attention_chains() {
-        // Every layer's attention fuses. BERT-Small's 512→2048 FFN sits
-        // *just* under the A100 ridge (φ ≈ 0.99 × ridge) — inside the
-        // chain gate's headroom band, where fusion does not pay — so it
-        // stays with the fallback backend.
+    fn partitioner_finds_attention_and_stitched_ffn_chains() {
+        // Every layer yields exactly two fused kernels: the attention
+        // chain, and the FFN stitched from `res1→ln1` (prologue) through
+        // `res2→ln2` (epilogue). BERT-Small's bare 512→2048 FFN sits
+        // *just* under the A100 ridge (φ ≈ 0.99 × ridge) — rejected by
+        // the headroom gate — but the stitched round trips fold in
+        // enough traffic that the second-chance pass accepts it.
         let g = bert_small(512);
         let part = partition(&g, &DeviceSpec::a100());
-        assert_eq!(part.chains.len(), 4, "one attention chain per layer");
-        for fc in &part.chains {
-            assert!(fc.chain.has_softmax());
+        assert_eq!(part.chains.len(), 8, "two chains per layer");
+        let attn: Vec<_> = part
+            .chains
+            .iter()
+            .filter(|c| c.chain.has_softmax())
+            .collect();
+        assert_eq!(attn.len(), 4, "one attention chain per layer");
+        for fc in &attn {
             assert_eq!(fc.chain.batch, 8);
             assert_eq!(fc.chain.m, 512);
         }
+        let ffn: Vec<_> = part
+            .chains
+            .iter()
+            .filter(|c| !c.chain.has_softmax())
+            .collect();
+        assert_eq!(ffn.len(), 4, "one stitched FFN chain per layer");
+        for fc in &ffn {
+            let p = fc.chain.prologue.expect("FFN prologue");
+            assert!(p.residual && p.affine);
+            let e = fc.chain.stitch_epilogue.expect("FFN epilogue");
+            assert!(e.layer_norm && e.affine);
+            assert!(fc.unstitched.is_some(), "degrade twin carried");
+        }
+        // Zero elementwise glue left for the reference backend.
+        assert!(
+            part.rest.iter().all(|&n| !g.node(n).op.is_elementwise()),
+            "elementwise glue left in rest"
+        );
     }
 
     #[test]
     fn ffn_stays_unfused_in_bert() {
         // The MBCI gate doing real work: BERT-Base's 768→3072 FFN has
-        // fat, compute-bound reductions; none of the extracted chains may
-        // be a plain (non-softmax) GEMM chain.
+        // fat, compute-bound reductions — even with the stitched
+        // prologue/epilogue round trips folded in, its intensity stays
+        // over the ridge, so it stays with the fallback backend.
         let g = bert_base(512);
         let part = partition(&g, &DeviceSpec::a100());
         assert_eq!(part.chains.len(), 12, "attention only");
@@ -224,6 +252,13 @@ mod tests {
         let g = mixer_block(512, 256, 256, 1024);
         let part = partition(&g, &DeviceSpec::a100());
         assert!(!part.chains.is_empty(), "mixer MLPs should fuse");
+        // The channel-mixing MLP picks up its trailing residual Add as a
+        // stitched epilogue (the block's `ln` is non-affine, so no
+        // prologue attaches).
+        assert!(part
+            .chains
+            .iter()
+            .any(|c| c.chain.stitch_epilogue.is_some()));
     }
 
     #[test]
@@ -232,6 +267,15 @@ mod tests {
         let part = partition(&g, &DeviceSpec::a100());
         assert_eq!(
             part.chains.iter().filter(|c| c.chain.has_softmax()).count(),
+            1
+        );
+        // At 256 patches the 768→3072 FFN is lean enough that the
+        // stitched second-chance pass takes it too.
+        assert_eq!(
+            part.chains
+                .iter()
+                .filter(|c| c.chain.prologue.is_some())
+                .count(),
             1
         );
     }

@@ -1,0 +1,185 @@
+//! Integration: prologue/epilogue stitching across the partitioner,
+//! lowering, planner, and batched serving.
+//!
+//! The contract under test:
+//!
+//! * a stitched plan is **bit-identical** to its unstitched baseline
+//!   (same chains, glue demoted to `Reference` steps) — the stitched
+//!   kernel recomputes the glue with the exact quantization points the
+//!   reference interpreter uses, so the outputs match bit for bit, not
+//!   just within tolerance — property-tested across seeds;
+//! * both match pure reference evaluation within f16 round-trip error;
+//! * a transformer FFN block plans as ONE fused kernel with zero
+//!   elementwise `Reference` steps, and a full (mini) BERT encoder
+//!   plans as two fused kernels per layer;
+//! * widened (`BatchedPlan`) execution of a stitched plan stays
+//!   bit-identical to serial execution at any width.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use rustc_hash::FxHashMap;
+
+use mcfuser::baselines::Relay;
+use mcfuser::ir::{evaluate, NodeId, Op};
+use mcfuser::prelude::*;
+use mcfuser::sim::BufferArena;
+use mcfuser::workloads::{bert_graph, BertConfig};
+
+fn engine(stitching: bool) -> FusionEngine {
+    FusionEngine::builder(DeviceSpec::a100())
+        .fallback(Relay::new())
+        .stitching(stitching)
+        .build()
+}
+
+/// Transformer FFN block with affine LayerNorms on both sides — the
+/// shape the stitching passes fold into one kernel.
+fn ffn_graph(name: &str) -> Graph {
+    let mut gb = GraphBuilder::new(name, DType::F16);
+    let proj = gb.input("proj", vec![128, 64]);
+    let x = gb.input("x", vec![128, 64]);
+    let res1 = gb.add("res1", proj, x);
+    let ln1 = gb.layer_norm_affine("ln1", res1);
+    let up = gb.linear("up", ln1, 128, true);
+    let act = gb.gelu("act", up);
+    let down = gb.linear("down", act, 64, true);
+    let res2 = gb.add("res2", down, ln1);
+    let ln2 = gb.layer_norm_affine("ln2", res2);
+    gb.finish(vec![ln2])
+}
+
+fn mini_bert() -> Graph {
+    bert_graph(
+        "bert-mini",
+        &BertConfig {
+            layers: 2,
+            hidden: 128,
+            heads: 4,
+            seq: 64,
+            intermediate: 512,
+        },
+    )
+}
+
+fn node_inputs(graph: &Graph, phase: u64) -> FxHashMap<NodeId, mcfuser::sim::HostTensor> {
+    let mut m = FxHashMap::default();
+    for (i, node) in graph.nodes.iter().enumerate() {
+        if matches!(node.op, Op::Input) {
+            let len: u64 = node.shape.iter().product();
+            m.insert(
+                NodeId(i),
+                mcfuser::sim::HostTensor::from_vec(
+                    &node.shape,
+                    (0..len)
+                        .map(|x| (((x + phase) % 17) as f32 - 8.0) / 17.0)
+                        .collect(),
+                ),
+            );
+        }
+    }
+    m
+}
+
+/// Execute the same request against a stitched and an unstitched plan
+/// of `graph`; assert the outputs are bit-identical and return the
+/// stitched outputs.
+fn assert_stitched_matches_unstitched(graph: &Graph, phase: u64, seed: u64) -> Outputs {
+    let inputs = InputSet::from_node_values(&node_inputs(graph, phase));
+    let stitched = engine(true).compile_plan(graph).expect("stitched plan");
+    let unstitched = engine(false).compile_plan(graph).expect("unstitched plan");
+    let got = stitched.execute(&inputs, RunOptions::seeded(seed)).unwrap();
+    let want = unstitched
+        .execute(&inputs, RunOptions::seeded(seed))
+        .unwrap();
+    for (name, tensor) in want.iter() {
+        let g = got.get(name).expect("declared output present");
+        assert_eq!(g.shape, tensor.shape, "output {name}");
+        assert_eq!(g.data, tensor.data, "output {name} (seed {seed})");
+    }
+    got
+}
+
+#[test]
+fn ffn_block_plans_as_one_fused_kernel_without_elementwise_rest() {
+    let g = ffn_graph("ffn");
+    let stitched = engine(true).compile_plan(&g).unwrap();
+    assert_eq!(stitched.fused_kernels(), 1);
+    let b = stitched.step_breakdown();
+    assert_eq!(b.fused_steps, 1);
+    assert_eq!(b.reference_elementwise, 0, "no glue on the interpreter");
+
+    // The unstitched baseline runs the same core chain but pays for the
+    // glue with elementwise Reference steps — and strictly more bytes.
+    let unstitched = engine(false).compile_plan(&g).unwrap();
+    assert_eq!(unstitched.fused_kernels(), 1);
+    let ub = unstitched.step_breakdown();
+    assert_eq!(ub.reference_elementwise, 4, "res1, ln1, res2, ln2");
+    assert!(
+        stitched.bytes_per_request() < unstitched.bytes_per_request(),
+        "stitching must save traffic: {} vs {}",
+        stitched.bytes_per_request(),
+        unstitched.bytes_per_request()
+    );
+}
+
+#[test]
+fn mini_bert_plans_as_two_fused_kernels_per_layer() {
+    let g = mini_bert();
+    let plan = engine(true).compile_plan(&g).unwrap();
+    assert_eq!(plan.fused_kernels(), 4, "attention + stitched FFN × 2");
+    assert_eq!(plan.step_breakdown().reference_elementwise, 0);
+}
+
+#[test]
+fn stitched_outputs_are_bit_identical_to_unstitched_and_match_reference() {
+    let g = ffn_graph("ffn-bit");
+    let got = assert_stitched_matches_unstitched(&g, 0, 0);
+    let reference = evaluate(&g, &node_inputs(&g, 0), 0).unwrap();
+    let err = got.primary().rel_l2_error(&reference[g.outputs[0].0]);
+    assert!(err < 5e-2, "reference error {err}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Bit-identity of stitched vs unstitched plans holds for arbitrary
+    /// (input phase, execution seed) pairs.
+    #[test]
+    fn stitched_equals_unstitched_property(phase in 0u64..1000, seed in 0u64..1000) {
+        let g = ffn_graph("ffn-prop");
+        assert_stitched_matches_unstitched(&g, phase, seed);
+    }
+}
+
+#[test]
+fn widened_stitched_batches_are_bit_identical_to_serial() {
+    let g = ffn_graph("ffn-batch");
+    let plan = Arc::new(engine(true).compile_plan(&g).unwrap());
+    let batched = BatchedPlan::new(plan.clone());
+    assert!(batched.is_batchable(), "stitched plan must widen");
+    for width in [1usize, 2, 3, 5] {
+        let requests: Vec<InputSet> = (0..width as u64)
+            .map(|r| InputSet::from_node_values(&node_inputs(&g, r)))
+            .collect();
+        let serial: Vec<Outputs> = requests
+            .iter()
+            .map(|r| plan.execute(r, RunOptions::seeded(7)).unwrap())
+            .collect();
+        let refs: Vec<&InputSet> = requests.iter().collect();
+        let mut arena = BufferArena::new();
+        let outs = batched
+            .execute_batch(&refs, RunOptions::seeded(7), &mut arena, None)
+            .unwrap();
+        assert_eq!(outs.len(), width);
+        for (r, (got, want)) in outs.iter().zip(&serial).enumerate() {
+            for (name, tensor) in want.iter() {
+                let gt = got.get(name).expect("declared output present");
+                assert_eq!(
+                    gt.data, tensor.data,
+                    "request {r} output {name} (width {width})"
+                );
+            }
+        }
+    }
+}
