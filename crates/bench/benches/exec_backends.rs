@@ -1,0 +1,77 @@
+//! Criterion bench: interpreter oracle vs vectorized backend on the two
+//! shapes the executor trait was built for — a fused BERT encoder layer
+//! served request-at-a-time, and the same plan widened to a batch of 8
+//! (slot-strided stores).
+
+use std::hint::black_box;
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcfuser_baselines::Relay;
+use mcfuser_core::{BatchedPlan, ExecBackend, FusionEngine, InputSet, RunOptions};
+use mcfuser_sim::{BufferArena, DeviceSpec, HostTensor};
+use mcfuser_workloads::{bert_graph, BertConfig};
+
+const BACKENDS: [ExecBackend; 2] = [ExecBackend::Interpreter, ExecBackend::Vectorized];
+
+fn ramp(shape: &[u64], phase: u64) -> HostTensor {
+    let len: u64 = shape.iter().product();
+    HostTensor::from_vec(
+        shape,
+        (0..len)
+            .map(|x| (((x + phase) % 29) as f32 - 14.0) / 29.0)
+            .collect(),
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    let engine = FusionEngine::builder(DeviceSpec::a100())
+        .fallback(Relay::new())
+        .build();
+    let bert = bert_graph(
+        "bert-layer",
+        &BertConfig {
+            layers: 1,
+            hidden: 128,
+            heads: 4,
+            seq: 64,
+            intermediate: 512,
+        },
+    );
+    let plan = Arc::new(engine.compile_plan(&bert).expect("bert layer compiles"));
+    let inputs: Vec<InputSet> = (0..8u64)
+        .map(|r| {
+            let mut set = InputSet::new();
+            for (i, b) in plan.inputs().iter().enumerate() {
+                set.insert(b.name.clone(), ramp(&b.shape, r * 7 + i as u64));
+            }
+            set
+        })
+        .collect();
+
+    let mut g = c.benchmark_group("exec_backends");
+    g.sample_size(10);
+    for backend in BACKENDS {
+        g.bench_function(&format!("bert_layer_serial/{backend}"), |b| {
+            let opts = RunOptions::seeded(0).with_backend(backend);
+            b.iter(|| plan.execute(black_box(&inputs[0]), opts).unwrap())
+        });
+    }
+    let batched = BatchedPlan::new(plan.clone());
+    let refs: Vec<&InputSet> = inputs.iter().collect();
+    for backend in BACKENDS {
+        g.bench_function(&format!("bert_layer_batch8/{backend}"), |b| {
+            let opts = RunOptions::seeded(0).with_backend(backend);
+            let mut arena = BufferArena::new();
+            b.iter(|| {
+                batched
+                    .execute_batch(black_box(&refs), opts, &mut arena, None)
+                    .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -148,8 +148,13 @@ fn main() {
         chains.len()
     );
     println!(
-        "  shared-space : {shared_wall:>7.2} s  ({} scans, {} searches, {} space hits)",
-        shared_stats.space_builds, shared_stats.cache_misses, shared_stats.space_cache_hits
+        "  shared-space : {shared_wall:>7.2} s  ({} scans, {} searches, {} space hits, \
+         decode cache {} hits / {} misses)",
+        shared_stats.space_builds,
+        shared_stats.cache_misses,
+        shared_stats.space_cache_hits,
+        shared_stats.decode_cache_hits,
+        shared_stats.decode_cache_misses,
     );
     println!(
         "  batched      : {batch_wall:>7.2} s  ({} scans, {} searches)",
@@ -172,7 +177,11 @@ fn main() {
             "cold_scans": chains.len(),
             "shared_space_scans": shared_stats.space_builds,
             "shared_space_hits": shared_stats.space_cache_hits,
+            "shared_space_decode_hits": shared_stats.decode_cache_hits,
+            "shared_space_decode_misses": shared_stats.decode_cache_misses,
             "batched_searches": batch_stats.cache_misses,
+            "batched_decode_hits": batch_stats.decode_cache_hits,
+            "batched_decode_misses": batch_stats.decode_cache_misses,
             "speedup_shared_vs_cold": cold_wall / shared_wall,
             "speedup_batched_vs_cold": cold_wall / batch_wall,
         }),

@@ -45,7 +45,7 @@ use parking_lot::Mutex;
 use rustc_hash::{FxHashMap, FxHashSet};
 
 use mcfuser_ir::{partition_with, ChainSpec, Graph, NodeId, PartitionOptions};
-use mcfuser_sim::{measure_noisy, DeviceSpec, TuningClock, TuningReport};
+use mcfuser_sim::{measure_noisy, DeviceSpec, ExecBackend, TuningClock, TuningReport};
 use mcfuser_tile::{lower, Candidate, LoweringOptions, TilingExpr};
 
 use crate::cache::{CacheKey, CachedTuning, JsonDiskCache, MemoryCache, TuningCache};
@@ -108,6 +108,9 @@ pub struct CompiledModel {
     /// returned to the fallback remainder. Outputs are unchanged by a
     /// demotion — only the step structure and traffic differ.
     pub stitch_demotions: u64,
+    /// Execution backend stamped into plans built from this model
+    /// (engine-level default; see [`EngineBuilder::exec_backend`]).
+    pub exec_backend: ExecBackend,
 }
 
 /// Structural fingerprint of a graph (nodes, shapes, ops, outputs,
@@ -168,6 +171,15 @@ pub struct EngineStats {
     /// [`TuningCache`]. Like spaces, evicted
     /// schedules re-tune deterministically; the counter sizes the bound.
     pub tuning_cache_evictions: u64,
+    /// `Ranked` block-decode lookups served from a thread-sharded decode
+    /// cache without a re-filter, summed over the [`SpaceCache`]'s
+    /// resident spaces. Hits ≫ misses is the healthy regime; a depressed
+    /// ratio under concurrency means threads are contending for (and
+    /// evicting) each other's shard slots.
+    pub decode_cache_hits: u64,
+    /// `Ranked` block re-filters (decode-cache misses), summed over the
+    /// [`SpaceCache`]'s resident spaces.
+    pub decode_cache_misses: u64,
 }
 
 /// Configures and constructs a [`FusionEngine`].
@@ -181,6 +193,7 @@ pub struct EngineBuilder {
     parallelism: usize,
     space_caching: bool,
     stitching: bool,
+    exec_backend: ExecBackend,
 }
 
 impl EngineBuilder {
@@ -196,7 +209,18 @@ impl EngineBuilder {
             parallelism: 1,
             space_caching: true,
             stitching: true,
+            exec_backend: ExecBackend::default(),
         }
+    }
+
+    /// Which execution backend plans compiled by this engine run fused
+    /// kernels on (default: [`ExecBackend::Vectorized`]). Pin
+    /// [`ExecBackend::Interpreter`] for oracle sessions; individual
+    /// requests can still override via
+    /// [`RunOptions::with_backend`](crate::RunOptions::with_backend).
+    pub fn exec_backend(mut self, backend: ExecBackend) -> Self {
+        self.exec_backend = backend;
+        self
     }
 
     /// Algorithm 1 parameters (population, top-n, convergence ε, …).
@@ -297,6 +321,7 @@ impl EngineBuilder {
             parallelism: self.parallelism.max(1),
             clock: TuningClock::new(),
             stats: Mutex::new(EngineStats::default()),
+            exec_backend: self.exec_backend,
         }
     }
 }
@@ -320,6 +345,9 @@ pub struct FusionEngine {
     parallelism: usize,
     clock: TuningClock,
     stats: Mutex<EngineStats>,
+    /// Backend stamped into every [`CompiledModel`] / [`ExecutablePlan`]
+    /// this engine produces.
+    exec_backend: ExecBackend,
 }
 
 impl std::fmt::Debug for FusionEngine {
@@ -359,6 +387,13 @@ impl FusionEngine {
         stats.space_cache_hits = self.spaces.as_ref().map(|s| s.hits()).unwrap_or(0);
         stats.space_evictions = self.spaces.as_ref().map(|s| s.evictions()).unwrap_or(0);
         stats.tuning_cache_evictions = self.cache.as_ref().map(|c| c.evictions()).unwrap_or(0);
+        let (decode_hits, decode_misses) = self
+            .spaces
+            .as_ref()
+            .map(|s| s.decode_counters())
+            .unwrap_or((0, 0));
+        stats.decode_cache_hits = decode_hits;
+        stats.decode_cache_misses = decode_misses;
         stats
     }
 
@@ -582,6 +617,7 @@ impl FusionEngine {
             graph_fingerprint: graph_fingerprint(graph),
             device: self.device.clone(),
             stitch_demotions,
+            exec_backend: self.exec_backend,
         })
     }
 

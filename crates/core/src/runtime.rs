@@ -154,6 +154,18 @@ pub struct PlanStats {
     pub p50_latency: f64,
     /// 95th-percentile per-request latency on the virtual clock.
     pub p95_latency: f64,
+    /// Median per-request **wall-clock** latency (seconds) — for queued
+    /// requests this is enqueue-to-completion, so it includes batching
+    /// delay. Wall time measures the host executing the simulator
+    /// (i.e. the execution backend); virtual time measures the modeled
+    /// device. Both matter: backend speedups only show up here.
+    pub wall_p50_latency: f64,
+    /// 95th-percentile per-request wall-clock latency (seconds).
+    pub wall_p95_latency: f64,
+    /// Total wall-clock seconds this plan's launches kept the host busy
+    /// (once per batch, like [`PlanStats::virtual_busy`]), so
+    /// `requests / wall_busy` is achieved wall throughput.
+    pub wall_busy: f64,
     /// Total global-memory bytes moved by this plan's requests.
     pub bytes_moved: f64,
     /// Total virtual device seconds this plan's launches occupied — a
@@ -217,8 +229,12 @@ impl RuntimeStats {
 struct PlanRecord {
     requests: u64,
     latencies: LatencyReservoir,
+    /// Wall-clock latency samples, reservoir-sampled like the virtual
+    /// ones (its own RNG stream so the two reservoirs stay independent).
+    wall_latencies: LatencyReservoir,
     bytes: f64,
     busy: f64,
+    wall_busy: f64,
 }
 
 impl PlanRecord {
@@ -226,8 +242,10 @@ impl PlanRecord {
         PlanRecord {
             requests: 0,
             latencies: LatencyReservoir::new(reservoir_seed(model)),
+            wall_latencies: LatencyReservoir::new(reservoir_seed(model) ^ 1),
             bytes: 0.0,
             busy: 0.0,
+            wall_busy: 0.0,
         }
     }
 }
@@ -457,16 +475,19 @@ impl ModelRuntime {
         };
         let store = self.weights.store(model, opts.seed);
         let mut arena = self.arena();
+        let started = std::time::Instant::now();
         let result = plan.execute_cached(inputs, opts, &mut arena, Some(&store));
+        let wall = started.elapsed().as_secs_f64();
         self.recycle_arena(arena);
         match &result {
             Ok(_) => {
                 self.record_success(
                     model,
                     plan.virtual_time_per_request(),
+                    wall,
                     plan.bytes_per_request(),
                 );
-                self.record_busy(model, plan.virtual_time_per_request());
+                self.record_busy(model, plan.virtual_time_per_request(), wall);
             }
             Err(_) => self.count_failure(),
         }
@@ -498,25 +519,29 @@ impl ModelRuntime {
         }
     }
 
-    /// Ledger one successfully served request.
-    pub(crate) fn record_success(&self, model: &str, latency: f64, bytes: f64) {
+    /// Ledger one successfully served request: `latency` on the virtual
+    /// clock, `wall` on the host's (enqueue-to-completion for queued
+    /// requests).
+    pub(crate) fn record_success(&self, model: &str, latency: f64, wall: f64, bytes: f64) {
         let mut records = self.records.lock();
         let rec = records
             .entry(model.to_string())
             .or_insert_with(|| PlanRecord::new(model));
         rec.requests += 1;
         rec.latencies.push(latency);
+        rec.wall_latencies.push(wall);
         rec.bytes += bytes;
     }
 
-    /// Ledger virtual device seconds occupied by a launch (once per
-    /// batch, not once per request).
-    pub(crate) fn record_busy(&self, model: &str, span: f64) {
+    /// Ledger device seconds occupied by a launch (once per batch, not
+    /// once per request): `span` virtual, `wall` host seconds.
+    pub(crate) fn record_busy(&self, model: &str, span: f64, wall: f64) {
         let mut records = self.records.lock();
         let rec = records
             .entry(model.to_string())
             .or_insert_with(|| PlanRecord::new(model));
         rec.busy += span;
+        rec.wall_busy += wall;
     }
 
     /// Ledger one failed request.
@@ -532,6 +557,7 @@ impl ModelRuntime {
             .iter()
             .map(|(model, rec)| {
                 let sorted = rec.latencies.sorted();
+                let wall_sorted = rec.wall_latencies.sorted();
                 // Static per-request step structure of the plan as
                 // registered right now (deregistered → all zero).
                 let breakdown = registered
@@ -543,6 +569,9 @@ impl ModelRuntime {
                     requests: rec.requests,
                     p50_latency: percentile(&sorted, 0.50),
                     p95_latency: percentile(&sorted, 0.95),
+                    wall_p50_latency: percentile(&wall_sorted, 0.50),
+                    wall_p95_latency: percentile(&wall_sorted, 0.95),
+                    wall_busy: rec.wall_busy,
                     bytes_moved: rec.bytes,
                     virtual_busy: rec.busy,
                     fused_steps: breakdown.fused_steps,

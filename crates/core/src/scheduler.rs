@@ -1,8 +1,9 @@
 //! Continuous-batching admission queue in front of the runtime.
 //!
 //! [`ModelRuntime::submit`] enqueues a request instead of executing it
-//! inline. Pending requests for the same `(model, seed)` — the unit of
-//! coalescing, since weights derive from the seed — are drained
+//! inline. Pending requests for the same `(model, seed, backend)` —
+//! the unit of coalescing, since weights derive from the seed and a
+//! widened launch runs every slot on one backend — are drained
 //! together and executed as **one widened fused launch** per step (see
 //! [`BatchedPlan`]), governed by a [`BatchPolicy`]:
 //!
@@ -45,6 +46,8 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use rustc_hash::FxHashMap;
+
+use mcfuser_sim::ExecBackend;
 
 use crate::batch::BatchedPlan;
 use crate::plan::{ExecError, InputSet, Outputs, RunOptions};
@@ -115,8 +118,10 @@ struct PlanQueue {
 
 #[derive(Default)]
 struct SchedState {
-    /// Pending requests per `(model, seed)` coalescing key.
-    queues: FxHashMap<(String, u64), PlanQueue>,
+    /// Pending requests per `(model, seed, backend)` coalescing key —
+    /// a widened launch executes every slot on one backend, so requests
+    /// pinning different backends must not share a batch.
+    queues: FxHashMap<(String, u64, Option<ExecBackend>), PlanQueue>,
     /// Admitted-but-unfinished requests per model (the `queue_cap`
     /// denominator).
     pending: FxHashMap<String, usize>,
@@ -234,7 +239,7 @@ impl ModelRuntime {
         }
 
         let sched = &self.sched;
-        let key = (model.to_string(), opts.seed);
+        let key = (model.to_string(), opts.seed, opts.backend);
         let slot = Arc::new(Slot::default());
         let is_leader;
         {
@@ -276,7 +281,7 @@ impl ModelRuntime {
     /// (which necessarily includes the leader's own request). Resigning
     /// happens under the state lock, so a non-empty queue always has a
     /// leader.
-    fn lead(&self, batched: &BatchedPlan, key: &(String, u64)) {
+    fn lead(&self, batched: &BatchedPlan, key: &(String, u64, Option<ExecBackend>)) {
         let sched = &self.sched;
         let model = &key.0;
         loop {
@@ -363,14 +368,25 @@ impl ModelRuntime {
             let store = self.weights.store(model, key.1);
             let refs: Vec<&InputSet> = batch.iter().map(|p| &p.inputs).collect();
             let mut arena = self.arena();
+            let started = Instant::now();
             let result = batched.execute_batch(&refs, batch[0].opts, &mut arena, Some(&store));
+            let exec_wall = started.elapsed().as_secs_f64();
             self.recycle_arena(arena);
             match result {
                 Ok(outs) => {
                     let per_request_bytes = batch_bytes / batch.len() as f64;
-                    self.record_busy(model, batch_span);
+                    self.record_busy(model, batch_span, exec_wall);
                     for (p, out) in batch.iter().zip(outs) {
-                        self.record_success(model, completion_vt - p.arrival_vt, per_request_bytes);
+                        // Wall latency is enqueue-to-completion — it
+                        // includes the batching window and queueing, the
+                        // honest number a client would measure.
+                        let wall = p.enqueued.elapsed().as_secs_f64();
+                        self.record_success(
+                            model,
+                            completion_vt - p.arrival_vt,
+                            wall,
+                            per_request_bytes,
+                        );
                         p.slot.fill(Ok(out));
                     }
                 }

@@ -198,16 +198,26 @@ pub struct CandidateSpace {
     /// non-empty grid only) — the context behind `EmptySearchSpace` when
     /// Rule 4 rejects everything.
     min_estimated_smem: Option<u64>,
-    /// Recently decoded blocks of the `Ranked` index (most recent
-    /// first, at most [`DECODE_CACHE_SLOTS`]): sampling-heavy searches
-    /// that revisit a block pay the O(`RANK_BLOCK`) re-filter once
-    /// instead of per call. Two slots so `candidate()` (sampling) and
-    /// `index_of` (mutant re-encoding) don't evict each other inside
-    /// one search round.
-    decoded: Mutex<Vec<DecodedBlock>>,
-    /// How many block re-filters the `Ranked` path has performed (the
-    /// decode-cost probe behind the regression tests).
+    /// Recently decoded blocks of the `Ranked` index, sharded by
+    /// *thread* ([`DECODE_SHARDS`] shards of [`DECODE_CACHE_SLOTS`]
+    /// entries, most recent first): sampling-heavy searches that revisit
+    /// a block pay the O(`RANK_BLOCK`) re-filter once instead of per
+    /// call, and N concurrent searches over one shared space no longer
+    /// serialize on a single mutex (the contention that made the shared-
+    /// space `tune_smoke` path *slower* than cold). Each shard keeps two
+    /// slots so `candidate()` (sampling) and `index_of` (mutant
+    /// re-encoding) don't evict each other inside one search round;
+    /// a single-threaded search sees exactly the old 2-slot behavior.
+    decoded: Vec<Mutex<Vec<DecodedBlock>>>,
+    /// How many block re-filters the `Ranked` path has performed — cache
+    /// misses (the decode-cost probe behind the regression tests).
     decodes: AtomicU64,
+    /// How many `Ranked` block lookups were served from a decode-cache
+    /// shard without re-filtering — cache hits. Together with
+    /// [`CandidateSpace::ranked_block_decodes`] this proves the sharding
+    /// out: contention shows up as a depressed hit count (threads
+    /// evicting each other), not just as wall time.
+    decode_hits: AtomicU64,
     /// Whether the Rule-4 index was built by the monotone frontier scan
     /// (the threshold-regression probe; `false` when the dense scan ran
     /// or Rule 4 was disabled).
@@ -228,15 +238,27 @@ impl Clone for CandidateSpace {
             smem_limit: self.smem_limit,
             rule4: self.rule4.clone(),
             min_estimated_smem: self.min_estimated_smem,
-            decoded: Mutex::new(Vec::new()),
+            decoded: fresh_decode_cache(),
             decodes: AtomicU64::new(0),
+            decode_hits: AtomicU64::new(0),
             frontier_scanned: self.frontier_scanned,
         }
     }
 }
 
-/// How many decoded `Ranked` blocks are retained.
+/// How many decoded `Ranked` blocks each shard retains.
 const DECODE_CACHE_SLOTS: usize = 2;
+
+/// How many thread-sharded decode caches a space keeps. Lookups hash the
+/// current thread id to a shard, so concurrent searches rarely share a
+/// mutex *or* a slot set — a hot block decoded by one thread no longer
+/// gets evicted by another thread's working set.
+const DECODE_SHARDS: usize = 8;
+
+/// A fresh (cold) sharded decode cache.
+fn fresh_decode_cache() -> Vec<Mutex<Vec<DecodedBlock>>> {
+    (0..DECODE_SHARDS).map(|_| Mutex::new(Vec::new())).collect()
+}
 
 /// The survivor ids of one decoded `Ranked` block.
 #[derive(Debug)]
@@ -320,8 +342,9 @@ impl CandidateSpace {
             smem_limit,
             rule4,
             min_estimated_smem,
-            decoded: Mutex::new(Vec::new()),
+            decoded: fresh_decode_cache(),
             decodes: AtomicU64::new(0),
+            decode_hits: AtomicU64::new(0),
             frontier_scanned,
         }
     }
@@ -383,7 +406,7 @@ impl CandidateSpace {
                 // rank-th survivor within it from the block cache.
                 let block = (cum.partition_point(|&c| c <= rank) - 1) as u64;
                 let offset = (rank - cum[block as usize]) as usize;
-                let mut cached = self.decoded.lock();
+                let mut cached = self.decode_shard().lock();
                 let ids = self.decoded_block_ids(&mut cached, block);
                 ids[offset]
             }
@@ -404,6 +427,7 @@ impl CandidateSpace {
         if let Some(pos) = cached.iter().position(|d| d.block == block) {
             let hit = cached.remove(pos);
             cached.insert(0, hit);
+            self.decode_hits.fetch_add(1, Ordering::Relaxed);
         } else {
             let limit = self.smem_limit.expect("ranked index implies Rule 4");
             let lo = block * RANK_BLOCK;
@@ -469,11 +493,30 @@ impl CandidateSpace {
         &cached[0].ids
     }
 
-    /// How many `Ranked`-index block re-filters have run so far — the
-    /// probe behind the decode-cache regression tests. Always 0 for
-    /// pass-all and compact grids.
+    /// The calling thread's decode-cache shard (hash of the thread id) —
+    /// one thread always lands on one shard, so single-threaded searches
+    /// keep the exact slot behavior (and decode counts) of the old
+    /// unsharded cache.
+    fn decode_shard(&self) -> &Mutex<Vec<DecodedBlock>> {
+        use std::hash::{Hash, Hasher};
+        let mut h = rustc_hash::FxHasher::default();
+        std::thread::current().id().hash(&mut h);
+        &self.decoded[(h.finish() as usize) % self.decoded.len()]
+    }
+
+    /// How many `Ranked`-index block re-filters have run so far (decode
+    /// *misses*) — the probe behind the decode-cache regression tests.
+    /// Always 0 for pass-all and compact grids.
     pub fn ranked_block_decodes(&self) -> u64 {
         self.decodes.load(Ordering::Relaxed)
+    }
+
+    /// How many `Ranked`-index block lookups were served from a decode
+    /// shard without a re-filter (decode *hits*). A healthy
+    /// sampling-heavy search shows hits ≫ decodes; cross-thread shard
+    /// contention would depress this toward zero.
+    pub fn ranked_block_decode_hits(&self) -> u64 {
+        self.decode_hits.load(Ordering::Relaxed)
     }
 
     /// The dense index of a candidate, or `None` if the candidate is not
@@ -499,7 +542,7 @@ impl CandidateSpace {
             Rule4Index::Compact(ids) => ids.binary_search(&combo).ok()? as u64,
             Rule4Index::Ranked(cum) => {
                 let block = combo / RANK_BLOCK;
-                let mut cached = self.decoded.lock();
+                let mut cached = self.decode_shard().lock();
                 let ids = self.decoded_block_ids(&mut cached, block);
                 let within = ids.binary_search(&combo).ok()? as u64;
                 cum[block as usize] + within
@@ -1015,6 +1058,24 @@ impl SpaceCache {
     /// Spaces dropped by the LRU bound.
     pub fn evictions(&self) -> u64 {
         self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Aggregate `(hits, misses)` of the `Ranked` block-decode caches
+    /// across every resident space — the contention probe surfaced
+    /// through [`EngineStats`](crate::EngineStats). Evicted spaces take
+    /// their counters with them, so this reflects the current working
+    /// set, like [`SpaceCache::len`].
+    pub fn decode_counters(&self) -> (u64, u64) {
+        let entries = self.entries.lock();
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        for e in entries.map.values() {
+            if let Some(s) = e.cell.get() {
+                hits += s.ranked_block_decode_hits();
+                misses += s.ranked_block_decodes();
+            }
+        }
+        (hits, misses)
     }
 
     /// Number of cached spaces.

@@ -6,6 +6,7 @@
 
 use rustc_hash::FxHashMap;
 
+use mcfuser_sim::exec_vec::lanes;
 use mcfuser_sim::HostTensor;
 
 use crate::graph::{Graph, GraphError, NodeId, Op};
@@ -113,18 +114,15 @@ pub fn evaluate_node_with<'v>(
                         detail: format!("{:?} + {:?}", a.shape, b.shape),
                     });
                 }
-                HostTensor::from_vec(
-                    &a.shape,
-                    a.data.iter().zip(&b.data).map(|(x, y)| x + y).collect(),
-                )
+                HostTensor::from_vec(&a.shape, lanes::add(&a.data, &b.data))
             }
             Op::Relu => {
                 let x = value(values, node.inputs[0]);
-                HostTensor::from_vec(&x.shape, x.data.iter().map(|v| v.max(0.0)).collect())
+                HostTensor::from_vec(&x.shape, lanes::relu(&x.data))
             }
             Op::Gelu => {
                 let x = value(values, node.inputs[0]);
-                HostTensor::from_vec(&x.shape, x.data.iter().map(|&v| gelu(v)).collect())
+                HostTensor::from_vec(&x.shape, lanes::gelu(&x.data))
             }
             Op::LayerNorm => {
                 let x = value(values, node.inputs[0]);
@@ -158,7 +156,7 @@ pub fn evaluate_node_with<'v>(
             }
             Op::Scale(f) => {
                 let x = value(values, node.inputs[0]);
-                HostTensor::from_vec(&x.shape, x.data.iter().map(|v| v * f).collect())
+                HostTensor::from_vec(&x.shape, lanes::scale(&x.data, *f))
             }
             Op::Reshape => {
                 let x = value(values, node.inputs[0]);
@@ -205,17 +203,13 @@ fn eval_linear(
             }
             let wrow = &w.data[kk * n..(kk + 1) * n];
             let orow = &mut out[i * n..(i + 1) * n];
-            for j in 0..n {
-                orow[j] += av * wrow[j];
-            }
+            lanes::axpy(orow, wrow, av);
         }
     }
     if node.inputs.len() > 2 {
         let b = value(values, node.inputs[2]);
         for i in 0..m {
-            for j in 0..n {
-                out[i * n + j] += b.data[j];
-            }
+            lanes::add_assign(&mut out[i * n..(i + 1) * n], &b.data[..n]);
         }
     }
     Ok(HostTensor::from_vec(&node.shape, out))
@@ -255,17 +249,20 @@ fn eval_bmm(
         let bbase = bb * k * n; // same element count either layout
         let ob = bb * m * n;
         for i in 0..m {
+            let arow = &a.data[ab + i * k..ab + (i + 1) * k];
             for j in 0..n {
-                let mut s = 0.0f32;
-                if transpose_b {
-                    for kk in 0..k {
-                        s += a.data[ab + i * k + kk] * b.data[bbase + j * k + kk];
-                    }
+                // Both layouts keep the interpreter's sequential-k order;
+                // only the transposed one has a contiguous b row to hand
+                // to the lane dot.
+                let s = if transpose_b {
+                    lanes::dot(arow, &b.data[bbase + j * k..bbase + (j + 1) * k])
                 } else {
-                    for kk in 0..k {
-                        s += a.data[ab + i * k + kk] * b.data[bbase + kk * n + j];
+                    let mut s = 0.0f32;
+                    for (kk, &av) in arow.iter().enumerate() {
+                        s += av * b.data[bbase + kk * n + j];
                     }
-                }
+                    s
+                };
                 out[ob + i * n + j] = s;
             }
         }

@@ -60,7 +60,7 @@ impl HostTensor {
     }
 
     /// Row-major strides.
-    fn strides(&self) -> Vec<u64> {
+    pub(crate) fn strides(&self) -> Vec<u64> {
         let mut s = vec![1u64; self.shape.len()];
         for i in (0..self.shape.len().saturating_sub(1)).rev() {
             s[i] = s[i + 1] * self.shape[i + 1];
@@ -91,9 +91,22 @@ impl HostTensor {
         let mut data = vec![0.0f32; self.data.len()];
         for b in 0..batch {
             let base = b * r * c;
+            // Walk each source row as one contiguous slice and scatter it
+            // down a destination column with a raw-pointer stride walk —
+            // one bounds check per row instead of per element (the
+            // index-arithmetic version dominated oracle-path wall time).
+            let src = &self.data[base..base + r * c];
+            let dst = &mut data[base..base + r * c];
             for i in 0..r {
-                for j in 0..c {
-                    data[base + j * r + i] = self.data[base + i * c + j];
+                let row = &src[i * c..(i + 1) * c];
+                // SAFETY: j ranges over 0..c and i over 0..r, so
+                // `j * r + i < r * c == dst.len()` for every write.
+                unsafe {
+                    let mut dp = dst.as_mut_ptr().add(i);
+                    for &v in row {
+                        *dp = v;
+                        dp = dp.add(r);
+                    }
                 }
             }
         }
@@ -298,15 +311,15 @@ impl From<ProgramError> for ExecError {
     }
 }
 
-/// Per-block shared-memory arena.
-struct Smem {
-    bufs: Vec<Vec<f32>>,
-    rows: Vec<u64>,
-    cols: Vec<u64>,
+/// Per-block shared-memory arena (shared with the vectorized backend).
+pub(crate) struct Smem {
+    pub(crate) bufs: Vec<Vec<f32>>,
+    pub(crate) rows: Vec<u64>,
+    pub(crate) cols: Vec<u64>,
 }
 
 impl Smem {
-    fn for_program_in(p: &TileProgram, arena: &mut BufferArena) -> Self {
+    pub(crate) fn for_program_in(p: &TileProgram, arena: &mut BufferArena) -> Self {
         let mut bufs = Vec::with_capacity(p.smem.len());
         let mut rows = Vec::with_capacity(p.smem.len());
         let mut cols = Vec::with_capacity(p.smem.len());
@@ -318,7 +331,7 @@ impl Smem {
         Smem { bufs, rows, cols }
     }
 
-    fn recycle(self, arena: &mut BufferArena) {
+    pub(crate) fn recycle(self, arena: &mut BufferArena) {
         for b in self.bufs {
             arena.put(b);
         }
@@ -384,7 +397,7 @@ pub fn execute_with_arena(
     Ok(())
 }
 
-fn max_loop_handle(stmts: &[BlockStmt]) -> usize {
+pub(crate) fn max_loop_handle(stmts: &[BlockStmt]) -> usize {
     let mut m = 0;
     for s in stmts {
         if let BlockStmt::Loop { handle, body, .. } = s {
@@ -394,7 +407,7 @@ fn max_loop_handle(stmts: &[BlockStmt]) -> usize {
     m
 }
 
-fn resolve(var: VarRef, block_idx: &[u64], env: &[u64]) -> u64 {
+pub(crate) fn resolve(var: VarRef, block_idx: &[u64], env: &[u64]) -> u64 {
     match var {
         VarRef::Grid(i) => block_idx[i],
         VarRef::Loop(h) => env[h.0],
@@ -404,7 +417,7 @@ fn resolve(var: VarRef, block_idx: &[u64], env: &[u64]) -> u64 {
 }
 
 /// Compute the global element origin of a tile access.
-fn tile_origin(acc: &TileAccess, block_idx: &[u64], env: &[u64]) -> Vec<u64> {
+pub(crate) fn tile_origin(acc: &TileAccess, block_idx: &[u64], env: &[u64]) -> Vec<u64> {
     acc.indices
         .iter()
         .map(|ix| resolve(ix.var, block_idx, env) * ix.tile)

@@ -270,6 +270,57 @@ pub enum BlockStmt {
     },
 }
 
+/// Shape taxonomy of a lowered loop nest, recorded at lower time so an
+/// execution backend can dispatch to a specialized kernel without
+/// re-walking the body (the FusionStitching streaming / reduction /
+/// fused-pipeline vocabulary).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum NestClass {
+    /// Pure data movement and element-wise glue: loads, stores, fills and
+    /// element-wise tile math, but no GEMM and no cross-element reduction.
+    Streaming,
+    /// A tiled GEMM reduction (k-loop accumulating into a resident tile),
+    /// possibly with element-wise epilogues.
+    Reduction,
+    /// A fused prologue/epilogue pipeline: the nest contains streaming
+    /// normalization / softmax stages (`RowNormStats`, `NormalizeTile`,
+    /// `AddRecomputedNorm`, `LayerNormTile`, `OnlineSoftmax`, `AddGlobal`)
+    /// around its reductions.
+    FusedPipeline,
+    /// Not yet classified (programs deserialized from caches written
+    /// before the class existed). Executors re-classify on demand.
+    #[default]
+    Unknown,
+}
+
+/// Classify a statement list into its [`NestClass`].
+pub fn classify_nest(stmts: &[BlockStmt]) -> NestClass {
+    fn walk(stmts: &[BlockStmt], has_gemm: &mut bool, has_pipeline: &mut bool) {
+        for s in stmts {
+            match s {
+                BlockStmt::Loop { body, .. } => walk(body, has_gemm, has_pipeline),
+                BlockStmt::Gemm { .. } => *has_gemm = true,
+                BlockStmt::OnlineSoftmax { .. }
+                | BlockStmt::RowNormStats { .. }
+                | BlockStmt::NormalizeTile { .. }
+                | BlockStmt::AddGlobal { .. }
+                | BlockStmt::AddRecomputedNorm { .. }
+                | BlockStmt::LayerNormTile { .. } => *has_pipeline = true,
+                _ => {}
+            }
+        }
+    }
+    let (mut has_gemm, mut has_pipeline) = (false, false);
+    walk(stmts, &mut has_gemm, &mut has_pipeline);
+    if has_pipeline {
+        NestClass::FusedPipeline
+    } else if has_gemm {
+        NestClass::Reduction
+    } else {
+        NestClass::Streaming
+    }
+}
+
 /// A complete virtual kernel.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TileProgram {
@@ -285,6 +336,10 @@ pub struct TileProgram {
     pub body: Vec<BlockStmt>,
     /// Operand precision seen by tensor cores (input tiles).
     pub dtype: DType,
+    /// Loop-nest shape recorded at lower time ([`ProgramBuilder::finish`]);
+    /// [`NestClass::Unknown`] only for programs built by hand without the
+    /// builder ([`TileProgram::nest_class`] re-derives it on demand).
+    pub nest_class: NestClass,
 }
 
 /// Structural validation error.
@@ -339,6 +394,16 @@ impl TileProgram {
     /// Number of thread blocks in the launch grid.
     pub fn num_blocks(&self) -> u64 {
         self.grid.iter().product::<u64>().max(1)
+    }
+
+    /// The recorded nest class, re-deriving it for programs that predate
+    /// the field (deserialized as [`NestClass::Unknown`]).
+    pub fn nest_class(&self) -> NestClass {
+        if self.nest_class == NestClass::Unknown {
+            classify_nest(&self.body)
+        } else {
+            self.nest_class
+        }
     }
 
     /// Physical shared-memory footprint per block (padding + double
@@ -707,8 +772,10 @@ impl ProgramBuilder {
         h
     }
 
-    /// Finish, attaching the per-block body.
+    /// Finish, attaching the per-block body. The nest class is computed
+    /// here — at lower time — so execution backends dispatch in O(1).
     pub fn finish(self, body: Vec<BlockStmt>) -> TileProgram {
+        let nest_class = classify_nest(&body);
         TileProgram {
             name: self.name,
             buffers: self.buffers,
@@ -716,6 +783,7 @@ impl ProgramBuilder {
             grid: self.grid,
             body,
             dtype: self.dtype,
+            nest_class,
         }
     }
 }

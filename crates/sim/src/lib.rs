@@ -12,6 +12,9 @@
 //!   lowering (the analogue of Triton-generated PTX);
 //! * [`exec`] — a functional interpreter that runs kernels for value
 //!   (used as a correctness oracle against CPU references);
+//! * [`exec_vec`] — the vectorized execution backend behind the
+//!   [`KernelExecutor`] trait: blocked row-slice kernels, bit-identical
+//!   to the interpreter but built for wall-clock speed;
 //! * [`timing`] — a wave/roofline timing model that "measures" kernels,
 //!   including the second-order effects (L2, tensor-core fill, double
 //!   buffering, wave quantization) the paper's coarse analytical model
@@ -39,6 +42,7 @@ pub mod codegen_check;
 pub mod device;
 pub mod dtype;
 pub mod exec;
+pub mod exec_vec;
 pub mod kernel;
 pub mod noise;
 pub mod report;
@@ -52,9 +56,10 @@ pub use dtype::DType;
 pub use exec::{
     execute, execute_with_arena, gelu, BufferArena, ExecError, HostTensor, TensorStorage,
 };
+pub use exec_vec::{ExecBackend, InterpreterExec, KernelExecutor, VectorizedExec};
 pub use kernel::{
-    ceil_div, BlockStmt, BufId, BufferDecl, BufferRole, LoopHandle, ProgramBuilder, ProgramError,
-    SmemDecl, SmemId, TileAccess, TileIndex, TileProgram, VarRef,
+    ceil_div, classify_nest, BlockStmt, BufId, BufferDecl, BufferRole, LoopHandle, NestClass,
+    ProgramBuilder, ProgramError, SmemDecl, SmemId, TileAccess, TileIndex, TileProgram, VarRef,
 };
 pub use report::explain;
 pub use stream::{sequence_time, StreamKernel};
