@@ -335,6 +335,11 @@ impl OpCostModel for Ansor {
                     0.0
                 }
             }
+            Op::SplitHeads { .. } | Op::MergeHeads | Op::RepeatKv { .. } => {
+                // Real data-movement permute: one stream pass, no fold.
+                let elems: u64 = n.shape.iter().product();
+                StreamKernel::elementwise(&n.name, elems, esz).time(dev)
+            }
         }
     }
 

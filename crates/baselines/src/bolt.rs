@@ -231,6 +231,11 @@ impl OpCostModel for Bolt {
                         .time(dev)
                 }
             }
+            Op::SplitHeads { .. } | Op::MergeHeads | Op::RepeatKv { .. } => {
+                // Real data-movement permute: one stream pass, no fold.
+                let elems: u64 = n.shape.iter().product();
+                StreamKernel::elementwise(&n.name, elems, esz).time(dev)
+            }
         }
     }
 

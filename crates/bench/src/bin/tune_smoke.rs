@@ -165,6 +165,21 @@ fn main() {
         100.0 * (1.0 - shared_wall / cold_wall),
         100.0 * (1.0 - batch_wall / cold_wall)
     );
+    // Bounded-LRU eviction counters: this workload fits both caches, so
+    // the counters must exist and stay at zero — a nonzero value here
+    // means the capacity clamps regressed.
+    println!(
+        "  evictions    : space {} / tuning cache {}",
+        shared_stats.space_evictions, shared_stats.tuning_cache_evictions
+    );
+    assert_eq!(
+        (
+            shared_stats.space_evictions,
+            shared_stats.tuning_cache_evictions
+        ),
+        (0, 0),
+        "this workload fits the bounded caches; evictions mean the LRU capacity regressed"
+    );
 
     mcfuser_bench::write_json(
         "tune_smoke",
@@ -182,6 +197,8 @@ fn main() {
             "batched_searches": batch_stats.cache_misses,
             "batched_decode_hits": batch_stats.decode_cache_hits,
             "batched_decode_misses": batch_stats.decode_cache_misses,
+            "space_evictions": shared_stats.space_evictions,
+            "tuning_cache_evictions": shared_stats.tuning_cache_evictions,
             "speedup_shared_vs_cold": cold_wall / shared_wall,
             "speedup_batched_vs_cold": cold_wall / batch_wall,
         }),

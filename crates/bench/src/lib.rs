@@ -29,6 +29,7 @@ use mcfuser_sim::DeviceSpec;
 pub fn device_by_name(name: &str) -> Option<DeviceSpec> {
     match name.to_ascii_lowercase().as_str() {
         "a100" => Some(DeviceSpec::a100()),
+        "h100" => Some(DeviceSpec::h100()),
         "rtx3080" | "3080" => Some(DeviceSpec::rtx3080()),
         _ => None,
     }
@@ -221,6 +222,10 @@ mod tests {
     fn devices_resolve() {
         assert!(device_by_name("a100").is_some());
         assert!(device_by_name("RTX3080").is_some());
-        assert!(device_by_name("h100").is_none());
+        assert_eq!(
+            device_by_name("H100").map(|d| d.arch),
+            Some(mcfuser_sim::Arch::Sm90)
+        );
+        assert!(device_by_name("mi300").is_none());
     }
 }

@@ -29,6 +29,10 @@
 //! * [`runtime`] — the [`ModelRuntime`] serving registry: many plans,
 //!   concurrent `infer` from `&self`, [`RuntimeStats`] with virtual
 //!   p50/p95 latency;
+//! * [`session`] — autoregressive decoder serving on top of the
+//!   runtime: [`DecodeServing`] compiles per-bucket prefill/step plans
+//!   and [`DecodeSession`] owns arena-pooled, capacity-bounded KV
+//!   caches with `prefill()`/`step()` driving coalesced GEMV launches;
 //! * [`cache`] — the content-addressed [`TuningCache`] behind the
 //!   engine (in-memory and JSON-on-disk, with flush-on-shutdown error
 //!   reporting);
@@ -74,6 +78,7 @@ pub mod prune;
 pub mod runtime;
 pub mod scheduler;
 pub mod search;
+pub mod session;
 pub mod space;
 pub mod tuner;
 
@@ -98,6 +103,7 @@ pub use prune::{prune, rule2_ok, rule3_tiles, PruneStats};
 pub use runtime::{ModelRuntime, PlanStats, RuntimeStats, ShutdownError, WEIGHT_CACHE_CAPACITY};
 pub use scheduler::BatchPolicy;
 pub use search::{heuristic_search, CandidateRef, MeasuredSet, SearchOutcome, SearchParams};
+pub use session::{DecodeError, DecodeServing, DecodeSession, DecodeSpec};
 pub use space::{
     space_fingerprint, CandidateSpace, Rule4Scan, SearchSpace, SpaceCache, FRONTIER_MIN_AXIS,
     FRONTIER_MIN_GRID, SPACE_CACHE_CAPACITY,

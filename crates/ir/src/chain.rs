@@ -802,6 +802,37 @@ pub fn causal_mask(heads: u64, m: u64, n: u64) -> HostTensor {
     HostTensor::from_vec(&[heads, m, n], data)
 }
 
+/// A decode-step mask `[heads, 1, n]` for a query at position `pos`
+/// attending over a KV panel of bucket capacity `n`: `0` for columns
+/// `0..=pos`, the same large negative constant as [`causal_mask`] for
+/// columns beyond. Scaled and exponentiated, the masked columns
+/// underflow to an exact `0.0` probability, so outputs are invariant to
+/// the bucket padding.
+pub fn decode_mask(heads: u64, n: u64, pos: u64) -> HostTensor {
+    const NEG: f32 = -1.0e9;
+    let (hh, nn, p) = (heads as usize, n as usize, pos as usize);
+    let mut data = vec![0.0f32; hh * nn];
+    for h in 0..hh {
+        for c in (p + 1)..nn {
+            data[h * nn + c] = NEG;
+        }
+    }
+    HostTensor::from_vec(&[heads, 1, n], data)
+}
+
+/// A one-hot scatter column `[batch, n, 1]` selecting row `pos`: used as
+/// the left operand of a batched matmul against a `[batch, 1, d]` new
+/// KV row so `cache + onehot×row` appends the row at `pos` without a
+/// dedicated scatter op.
+pub fn scatter_onehot(batch: u64, n: u64, pos: u64) -> HostTensor {
+    let (bb, nn, p) = (batch as usize, n as usize, pos as usize);
+    let mut data = vec![0.0f32; bb * nn];
+    for b in 0..bb {
+        data[b * nn + p] = 1.0;
+    }
+    HostTensor::from_vec(&[batch, n, 1], data)
+}
+
 impl std::fmt::Display for ChainSpec {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(

@@ -47,6 +47,27 @@ pub enum Op {
     Scale(f32),
     /// Pure metadata reshape (e.g. merging/splitting attention heads).
     Reshape,
+    /// Split a `[t, heads·hd]` activation into per-head panels
+    /// `[heads, t, hd]`. Unlike [`Op::Reshape`] this is a real permute
+    /// (data movement), so per-head rows are contiguous — the layout a
+    /// KV cache stores and a decode-step attention chain reads. For
+    /// `t == 1` the permute degenerates to an element-order-preserving
+    /// copy, which is what keeps single-token decode steps bit-aligned
+    /// with multi-token prefill passes.
+    SplitHeads {
+        /// Number of attention heads.
+        heads: u64,
+    },
+    /// Inverse of [`Op::SplitHeads`]: `[heads, t, hd]` → `[t, heads·hd]`.
+    MergeHeads,
+    /// Grouped-query replication: `[kv_heads, t, hd]` →
+    /// `[kv_heads·repeat, t, hd]`, output head `h` reading KV head
+    /// `h / repeat`. Lets a GQA decoder store `kv_heads`-wide caches
+    /// while the score GEMV runs over the full query-head batch.
+    RepeatKv {
+        /// Query heads per KV head.
+        repeat: u64,
+    },
 }
 
 impl Op {
@@ -62,6 +83,9 @@ impl Op {
                 | Op::LayerNorm
                 | Op::Scale(_)
                 | Op::Reshape
+                | Op::SplitHeads { .. }
+                | Op::MergeHeads
+                | Op::RepeatKv { .. }
         )
     }
 
@@ -346,6 +370,46 @@ impl GraphBuilder {
         let out_elems: u64 = shape.iter().product();
         assert_eq!(in_elems, out_elems, "reshape must preserve element count");
         self.push(name.to_string(), Op::Reshape, vec![x], shape)
+    }
+
+    /// Head-split permute: `[t, heads·hd]` → `[heads, t, hd]`.
+    pub fn split_heads(&mut self, name: &str, x: NodeId, heads: u64) -> NodeId {
+        let shape = self.graph.node(x).shape.clone();
+        assert_eq!(shape.len(), 2, "split_heads expects a rank-2 input");
+        let (t, h) = (shape[0], shape[1]);
+        assert_eq!(h % heads, 0, "hidden width must divide by heads");
+        self.push(
+            name.to_string(),
+            Op::SplitHeads { heads },
+            vec![x],
+            vec![heads, t, h / heads],
+        )
+    }
+
+    /// Head-merge permute: `[heads, t, hd]` → `[t, heads·hd]`.
+    pub fn merge_heads(&mut self, name: &str, x: NodeId) -> NodeId {
+        let shape = self.graph.node(x).shape.clone();
+        assert_eq!(shape.len(), 3, "merge_heads expects a rank-3 input");
+        let (heads, t, hd) = (shape[0], shape[1], shape[2]);
+        self.push(
+            name.to_string(),
+            Op::MergeHeads,
+            vec![x],
+            vec![t, heads * hd],
+        )
+    }
+
+    /// Grouped-query replication: `[kv, t, hd]` → `[kv·repeat, t, hd]`.
+    pub fn repeat_kv(&mut self, name: &str, x: NodeId, repeat: u64) -> NodeId {
+        let shape = self.graph.node(x).shape.clone();
+        assert_eq!(shape.len(), 3, "repeat_kv expects a rank-3 input");
+        let (kv, t, hd) = (shape[0], shape[1], shape[2]);
+        self.push(
+            name.to_string(),
+            Op::RepeatKv { repeat },
+            vec![x],
+            vec![kv * repeat, t, hd],
+        )
     }
 
     /// Finish, declaring graph outputs.

@@ -24,8 +24,9 @@ pub mod partition;
 pub mod reference;
 
 pub use chain::{
-    apply_epilogue, apply_masked_softmax, causal_mask, layer_norm_rows, AuxInput, ChainSpec,
-    Epilogue, EpilogueStitch, PrologueSpec, ResidualSource, AXIS_NAMES,
+    apply_epilogue, apply_masked_softmax, causal_mask, decode_mask, layer_norm_rows,
+    scatter_onehot, AuxInput, ChainSpec, Epilogue, EpilogueStitch, PrologueSpec, ResidualSource,
+    AXIS_NAMES,
 };
 pub use graph::{Graph, GraphBuilder, GraphError, Node, NodeId, Op};
 pub use partition::{

@@ -162,6 +162,50 @@ pub fn evaluate_node_with<'v>(
                 let x = value(values, node.inputs[0]);
                 HostTensor::from_vec(&node.shape, x.data.clone())
             }
+            Op::SplitHeads { heads } => {
+                let x = value(values, node.inputs[0]);
+                let h = *heads as usize;
+                let t = x.shape[0] as usize;
+                let width = x.shape[1] as usize;
+                let hd = width / h;
+                let mut out = vec![0.0f32; t * width];
+                for hi in 0..h {
+                    for ti in 0..t {
+                        let src = ti * width + hi * hd;
+                        let dst = (hi * t + ti) * hd;
+                        out[dst..dst + hd].copy_from_slice(&x.data[src..src + hd]);
+                    }
+                }
+                HostTensor::from_vec(&node.shape, out)
+            }
+            Op::MergeHeads => {
+                let x = value(values, node.inputs[0]);
+                let h = x.shape[0] as usize;
+                let t = x.shape[1] as usize;
+                let hd = x.shape[2] as usize;
+                let width = h * hd;
+                let mut out = vec![0.0f32; t * width];
+                for hi in 0..h {
+                    for ti in 0..t {
+                        let src = (hi * t + ti) * hd;
+                        let dst = ti * width + hi * hd;
+                        out[dst..dst + hd].copy_from_slice(&x.data[src..src + hd]);
+                    }
+                }
+                HostTensor::from_vec(&node.shape, out)
+            }
+            Op::RepeatKv { repeat } => {
+                let x = value(values, node.inputs[0]);
+                let rep = *repeat as usize;
+                let kv = x.shape[0] as usize;
+                let panel = (x.shape[1] * x.shape[2]) as usize;
+                let mut out = vec![0.0f32; kv * rep * panel];
+                for h in 0..kv * rep {
+                    let src = (h / rep) * panel;
+                    out[h * panel..(h + 1) * panel].copy_from_slice(&x.data[src..src + panel]);
+                }
+                HostTensor::from_vec(&node.shape, out)
+            }
         };
         Ok(v)
     }

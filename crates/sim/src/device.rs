@@ -24,6 +24,8 @@ pub enum Arch {
     Sm80,
     /// Ampere consumer parts (RTX 3080).
     Sm86,
+    /// Hopper data-center parts (H100).
+    Sm90,
 }
 
 impl std::fmt::Display for Arch {
@@ -31,6 +33,7 @@ impl std::fmt::Display for Arch {
         match self {
             Arch::Sm80 => f.write_str("sm_80"),
             Arch::Sm86 => f.write_str("sm_86"),
+            Arch::Sm90 => f.write_str("sm_90"),
         }
     }
 }
@@ -89,6 +92,29 @@ impl DeviceSpec {
             launch_overhead: 4.0e-6,
             l2_bytes: 40 * 1024 * 1024,
             l2_bandwidth: 4.7e12,
+        }
+    }
+
+    /// NVIDIA H100-SXM5-80GB (a post-paper Hopper part, for tuning-cache
+    /// portability studies: same MBCI model, different roofline).
+    pub fn h100() -> Self {
+        DeviceSpec {
+            name: "H100-SXM5-80GB".to_string(),
+            arch: Arch::Sm90,
+            num_sms: 132,
+            // 228 KiB per block is the sm_90 opt-in maximum.
+            smem_per_block: 228 * 1024,
+            smem_per_sm: 228 * 1024,
+            max_blocks_per_sm: 32,
+            dram_bandwidth: 3.35e12,
+            dram_efficiency: 0.88,
+            // Dense FP16 tensor-core throughput (no structured sparsity).
+            peak_tensor_flops: 989e12,
+            peak_fp32_flops: 67e12,
+            smem_bandwidth_per_sm: 33.0e9 * 8.0,
+            launch_overhead: 3.5e-6,
+            l2_bytes: 50 * 1024 * 1024,
+            l2_bandwidth: 9.0e12,
         }
     }
 

@@ -98,7 +98,9 @@ pub struct SmemDecl {
     /// no shared memory. Only legal for single-use operands whose tile
     /// coordinates are compile-time constants (a statically unrolled loop
     /// lets each thread address its fragments in registers; a dynamically
-    /// indexed loop would have to bounce through smem).
+    /// indexed loop would have to bounce through smem). Used for chunked
+    /// tail weight panels and for every panel behind `A` in `m == 1`
+    /// (decode GEMV) chains, where no output row ever re-reads a panel.
     pub streamed: bool,
 }
 

@@ -513,6 +513,8 @@ pub fn lower(
         aux_tiles: &aux_tiles,
         out_buf,
         softmax_pos,
+        exact_softmax: softmax_pos
+            .is_some_and(|pos| cand.tile(LoopId(pos + 2)) == chain.dims[pos + 1]),
         fills_at: &fills_at,
         stitch: stitch.as_ref(),
         tail_chunk,
@@ -562,6 +564,16 @@ pub fn lower(
         program.smem[load_tiles[num_ops].0 .0].streamed = true;
     }
 
+    // Decode-shaped GEMV chains (`m == 1`) touch every weight/KV panel
+    // element exactly once — there is no row reuse to justify staging —
+    // so all panels behind `A` stream global→register the same way and
+    // never occupy shared memory.
+    if chain.m == 1 {
+        for (id, _, _) in load_tiles.iter().skip(1) {
+            program.smem[id.0].streamed = true;
+        }
+    }
+
     // ---- Intra-tile policy: double buffering ------------------------------
     // Overlap requires *every* load target double buffered — the strips
     // and residual tiles of a stitch included — so the policy is
@@ -607,6 +619,10 @@ struct EmitCtx<'a> {
     aux_tiles: &'a [(AuxInput, SmemId, mcfuser_sim::BufId)],
     out_buf: mcfuser_sim::BufId,
     softmax_pos: Option<usize>,
+    /// One tile covers the whole softmax axis: normalize the probability
+    /// tile in place (bit-identical to the reference) instead of
+    /// deferring the `1/row_sum` division to the store.
+    exact_softmax: bool,
     fills_at: &'a [(Option<LoopId>, BlockStmt)],
     stitch: Option<&'a StitchEmit>,
     /// `(chunk, n_chunks)` of a streamed final-stage weight panel.
@@ -765,10 +781,12 @@ fn emit_stmt(s: Stmt, ctx: &EmitCtx<'_>, out: &mut Vec<BlockStmt>) {
             emit_epilogue(num_ops - 1, ctx, out);
             if let (Some(pos), Some((_, sm))) = (ctx.softmax_pos, ctx.stats) {
                 let _ = pos;
-                out.push(BlockStmt::RowDiv {
-                    target: ctx.accs[num_ops - 1],
-                    denom: sm,
-                });
+                if !ctx.exact_softmax {
+                    out.push(BlockStmt::RowDiv {
+                        target: ctx.accs[num_ops - 1],
+                        denom: sm,
+                    });
+                }
             }
             if let Some(s) = ctx.stitch {
                 if let Some(t) = s.tail.as_ref() {
@@ -960,6 +978,16 @@ fn emit_online_softmax(i: usize, scale: f32, ctx: &EmitCtx<'_>, out: &mut Vec<Bl
         rescale,
         scale,
     });
+    if ctx.exact_softmax {
+        // Single-tile softmax axis: the row sum is already final, so
+        // divide the probabilities *before* the PV matmul. This makes
+        // the fused chain bit-identical to the reference evaluation
+        // (`(Σ eᵢ·vᵢ)/Z` versus `Σ (eᵢ/Z)·vᵢ` drift otherwise).
+        out.push(BlockStmt::RowDiv {
+            target: ctx.accs[i],
+            denom: sm,
+        });
+    }
 }
 
 /// Shared-memory tile and global buffer of an aux input.
@@ -1200,6 +1228,46 @@ mod tests {
                 assert!((o - vv).abs() < 1e-2, "b{b} j{j}: {o} vs {vv}");
             }
         }
+    }
+
+    #[test]
+    fn gemv_chain_streams_weight_panels() {
+        // Decode-shaped m = 1 chain: every panel behind `A` streams
+        // global→register and drops out of the smem footprint.
+        let c = ChainSpec::gemm_chain("gv", 1, 1, 128, 96, 64);
+        let cd = cand_for(&c, "mhnk", vec![1, 32, 32, 32]);
+        let k = lower(&c, &cd, &LoweringOptions::default()).unwrap();
+        let streamed: Vec<bool> = k.program.smem.iter().map(|d| d.streamed).collect();
+        assert!(!k.program.smem[0].streamed, "A tile stays staged");
+        assert!(
+            streamed[1] && streamed[2],
+            "m = 1 weight panels stream: {streamed:?}"
+        );
+        assert_eq!(k.program.smem[1].alloc_bytes(), 0);
+        check_numerics(&c, &cd, 23);
+    }
+
+    #[test]
+    fn decode_attention_single_tile_softmax_bit_exact() {
+        // One n tile covers the whole softmax axis → the probability
+        // tile is normalized before the PV GEMV and the fused kernel is
+        // bit-identical to the reference (f32, so no cast drift either).
+        let mut c = ChainSpec::masked_attention("dec", 4, 1, 16, 32, 32);
+        c.dtype = DType::F32;
+        // Tiles are in axis order (m, k, n, h); n covers the full axis.
+        let cd = cand_for(&c, "mnkh", vec![1, 32, 16, 32]);
+        let k = lower(&c, &cd, &LoweringOptions::default()).unwrap();
+        k.program.validate().unwrap();
+        let mut inputs = c.random_inputs(24);
+        inputs[3] = mcfuser_ir::decode_mask(4, 16, 9);
+        let mut st = TensorStorage::for_program(&k.program);
+        for (i, t) in inputs.iter().enumerate() {
+            st.tensors[i] = t.clone();
+        }
+        execute(&k.program, &mut st).unwrap();
+        let expect = c.reference(&inputs);
+        let got = st.tensors.last().unwrap();
+        assert_eq!(got.data, expect.data, "fused decode attention == oracle");
     }
 
     #[test]

@@ -73,10 +73,10 @@ pub use mcfuser_workloads as workloads;
 pub mod prelude {
     pub use mcfuser_baselines::{Backend, ChainRun, Unsupported};
     pub use mcfuser_core::{
-        BatchPolicy, BatchedPlan, CachePolicy, CompiledModel, EngineBuilder, EngineStats,
-        ExecBackend, ExecError, ExecutablePlan, FusionEngine, InputSet, McFuser, ModelRuntime,
-        Outputs, RunOptions, RuntimeStats, SearchParams, SpacePolicy, TuneError, TunedKernel,
-        TuningCache,
+        BatchPolicy, BatchedPlan, CachePolicy, CompiledModel, DecodeError, DecodeServing,
+        DecodeSession, DecodeSpec, EngineBuilder, EngineStats, ExecBackend, ExecError,
+        ExecutablePlan, FusionEngine, InputSet, McFuser, ModelRuntime, Outputs, RunOptions,
+        RuntimeStats, SearchParams, SpacePolicy, TuneError, TunedKernel, TuningCache,
     };
     pub use mcfuser_ir::{ChainSpec, Epilogue, Graph, GraphBuilder};
     pub use mcfuser_sim::{DType, DeviceSpec, HostTensor, TensorStorage};

@@ -414,3 +414,72 @@ fn schedule_hits_build_no_spaces() {
         "a schedule hit never reaches the space cache"
     );
 }
+
+/// Tuning-cache portability: engines targeting different devices can
+/// share one cache store (a fleet-wide schedule database), and the
+/// device fingerprint inside [`CacheKey`] keeps their entries distinct —
+/// an A100 schedule is never served to an H100 session, while re-tuning
+/// on the same device is a clean hit.
+#[test]
+fn shared_cache_keeps_per_device_entries_distinct() {
+    use std::sync::Arc;
+
+    use mcfuser::core::{CachedTuning, MemoryCache, TuningCache};
+
+    /// `cache_store` takes ownership, so sharing one `MemoryCache`
+    /// between engines goes through this forwarding handle.
+    struct Shared(Arc<MemoryCache>);
+    impl TuningCache for Shared {
+        fn get(&self, key: &CacheKey) -> Option<CachedTuning> {
+            self.0.get(key)
+        }
+        fn put(&self, key: &CacheKey, entry: CachedTuning) {
+            self.0.put(key, entry)
+        }
+        fn len(&self) -> usize {
+            self.0.len()
+        }
+        fn evictions(&self) -> u64 {
+            self.0.evictions()
+        }
+    }
+
+    let store = Arc::new(MemoryCache::new());
+    let chain = ChainSpec::gemm_chain("portable", 1, 256, 128, 64, 64);
+
+    let a100 = FusionEngine::builder(DeviceSpec::a100())
+        .cache_store(Box::new(Shared(store.clone())))
+        .build();
+    let tuned_a = a100.tune(&chain).unwrap();
+    assert_eq!(a100.stats().cache_misses, 1);
+    assert_eq!(store.len(), 1);
+
+    // Same chain, same store, different device: must miss and add a
+    // second entry rather than replaying the A100 schedule.
+    let h100 = FusionEngine::builder(DeviceSpec::h100())
+        .cache_store(Box::new(Shared(store.clone())))
+        .build();
+    h100.tune(&chain).unwrap();
+    let h_stats = h100.stats();
+    assert_eq!(h_stats.cache_hits, 0, "cross-device cache hit");
+    assert_eq!(h_stats.cache_misses, 1);
+    assert_eq!(store.len(), 2, "one entry per device");
+
+    // A fresh A100 engine on the same store rehydrates without searching.
+    let rewarmed = FusionEngine::builder(DeviceSpec::a100())
+        .cache_store(Box::new(Shared(store.clone())))
+        .build();
+    let again = rewarmed.tune(&chain).unwrap();
+    assert_eq!(rewarmed.stats().cache_hits, 1);
+    assert_eq!(rewarmed.stats().cache_misses, 0);
+    assert_eq!(again.candidate, tuned_a.candidate);
+    assert_eq!(store.len(), 2);
+
+    // Key level: the two tasks differ exactly in the device fingerprint.
+    let params = SearchParams::default();
+    let policy = SpacePolicy::default();
+    let ka = CacheKey::new(&chain, &[], &DeviceSpec::a100(), &params, &policy);
+    let kh = CacheKey::new(&chain, &[], &DeviceSpec::h100(), &params, &policy);
+    assert_ne!(ka.device, kh.device);
+    assert_eq!((ka.dims, ka.config), (kh.dims.clone(), kh.config.clone()));
+}
