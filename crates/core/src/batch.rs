@@ -429,6 +429,13 @@ fn widen_step(plan: &ExecutablePlan, s: usize, width: usize) -> Option<WidenedSt
         });
     }
     p.validate().ok()?;
+    // The widened program must independently re-prove the full static
+    // contract — bounds, def-use, cross-slot race freedom — plus the
+    // widening special case: every `VarRef::Zero`-pinned shared slab is
+    // read-only in all `width` slots. An unprovable widening falls back
+    // to serial execution rather than launching a coalesced kernel the
+    // verifier cannot vouch for.
+    mcfuser_sim::verify::verify_widened(&p).ok()?;
     let prof = measure(&p, plan.device());
     Some(WidenedStep {
         program: Arc::new(p),

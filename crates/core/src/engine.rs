@@ -180,6 +180,16 @@ pub struct EngineStats {
     /// `Ranked` block re-filters (decode-cache misses), summed over the
     /// [`SpaceCache`]'s resident spaces.
     pub decode_cache_misses: u64,
+    /// Lowered programs that passed the static verifier (fresh tuning
+    /// winners and cache rehydrations both count; see
+    /// `mcfuser_sim::verify`).
+    pub programs_verified: u64,
+    /// Lowered programs the static verifier rejected. Each reject
+    /// either surfaced as [`TuneError::Verify`] or — for a cached
+    /// schedule — forced a fresh re-tune. A non-zero count under a
+    /// production workload means a lowering or cache-poisoning bug was
+    /// caught before the kernel could be served.
+    pub verify_rejects: u64,
 }
 
 /// Configures and constructs a [`FusionEngine`].
@@ -194,6 +204,7 @@ pub struct EngineBuilder {
     space_caching: bool,
     stitching: bool,
     exec_backend: ExecBackend,
+    verify: bool,
 }
 
 impl EngineBuilder {
@@ -210,7 +221,20 @@ impl EngineBuilder {
             space_caching: true,
             stitching: true,
             exec_backend: ExecBackend::default(),
+            verify: true,
         }
+    }
+
+    /// Whether tuned programs are gated through the static verifier
+    /// (symbolic bounds, init/def-use, inter-block race analysis;
+    /// default: on). Every fresh tuning winner is verified before it is
+    /// cached, and every cache rehydration is re-verified before it is
+    /// served — a reject surfaces as [`TuneError::Verify`] (fresh) or a
+    /// forced re-tune (cached). Disable only to measure the gate's own
+    /// cost; correctness-critical paths should leave it on.
+    pub fn verify(mut self, enabled: bool) -> Self {
+        self.verify = enabled;
+        self
     }
 
     /// Which execution backend plans compiled by this engine run fused
@@ -322,6 +346,7 @@ impl EngineBuilder {
             clock: TuningClock::new(),
             stats: Mutex::new(EngineStats::default()),
             exec_backend: self.exec_backend,
+            verify: self.verify,
         }
     }
 }
@@ -348,6 +373,9 @@ pub struct FusionEngine {
     /// Backend stamped into every [`CompiledModel`] / [`ExecutablePlan`]
     /// this engine produces.
     exec_backend: ExecBackend,
+    /// Whether tuned programs pass through the static verifier before
+    /// being cached or served (see [`EngineBuilder::verify`]).
+    verify: bool,
 }
 
 impl std::fmt::Debug for FusionEngine {
@@ -664,6 +692,22 @@ impl FusionEngine {
         let tuned = self
             .tuner
             .tune_in_space(chain, &self.device, &local, &space)?;
+        // Static gate: the winner must survive symbolic verification
+        // before it is cached or returned. A reject here is a lowering
+        // bug surfacing as a structured error instead of a miscompile —
+        // callers demote (stitched chains fall back to their plain twin
+        // in `compile`) rather than serve the kernel.
+        if self.verify {
+            if let Err(e) = mcfuser_sim::verify::verify_program(&tuned.kernel.program) {
+                self.stats.lock().verify_rejects += 1;
+                return Err(TuneError::Verify {
+                    chain: chain.name.clone(),
+                    device: self.device.name.clone(),
+                    detail: e.to_string(),
+                });
+            }
+            self.stats.lock().programs_verified += 1;
+        }
         // The local report is returned to the caller, which absorbs it
         // into the session clock in deterministic (input) order — never
         // here on a worker thread, where completion order would make the
@@ -713,6 +757,16 @@ impl FusionEngine {
         let kernel = lower(chain, &candidate, &opts).ok()?;
         if kernel.smem_bytes > self.device.smem_per_block {
             return None;
+        }
+        // Re-verify rehydrated programs: a stale or hand-edited cache
+        // entry that re-lowers into something unsound is treated as a
+        // miss (forcing a fresh, itself-verified tune), never served.
+        if self.verify {
+            if mcfuser_sim::verify::verify_program(&kernel.program).is_err() {
+                self.stats.lock().verify_rejects += 1;
+                return None;
+            }
+            self.stats.lock().programs_verified += 1;
         }
         let profile = measure_noisy(&kernel.program, &self.device, self.tuner.params.seed);
         Some(TunedKernel {
@@ -815,6 +869,9 @@ mod tests {
                 cache_persist_errors: 0,
                 space_builds: 1,
                 space_cache_hits: 0,
+                // Both the fresh winner and its rehydrated cache hit
+                // pass the static gate.
+                programs_verified: 2,
                 ..EngineStats::default()
             }
         );

@@ -90,6 +90,19 @@ pub enum ExecError {
         /// What did not line up.
         detail: String,
     },
+    /// A chain's lowered program failed the static verifier while the
+    /// plan was being frozen (see `mcfuser_sim::verify`). Every program
+    /// a plan would serve is re-checked here — the last gate before
+    /// execution — so a model carrying a corrupted or hand-mutated
+    /// kernel is rejected instead of launched.
+    Verify {
+        /// Model name.
+        model: String,
+        /// The fused chain's name.
+        chain: String,
+        /// The rendered `VerifyError`.
+        detail: String,
+    },
     /// A fused kernel failed inside the functional interpreter.
     Kernel {
         /// Model name.
@@ -165,6 +178,14 @@ impl std::fmt::Display for ExecError {
             } => write!(
                 f,
                 "compiled model '{model}' does not fit graph '{graph}': {detail}"
+            ),
+            ExecError::Verify {
+                model,
+                chain,
+                detail,
+            } => write!(
+                f,
+                "model '{model}': fused chain '{chain}' failed static verification: {detail}"
             ),
             ExecError::Kernel {
                 model,
@@ -962,6 +983,17 @@ impl CompiledModel {
                     cc.data_inputs.len(),
                     declared
                 )));
+            }
+            // Last gate before execution: every program this plan would
+            // serve must pass the static verifier, whatever path it
+            // arrived by (fresh tune, cache rehydration, deserialized
+            // model, hand-assembled CompiledModel).
+            if let Err(e) = mcfuser_sim::verify::verify_program(&cc.tuned.kernel.program) {
+                return Err(ExecError::Verify {
+                    model: self.name.clone(),
+                    chain: cc.chain.name.clone(),
+                    detail: e.to_string(),
+                });
             }
         }
 

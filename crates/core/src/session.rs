@@ -346,7 +346,16 @@ impl DecodeSession {
         let mut inputs = InputSet::new();
         inputs.insert("x", HostTensor::from_vec(&[1, spec.hidden], x.data.clone()));
         inputs.insert("mask", decode_mask(spec.heads, t_b, self.pos));
-        inputs.insert("onehot", scatter_onehot(spec.kv_heads, t_b, self.pos));
+        let onehot = scatter_onehot(spec.kv_heads, t_b, self.pos);
+        // The fused KV-append chain computes `cache + onehot × new_row`;
+        // by linearity it rewrites exactly the rows this column selects.
+        // The verifier's one-hot obligation makes that "exactly one row
+        // per head" — checked here where the scatter input is built.
+        debug_assert!(
+            mcfuser_sim::verify::is_scatter_onehot(&onehot),
+            "decode scatter input must be one-hot per head"
+        );
+        inputs.insert("onehot", onehot);
         let panel_shape = [spec.kv_heads, t_b, hd as u64];
         for l in 0..spec.layers as usize {
             inputs.insert(

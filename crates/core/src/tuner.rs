@@ -54,6 +54,19 @@ pub enum TuneError {
         /// Device name.
         device: String,
     },
+    /// The search produced a winner, but the static verifier (symbolic
+    /// bounds, init/def-use, inter-block race analysis — see
+    /// `mcfuser_sim::verify`) rejected its lowered program. The kernel
+    /// is never cached or served; stitched chains demote to their
+    /// unstitched twin.
+    Verify {
+        /// Chain name.
+        chain: String,
+        /// Device name.
+        device: String,
+        /// The rendered `VerifyError`.
+        detail: String,
+    },
     /// `FusionEngine::compile` was called on an engine built without a
     /// fallback `OpCostModel` for the non-fused remainder.
     MissingFallback {
@@ -120,6 +133,14 @@ impl std::fmt::Display for TuneError {
             TuneError::NoViableCandidate { chain, device } => {
                 write!(f, "no viable fused kernel for chain '{chain}' on {device}")
             }
+            TuneError::Verify {
+                chain,
+                device,
+                detail,
+            } => write!(
+                f,
+                "tuned kernel for chain '{chain}' on {device} failed static verification: {detail}"
+            ),
             TuneError::MissingFallback { graph } => write!(
                 f,
                 "cannot compile graph '{graph}': engine has no fallback backend \

@@ -33,6 +33,18 @@
 //! `a == 0.0` GEMM skip, and sequential column-order reductions) are
 //! preserved exactly. The property is enforced by proptest in
 //! `tests/exec_backends.rs`.
+//!
+//! **Safety argument.** Every `unsafe` block below is a raw-pointer walk
+//! whose extent is a slice length established immediately above it
+//! (`// SAFETY:` comments state the local bound). Those slice lengths
+//! are not ad hoc: row slices are carved from tile geometry — smem
+//! `rows × cols` against declared buffer shapes — that the static
+//! verifier ([`crate::verify`]) proves in-bounds for every block of the
+//! launch grid before a program reaches an executor (every served
+//! program passes `verify_program`; widened launches additionally pass
+//! `verify_widened`). The crate-level
+//! `#![deny(clippy::undocumented_unsafe_blocks)]` keeps the per-block
+//! arguments from rotting.
 
 use serde::{Deserialize, Serialize};
 
@@ -267,7 +279,10 @@ fn quantize_row(dt: DType, src: &[f32], dst: &mut [f32]) {
         DType::F32 => dst.copy_from_slice(src),
         dt => {
             // SAFETY: equal lengths asserted above; pointers from the
-            // slices themselves.
+            // slices themselves. Callers hand in row slices carved by
+            // `load_tile_vec`/`store_tile_vec` from tile geometry the
+            // static verifier proved in-bounds (clipped extents are
+            // pre-shrunk to `in_cols` before slicing).
             unsafe {
                 let mut sp = src.as_ptr();
                 let mut dp = dst.as_mut_ptr();
@@ -1130,6 +1145,13 @@ fn online_softmax_vec(
 /// evaluation order, so swapping them in is bit-neutral; they exist
 /// because the workspace builds at opt-level 0, where checked indexing
 /// and iterator adapters pay heavy per-element call overhead.
+///
+/// Each helper bounds its pointer walk by the *minimum* of its operand
+/// slice lengths, so the `unsafe` blocks are locally sound for any
+/// input. That the slices line up at all (row extents agree across
+/// operands) is the bounds-proved-row-slice invariant the static
+/// verifier ([`crate::verify`]) establishes per program before
+/// execution.
 pub mod lanes {
     /// `dst[i] += a * b[i]` — the GEMM axpy row update, unrolled by 4.
     pub fn axpy(dst: &mut [f32], b: &[f32], a: f32) {

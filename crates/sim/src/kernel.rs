@@ -158,6 +158,24 @@ pub struct TileAccess {
     pub indices: Vec<TileIndex>,
 }
 
+/// Declaration that tile accesses on `buf` may run past the buffer
+/// extent along dimension `dim` — the canonical ceil-div partial final
+/// tile, where loads zero-pad and stores clip.
+///
+/// The lowering records these marks at lower time
+/// (`mcfuser-tile`'s last step); the static verifier
+/// ([`crate::verify`]) rejects any clipped access that is *not* marked,
+/// so accidental out-of-bounds addressing (a shifted index, a wrong
+/// grid var) can never hide behind the interpreter's zero-fill/clip
+/// semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ClipMark {
+    /// The buffer whose accesses may clip.
+    pub buf: BufId,
+    /// The (0-based) buffer dimension along which clipping is expected.
+    pub dim: usize,
+}
+
 /// A statement of the per-block program.
 #[allow(missing_docs)] // variant fields are described by the variant docs
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -342,6 +360,11 @@ pub struct TileProgram {
     /// [`NestClass::Unknown`] only for programs built by hand without the
     /// builder ([`TileProgram::nest_class`] re-derives it on demand).
     pub nest_class: NestClass,
+    /// Buffer dimensions where partial-tile clipping is *declared*
+    /// (see [`ClipMark`]). Populated by the lowering; hand-built
+    /// programs default to empty, so any clipped access they contain is
+    /// rejected by [`crate::verify::verify_program`].
+    pub clip_ok: Vec<ClipMark>,
 }
 
 /// Structural validation error.
@@ -368,6 +391,11 @@ pub enum ProgramError {
     UnknownGridDim(usize),
     /// Loop with zero extent.
     EmptyLoop(LoopHandle),
+    /// A tile access references a `VarRef::Loop` whose handle is not in
+    /// scope at the statement — either never defined or already popped.
+    /// The interpreter would silently read the handle's *last* value
+    /// (or 0), so this is a miscompile, not a runtime error.
+    LoopOutOfScope(LoopHandle),
 }
 
 impl std::fmt::Display for ProgramError {
@@ -386,6 +414,9 @@ impl std::fmt::Display for ProgramError {
             ProgramError::DuplicateLoop(l) => write!(f, "loop {:?} redefined in scope", l),
             ProgramError::UnknownGridDim(i) => write!(f, "grid dim {} out of range", i),
             ProgramError::EmptyLoop(l) => write!(f, "loop {:?} has zero extent", l),
+            ProgramError::LoopOutOfScope(l) => {
+                write!(f, "tile access references loop {:?} out of scope", l)
+            }
         }
     }
 }
@@ -421,7 +452,11 @@ impl TileProgram {
         self.validate_stmts(&self.body, &mut live_loops)
     }
 
-    fn validate_access(&self, acc: &TileAccess) -> Result<(), ProgramError> {
+    fn validate_access(
+        &self,
+        acc: &TileAccess,
+        live_loops: &[LoopHandle],
+    ) -> Result<(), ProgramError> {
         let buf = self
             .buffers
             .get(acc.buf.0)
@@ -434,10 +469,22 @@ impl TileProgram {
             });
         }
         for idx in &acc.indices {
-            if let VarRef::Grid(g) = idx.var {
-                if g >= self.grid.len() {
-                    return Err(ProgramError::UnknownGridDim(g));
+            match idx.var {
+                VarRef::Grid(g) => {
+                    if g >= self.grid.len() {
+                        return Err(ProgramError::UnknownGridDim(g));
+                    }
                 }
+                VarRef::Loop(h) => {
+                    // An index on a popped (or never-defined) handle would
+                    // execute against the handle's stale environment slot
+                    // — reject it here instead of letting the interpreter
+                    // silently address the wrong tile.
+                    if !live_loops.contains(&h) {
+                        return Err(ProgramError::LoopOutOfScope(h));
+                    }
+                }
+                VarRef::Zero | VarRef::Const(_) => {}
             }
         }
         Ok(())
@@ -470,11 +517,11 @@ impl TileProgram {
                     live_loops.pop();
                 }
                 BlockStmt::Load { src, dst } => {
-                    self.validate_access(src)?;
+                    self.validate_access(src, live_loops)?;
                     self.smem_decl(*dst)?;
                 }
                 BlockStmt::Store { dst, src } => {
-                    self.validate_access(dst)?;
+                    self.validate_access(dst, live_loops)?;
                     self.smem_decl(*src)?;
                 }
                 BlockStmt::Fill { dst, .. } => {
@@ -581,9 +628,9 @@ impl TileProgram {
                     rstd,
                     ..
                 } => {
-                    self.validate_access(a)?;
+                    self.validate_access(a, live_loops)?;
                     if let Some(res) = residual {
-                        self.validate_access(res)?;
+                        self.validate_access(res, live_loops)?;
                     }
                     let dm = self.smem_decl(*mean)?;
                     let dr = self.smem_decl(*rstd)?;
@@ -626,7 +673,7 @@ impl TileProgram {
                 }
                 BlockStmt::AddGlobal { target, src } => {
                     self.smem_decl(*target)?;
-                    self.validate_access(src)?;
+                    self.validate_access(src, live_loops)?;
                 }
                 BlockStmt::AddRecomputedNorm {
                     target,
@@ -638,9 +685,9 @@ impl TileProgram {
                     beta,
                 } => {
                     let dt = self.smem_decl(*target)?;
-                    self.validate_access(a)?;
+                    self.validate_access(a, live_loops)?;
                     if let Some(res) = residual {
-                        self.validate_access(res)?;
+                        self.validate_access(res, live_loops)?;
                     }
                     let dm = self.smem_decl(*mean)?;
                     let dr = self.smem_decl(*rstd)?;
@@ -786,6 +833,7 @@ impl ProgramBuilder {
             body,
             dtype: self.dtype,
             nest_class,
+            clip_ok: Vec::new(),
         }
     }
 }
@@ -943,6 +991,48 @@ mod tests {
             },
         ];
         p.validate().unwrap();
+    }
+
+    #[test]
+    fn out_of_scope_loop_index_rejected() {
+        // A load indexed by a loop handle whose loop has already closed:
+        // before the live-scope check this validated clean and silently
+        // read the handle's stale environment slot at run time.
+        let mut p = tiny_program();
+        let h = LoopHandle(0);
+        let load = p.body.remove(1); // the A-tile load
+        let mut stale_load = load.clone();
+        if let BlockStmt::Load { src, .. } = &mut stale_load {
+            src.indices[0].var = VarRef::Loop(h);
+        }
+        p.body.insert(
+            1,
+            BlockStmt::Loop {
+                handle: h,
+                extent: 1,
+                body: vec![load],
+            },
+        );
+        // Same handle used *outside* the loop: out of scope.
+        p.body.insert(2, stale_load);
+        assert_eq!(p.validate(), Err(ProgramError::LoopOutOfScope(h)));
+
+        // Inside the loop the same index is fine.
+        let mut ok = tiny_program();
+        let load = ok.body.remove(1);
+        let mut looped = load.clone();
+        if let BlockStmt::Load { src, .. } = &mut looped {
+            src.indices[0].var = VarRef::Loop(h);
+        }
+        ok.body.insert(
+            1,
+            BlockStmt::Loop {
+                handle: h,
+                extent: 1,
+                body: vec![looped],
+            },
+        );
+        ok.validate().unwrap();
     }
 
     #[test]

@@ -21,6 +21,9 @@
 //!   deliberately ignores;
 //! * [`stream`] — pricing of memory-bound library kernels used by the
 //!   unfused baselines;
+//! * [`verify`] — the static verifier: symbolic bounds, init/def-use,
+//!   and inter-block race analysis over lowered programs, run as a
+//!   compile-time gate before any kernel is cached, widened, or served;
 //! * [`clock`] — the virtual tuning clock behind Table IV;
 //! * [`noise`] — deterministic measurement jitter.
 //!
@@ -36,6 +39,10 @@
 //! ```
 
 #![warn(missing_docs)]
+// The vectorized backend's unsafe blocks lean on invariants the static
+// verifier proves; keep every one explicit and documented.
+#![deny(unsafe_op_in_unsafe_fn)]
+#![deny(clippy::undocumented_unsafe_blocks)]
 
 pub mod clock;
 pub mod codegen_check;
@@ -48,6 +55,7 @@ pub mod noise;
 pub mod report;
 pub mod stream;
 pub mod timing;
+pub mod verify;
 
 pub use clock::{CostProfile, TuningClock, TuningReport};
 pub use codegen_check::{assert_codegen_ok, verify_codegen};
@@ -58,12 +66,17 @@ pub use exec::{
 };
 pub use exec_vec::{ExecBackend, InterpreterExec, KernelExecutor, VectorizedExec};
 pub use kernel::{
-    ceil_div, classify_nest, BlockStmt, BufId, BufferDecl, BufferRole, LoopHandle, NestClass,
-    ProgramBuilder, ProgramError, SmemDecl, SmemId, TileAccess, TileIndex, TileProgram, VarRef,
+    ceil_div, classify_nest, BlockStmt, BufId, BufferDecl, BufferRole, ClipMark, LoopHandle,
+    NestClass, ProgramBuilder, ProgramError, SmemDecl, SmemId, TileAccess, TileIndex, TileProgram,
+    VarRef,
 };
 pub use report::explain;
 pub use stream::{sequence_time, StreamKernel};
 pub use timing::{
     hash_program, measure, measure_noisy, measure_opts, mma_efficiency, Bound, KernelProfile,
     MeasureOpts,
+};
+pub use verify::{
+    is_scatter_onehot, mark_expected_clips, verify_program, verify_widened, VerifyError,
+    VerifyReport,
 };

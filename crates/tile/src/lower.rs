@@ -599,6 +599,15 @@ pub fn lower(
         }
     }
     let smem_bytes = program.smem_bytes();
+
+    // Declare the partial final tiles this schedule is expected to clip
+    // (non-dividing tile sizes on ragged shapes). This is the *only*
+    // place clips are blessed: the static verifier rejects any access
+    // that runs past a buffer extent without a mark recorded here, so a
+    // program mutated after lowering — or built by hand — cannot clip
+    // by accident.
+    mcfuser_sim::verify::mark_expected_clips(&mut program);
+
     Ok(LoweredKernel {
         program,
         double_buffered,
